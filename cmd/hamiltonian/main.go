@@ -1,0 +1,164 @@
+// Command hamiltonian generates, transforms, and inspects qubit
+// observables in the text interchange format (one "coeff label" line per
+// Pauli term).
+//
+//	hamiltonian -molecule h2                      # dump the JW observable
+//	hamiltonian -molecule h2 -encoding bk         # Bravyi–Kitaev mapping
+//	hamiltonian -molecule h2 -taper               # Z2-tapered operator
+//	hamiltonian -molecule synthetic -orbitals 4 -electrons 4 -downfold 2
+//	hamiltonian -info file.ham                    # inspect an operator file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/fermion"
+	"repro/internal/linalg"
+	"repro/internal/pauli"
+)
+
+func main() {
+	var (
+		molecule  = flag.String("molecule", "h2", "h2 | water | hubbard | synthetic")
+		distance  = flag.Float64("distance", 0.7414, "h2: bond length in Å (uses analytic integrals when ≠ 0.7414)")
+		sites     = flag.Int("sites", 2, "hubbard: chain length")
+		hopping   = flag.Float64("t", 1.0, "hubbard: hopping")
+		repulsion = flag.Float64("u", 4.0, "hubbard: on-site U")
+		orbitals  = flag.Int("orbitals", 3, "synthetic: spatial orbitals")
+		electrons = flag.Int("electrons", 2, "hubbard/synthetic: electrons")
+		seed      = flag.Uint64("seed", 1, "synthetic: seed")
+		encoding  = flag.String("encoding", "jw", "jw | bk | parity")
+		taper     = flag.Bool("taper", false, "apply Z2-symmetry tapering (JW only)")
+		downfold  = flag.Int("downfold", 0, "downfold to this many active orbitals first (0 = off)")
+		scf       = flag.Bool("scf", false, "run RHF and emit the MO-basis observable (needed for site-basis models)")
+		info      = flag.String("info", "", "inspect an operator file instead of generating")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		inspect(*info)
+		return
+	}
+
+	m, err := buildMolecule(*molecule, *distance, *sites, *hopping, *repulsion, *orbitals, *electrons, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if *scf {
+		res, err := chem.RHF(m, 0, 0)
+		if err != nil {
+			fail(err)
+		}
+		m = res.Molecule
+	}
+	n := m.NumSpinOrbitals()
+
+	var op *pauli.Op
+	switch {
+	case *downfold > 0:
+		res, err := chem.Downfold(m, chem.DownfoldOptions{ActiveOrbitals: *downfold, Order: 2})
+		if err != nil {
+			fail(err)
+		}
+		op = res.Qubit
+		n = 2 * *downfold
+	case *taper:
+		if *encoding != "jw" {
+			fail(fmt.Errorf("%w: tapering implemented for the JW mapping", core.ErrInvalidArgument))
+		}
+		res, err := chem.TaperedHamiltonian(m)
+		if err != nil {
+			fail(err)
+		}
+		op = res.Tapered
+		n = res.NumQubits
+	default:
+		op, err = encode(m, *encoding)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Printf("# %s | %d qubits | %d terms | encoding=%s taper=%v downfold=%d\n",
+		m.Name, n, op.NumTerms(), *encoding, *taper, *downfold)
+	if err := pauli.WriteOp(os.Stdout, op, n); err != nil {
+		fail(err)
+	}
+}
+
+func buildMolecule(kind string, distance float64, sites int, t, u float64, orbitals, electrons int, seed uint64) (*chem.MolecularData, error) {
+	switch kind {
+	case "h2":
+		if distance != 0.7414 {
+			return chem.H2AtDistance(distance)
+		}
+		return chem.H2(), nil
+	case "water":
+		return chem.WaterLike(), nil
+	case "hubbard":
+		return chem.Hubbard(sites, t, u, electrons), nil
+	case "synthetic":
+		return chem.Synthetic(chem.SyntheticOptions{NumOrbitals: orbitals, NumElectrons: electrons, Seed: seed}), nil
+	}
+	return nil, fmt.Errorf("%w: molecule %q", core.ErrInvalidArgument, kind)
+}
+
+func encode(m *chem.MolecularData, name string) (*pauli.Op, error) {
+	if name == "jw" {
+		return chem.QubitHamiltonian(m), nil
+	}
+	var enc *fermion.Encoding
+	var err error
+	switch name {
+	case "bk":
+		enc, err = fermion.BravyiKitaevEncoding(m.NumSpinOrbitals())
+	case "parity":
+		enc, err = fermion.ParityEncoding(m.NumSpinOrbitals())
+	default:
+		return nil, fmt.Errorf("%w: encoding %q", core.ErrInvalidArgument, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	q, err := enc.Transform(chem.FermionicHamiltonian(m))
+	if err != nil {
+		return nil, err
+	}
+	return q.HermitianPart(), nil
+}
+
+func inspect(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	op, n, err := pauli.ReadOp(f)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("qubits:          %d\n", n)
+	fmt.Printf("terms:           %d\n", op.NumTerms())
+	fmt.Printf("1-norm:          %.6f\n", op.OneNorm())
+	fmt.Printf("hermitian:       %v\n", op.IsHermitian(1e-9))
+	fmt.Printf("avg weight:      %.2f\n", fermion.AverageWeight(op))
+	fmt.Printf("max weight:      %d\n", fermion.MaxWeight(op))
+	fmt.Printf("QWC groups:      %d\n", len(pauli.GroupQWC(op, n)))
+	syms := pauli.FindZSymmetries(op, n)
+	fmt.Printf("Z2 symmetries:   %d\n", len(syms))
+	if n <= 12 {
+		e, _, err := linalg.LanczosGround(pauli.OpMatVec{Op: op, N: n}, linalg.LanczosOptions{})
+		if err == nil {
+			fmt.Printf("ground energy:   %.8f\n", e)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hamiltonian:", err)
+	os.Exit(1)
+}

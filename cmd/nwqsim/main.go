@@ -1,0 +1,127 @@
+// Command nwqsim runs a QASM-lite circuit file on one of the registered
+// simulation backends (single-node state vector, simulated multi-rank
+// cluster, or density matrix) and prints the outcome distribution.
+//
+//	nwqsim circuit.qasm
+//	nwqsim -backend nwq-cluster -ranks 4 circuit.qasm
+//	nwqsim -shots 4096 -fuse circuit.qasm
+//	nwqsim -noise 0.01 circuit.qasm          # density-matrix with noise
+//	echo 'qreg q[2]\nh q[0]\ncx q[0], q[1]' | nwqsim -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/density"
+	"repro/internal/qasm"
+	"repro/internal/xacc"
+)
+
+func main() {
+	var (
+		backend = flag.String("backend", "nwq-sv", "backend: one of "+fmt.Sprint(xacc.AcceleratorNames()))
+		ranks   = flag.Int("ranks", 4, "cluster backend: rank count (power of two)")
+		shots   = flag.Int("shots", 0, "sample this many shots (0 = exact probabilities only)")
+		fuse    = flag.Bool("fuse", false, "apply gate fusion before executing")
+		noise   = flag.Float64("noise", 0, "depolarizing error rate (switches to density-matrix backend)")
+		top     = flag.Int("top", 16, "print at most this many outcomes")
+		stats   = flag.Bool("stats", false, "print circuit statistics and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nwqsim [flags] <circuit.qasm | ->")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	c, err := load(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	st := c.Stats()
+	fmt.Printf("circuit: %d qubits, %d gates (%d 1q, %d 2q), depth %d\n",
+		c.NumQubits, st.Total, st.OneQubit, st.TwoQubit, st.Depth)
+
+	if *fuse {
+		fused := circuit.Transpile(c, circuit.DefaultTranspileOptions())
+		fst := fused.Stats()
+		fmt.Printf("fused:   %d gates (%.1f%% reduction), depth %d\n",
+			fst.Total, 100*(1-float64(fst.Total)/float64(st.Total)), fst.Depth)
+		c = fused
+	}
+	if *stats {
+		return
+	}
+
+	acc, err := pick(*backend, *ranks, *noise)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("backend: %s\n", acc.Name())
+
+	start := time.Now()
+	res, err := acc.Execute(c, *shots)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("executed in %v\n\n", time.Since(start).Round(time.Microsecond))
+
+	printDistribution(res, c.NumQubits, *shots, *top)
+}
+
+func load(path string) (*circuit.Circuit, error) {
+	if path == "-" {
+		return qasm.Parse(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return qasm.Parse(f)
+}
+
+func pick(backend string, ranks int, noise float64) (xacc.Accelerator, error) {
+	if noise > 0 {
+		return &xacc.DMAccelerator{Noise: density.DepolarizingModel(noise, 2*noise)}, nil
+	}
+	if backend == "nwq-cluster" {
+		return &xacc.ClusterAccelerator{Ranks: ranks}, nil
+	}
+	return xacc.GetAccelerator(backend)
+}
+
+func printDistribution(res *xacc.ExecutionResult, n, shots, top int) {
+	type row struct {
+		idx  int
+		prob float64
+	}
+	var rows []row
+	for i, p := range res.Probabilities {
+		if p > 1e-12 {
+			rows = append(rows, row{i, p})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].prob > rows[j].prob })
+	if len(rows) > top {
+		fmt.Printf("top %d of %d outcomes:\n", top, len(rows))
+		rows = rows[:top]
+	}
+	for _, r := range rows {
+		line := fmt.Sprintf("|%0*b⟩  p = %.6f", n, r.idx, r.prob)
+		if shots > 0 {
+			line += fmt.Sprintf("   counts = %d", res.Counts[uint64(r.idx)])
+		}
+		fmt.Println(line)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nwqsim:", err)
+	os.Exit(1)
+}

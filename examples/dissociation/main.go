@@ -1,0 +1,65 @@
+// Dissociation curve of H2 computed with warm-started VQE: the potential-
+// energy-surface workload the downfolding literature targets (paper §2)
+// plus the "incremental optimization" idea from §6.2 — the optimal
+// parameters of each geometry seed the next, cutting optimizer work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/ansatz"
+	"repro/internal/chem"
+	"repro/internal/opt"
+	"repro/internal/vqe"
+)
+
+func main() {
+	distances := []float64{0.4, 0.5, 0.6, 0.7414, 0.9, 1.1, 1.4, 1.8, 2.4, 3.2}
+
+	fmt.Println("H2/STO-3G dissociation curve (energies in hartree):")
+	fmt.Println("R (Å)    E(HF)       E(VQE)      E(FCI)      |VQE−FCI|   evals")
+	var warm []float64
+	coldEvals, warmEvals := 0, 0
+	for i, r := range distances {
+		m, err := chem.H2AtDistance(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := chem.QubitHamiltonian(m)
+		u, err := ansatz.NewUCCSD(4, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		drv, err := vqe.New(h, u, vqe.Options{Mode: vqe.Direct})
+		if err != nil {
+			log.Fatal(err)
+		}
+		x0 := make([]float64, u.NumParameters())
+		if warm != nil {
+			copy(x0, warm) // §6.2: warm start from the previous geometry
+		}
+		res, err := drv.MinimizeLBFGS(x0, opt.LBFGSOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		warm = res.Params
+
+		fci, err := chem.FCI(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.4f  %+.6f  %+.6f  %+.6f  %9.2e  %5d\n",
+			r, chem.HartreeFockEnergy(m), res.Energy, fci.Energy,
+			math.Abs(res.Energy-fci.Energy), res.Optimizer.Evaluations)
+		if i == 0 {
+			coldEvals = res.Optimizer.Evaluations
+		} else {
+			warmEvals += res.Optimizer.Evaluations
+		}
+	}
+	fmt.Printf("\nwarm-started geometries averaged %.1f evaluations vs %d cold\n",
+		float64(warmEvals)/float64(len(distances)-1), coldEvals)
+	fmt.Println("note how RHF fails at dissociation while VQE tracks FCI everywhere")
+}

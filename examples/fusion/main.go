@@ -1,0 +1,73 @@
+// Gate-fusion inspection: the paper's Figure 4 experiment as a runnable
+// example. Builds UCCSD ansatz circuits, applies the 2-qubit-window fusion
+// pass, verifies semantic equivalence, and times the simulation payoff.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/ansatz"
+	"repro/internal/circuit"
+	"repro/internal/pauli"
+	"repro/internal/state"
+)
+
+func main() {
+	fmt.Println("UCCSD gate counts before/after fusion (paper Fig 4: >50% reduction):")
+	fmt.Println("qubits  original  fused  reduction")
+	for _, n := range []int{4, 6, 8} {
+		u, err := ansatz.NewUCCSD(n, n/2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		params := make([]float64, u.NumParameters())
+		for i := range params {
+			params[i] = 0.05 * float64(i+1)
+		}
+		c := u.Circuit(params)
+		f := circuit.Fuse(c, 2)
+		fmt.Printf("%6d  %8d  %5d  %8.1f%%\n",
+			n, c.GateCount(), f.GateCount(),
+			100*(1-float64(f.GateCount())/float64(c.GateCount())))
+
+		// Fusion must not change the physics: compare a Z-expectation.
+		obs := pauli.NewOp()
+		z0, _ := pauli.Single('Z', 0)
+		obs.Add(z0, 1)
+		s1 := state.New(n, state.Options{})
+		s1.Run(c)
+		s2 := state.New(n, state.Options{})
+		s2.Run(f)
+		e1 := pauli.Expectation(s1, obs, pauli.ExpectationOptions{})
+		e2 := pauli.Expectation(s2, obs, pauli.ExpectationOptions{})
+		if math.Abs(e1-e2) > 1e-9 {
+			log.Fatalf("fusion changed semantics: %v vs %v", e1, e2)
+		}
+	}
+
+	// Wall-clock payoff on a larger circuit.
+	const n = 16
+	u, err := ansatz.NewUCCSD(n, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := u.Circuit(make([]float64, u.NumParameters()))
+	f := circuit.Fuse(c, 2)
+	fmt.Printf("\nstate-vector passes at %d qubits: %d unfused → %d fused (%.1f%% fewer)\n",
+		n, c.GateCount(), f.GateCount(), 100*(1-float64(f.GateCount())/float64(c.GateCount())))
+	for _, tc := range []struct {
+		name string
+		circ *circuit.Circuit
+	}{{"unfused", c}, {"fused", f}} {
+		s := state.New(n, state.Options{Workers: 1})
+		start := time.Now()
+		s.Run(tc.circ)
+		fmt.Printf("  %-8s %v\n", tc.name, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("\nnote: each gate is one full pass over the state vector. On the paper's")
+	fmt.Println("bandwidth-bound GPU kernels, fewer passes translate directly into speedup;")
+	fmt.Println("on this compute-bound CPU engine the win is the pass/gate count itself.")
+}

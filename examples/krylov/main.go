@@ -1,0 +1,44 @@
+// Quantum Krylov subspace diagonalization (QKSD): span a subspace with
+// real-time-evolved copies of the Hartree–Fock state and solve the
+// projected generalized eigenproblem — FCI-quality energies with no
+// variational optimization, and a sharp cross-check on VQE results.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/chem"
+	"repro/internal/qpe"
+	"repro/internal/vqe"
+)
+
+func main() {
+	m := chem.H2()
+	h := chem.QubitHamiltonian(m)
+	fci, err := chem.FCI(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prep := qpe.HartreeFockPrep(4, 2)
+
+	fmt.Printf("molecule: %s, FCI = %.8f Ha\n\n", m.Name, fci.Energy)
+	fmt.Println("dim   E0(exact evo)   |ΔE|        E0(Trotter-8)   |ΔE|")
+	for _, dim := range []int{1, 2, 3, 4, 5} {
+		exact, err := vqe.KrylovDiagonalize(h, 4, prep, vqe.KrylovOptions{Dimension: dim, Exact: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		trot, err := vqe.KrylovDiagonalize(h, 4, prep, vqe.KrylovOptions{Dimension: dim, TrotterSteps: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%3d   %+.8f   %.2e    %+.8f   %.2e\n",
+			dim,
+			exact.Energies[0], math.Abs(exact.Energies[0]-fci.Energy),
+			trot.Energies[0], math.Abs(trot.Energies[0]-fci.Energy))
+	}
+	fmt.Println("\ntwo evolved basis states already pin the H2 ground energy; on")
+	fmt.Println("hardware the matrix elements would come from Hadamard tests")
+}

@@ -1,0 +1,43 @@
+// Noisy simulation demo: the same noisy Bell-pair workload evaluated by
+// (a) the exact density-matrix backend (DM-Sim substrate) and (b) Pauli-
+// trajectory averaging on the state-vector backend — the technique that
+// scales noise studies past the 4ⁿ density-matrix wall. The two must
+// agree within statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+	"repro/internal/density"
+	"repro/internal/noise"
+	"repro/internal/pauli"
+)
+
+func main() {
+	c := circuit.New(2).H(0).CX(0, 1)
+	obs := pauli.NewOp().Add(pauli.MustParse("ZZ"), 1)
+
+	fmt.Println("noisy Bell pair, ⟨Z₀Z₁⟩ under depolarizing noise:")
+	fmt.Println("p1     p2     density-matrix   trajectories (2000)")
+	for _, rates := range [][2]float64{{0, 0}, {0.005, 0.02}, {0.02, 0.05}, {0.05, 0.1}} {
+		p1, p2 := rates[0], rates[1]
+
+		dm := density.New(2)
+		if err := dm.Run(c, density.DepolarizingModel(p1, p2)); err != nil {
+			log.Fatal(err)
+		}
+		exact := dm.Expectation(obs)
+
+		res, err := noise.Expectation(c, obs, noise.Model{P1: p1, P2: p2},
+			noise.Options{Trajectories: 2000, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.3f  %.3f  %+.4f          %+.4f ± %.4f  (%.2f errors/traj)\n",
+			p1, p2, exact, res.Mean, res.StdErr, res.MeanErrors)
+	}
+	fmt.Println("\nthe trajectory estimator is unbiased: it converges on the exact")
+	fmt.Println("density-matrix value while using only pure-state (2ⁿ) memory")
+}

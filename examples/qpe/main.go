@@ -1,0 +1,31 @@
+// Quantum phase estimation on H2: prepare the Hartree–Fock determinant,
+// run Trotterized controlled evolution plus an inverse QFT, and decode the
+// ground-state energy from the ancilla phase distribution — the second
+// algorithm of the paper's workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	vqesim "repro"
+)
+
+func main() {
+	mol := vqesim.H2()
+	exact, err := vqesim.ExactGroundEnergy(mol)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, ancillas := range []int{5, 7, 9} {
+		res, err := vqesim.GroundStateQPE(mol, vqesim.QPEConfig{AncillaQubits: ancillas})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ancillas=%d: E = %+.6f Ha  (exact %+.6f, |ΔE| = %.2e, resolution %.2e, confidence %.2f)\n",
+			ancillas, res.Energy, exact, math.Abs(res.Energy-exact), res.Resolution, res.Confidence)
+	}
+	fmt.Println("\nresolution halves with each extra ancilla; the estimate converges on the FCI energy")
+}

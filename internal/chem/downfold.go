@@ -1,0 +1,235 @@
+package chem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fermion"
+	"repro/internal/pauli"
+)
+
+// DownfoldOptions configures Hermitian coupled-cluster downfolding
+// (paper §2, Eq. 2): H_eff = P(H + [H,σ] + ½[[H,σ],σ] + …)P with the
+// anti-Hermitian external cluster operator σ built from perturbative
+// amplitudes.
+type DownfoldOptions struct {
+	// ActiveOrbitals is the number of spatial orbitals kept (the lowest
+	// ones); all electrons must fit inside the active space.
+	ActiveOrbitals int
+	// Order is the highest commutator retained: 0 = bare projection,
+	// 1 = single commutator, 2 = double commutator (paper's choice).
+	Order int
+	// AmplitudeCut drops σ amplitudes below this magnitude (default 1e-8).
+	AmplitudeCut float64
+	// TermCut chops intermediate operator terms below this magnitude to
+	// control the combinatorial growth of the BCH expansion (default 1e-10).
+	TermCut float64
+}
+
+// DownfoldResult carries the effective active-space problem.
+type DownfoldResult struct {
+	Molecule        *MolecularData
+	ActiveOrbitals  int
+	ActiveElectrons int
+	// Fermionic is the normal-ordered effective Hamiltonian on the active
+	// modes (2·ActiveOrbitals spin orbitals).
+	Fermionic *fermion.Op
+	// Qubit is its Jordan–Wigner image (Hermitian).
+	Qubit *pauli.Op
+	// SigmaTerms is the number of external-cluster amplitudes used.
+	SigmaTerms int
+}
+
+// orbitalEnergies returns diagonal Fock eigenvalue estimates
+// ε_p = h_pp + Σ_{k∈occ} (⟨pk|pk⟩ − ⟨pk|kp⟩) per spin orbital.
+func orbitalEnergies(m *MolecularData) []float64 {
+	nso := m.NumSpinOrbitals()
+	occ := aufbauOccupation(m.NumElectrons)
+	eps := make([]float64, nso)
+	for p := 0; p < nso; p++ {
+		e := m.OneBody[p/2][p/2]
+		for _, k := range occ {
+			e += coulomb(m, p, k) - exchange(m, p, k)
+		}
+		eps[p] = e
+	}
+	return eps
+}
+
+// antisym returns ⟨pq||rs⟩ = ⟨pq|rs⟩ − ⟨pq|sr⟩ over spin orbitals, with
+// ⟨pq|rs⟩ = (p r|q s)(spatial, chemist) · δ(σp,σr) · δ(σq,σs).
+func antisym(m *MolecularData, p, q, r, s int) float64 {
+	direct := 0.0
+	if p%2 == r%2 && q%2 == s%2 {
+		direct = m.TwoBody[p/2][r/2][q/2][s/2]
+	}
+	exch := 0.0
+	if p%2 == s%2 && q%2 == r%2 {
+		exch = m.TwoBody[p/2][s/2][q/2][r/2]
+	}
+	return direct - exch
+}
+
+// externalSigma builds the anti-Hermitian cluster operator σ = T − T†
+// from MP2-like doubles (and MP1-like singles) whose excitations leave
+// the active space.
+func externalSigma(m *MolecularData, nActiveModes int, cut float64) (*fermion.Op, int) {
+	nso := m.NumSpinOrbitals()
+	ne := m.NumElectrons
+	eps := orbitalEnergies(m)
+	t := fermion.NewOp()
+	count := 0
+
+	// Singles: i∈occ → a∈virt, external a only.
+	for i := 0; i < ne; i++ {
+		for a := ne; a < nso; a++ {
+			if a < nActiveModes {
+				continue
+			}
+			if i%2 != a%2 {
+				continue
+			}
+			f := m.OneBody[a/2][i/2]
+			for k := 0; k < ne; k++ {
+				f += antisym(m, a, k, i, k)
+			}
+			denom := eps[i] - eps[a]
+			if math.Abs(denom) < 1e-6 {
+				continue
+			}
+			amp := f / denom
+			if math.Abs(amp) < cut {
+				continue
+			}
+			t.AddTerm(fermion.Term{Coeff: complex(amp, 0), Ops: []fermion.Ladder{
+				{Mode: a, Dagger: true}, {Mode: i, Dagger: false},
+			}})
+			count++
+		}
+	}
+	// Doubles: i<j occ → a<b virt with at least one external index.
+	for i := 0; i < ne; i++ {
+		for j := i + 1; j < ne; j++ {
+			for a := ne; a < nso; a++ {
+				for b := a + 1; b < nso; b++ {
+					if a < nActiveModes && b < nActiveModes {
+						continue // internal excitation: belongs to the active solver
+					}
+					v := antisym(m, a, b, i, j)
+					if math.Abs(v) < cut {
+						continue
+					}
+					denom := eps[i] + eps[j] - eps[a] - eps[b]
+					if math.Abs(denom) < 1e-6 {
+						continue
+					}
+					amp := v / denom
+					if math.Abs(amp) < cut {
+						continue
+					}
+					t.AddTerm(fermion.Term{Coeff: complex(amp, 0), Ops: []fermion.Ladder{
+						{Mode: a, Dagger: true}, {Mode: b, Dagger: true},
+						{Mode: j, Dagger: false}, {Mode: i, Dagger: false},
+					}})
+					count++
+				}
+			}
+		}
+	}
+	sigma := t.Clone()
+	sigma.Add(t.Adjoint(), -1)
+	return sigma, count
+}
+
+// projectActive normal-orders the operator and keeps only terms acting
+// entirely inside the active modes. For a normal-ordered operator this
+// equals P·O·P on the CAS (external modes unoccupied): any surviving
+// external annihilator kills CAS states on the right, any external
+// creator is killed by the projector on the left.
+func projectActive(op *fermion.Op, nActiveModes int) *fermion.Op {
+	no := op.NormalOrder()
+	out := fermion.NewOp()
+	for _, t := range no.Terms() {
+		keep := true
+		for _, l := range t.Ops {
+			if l.Mode >= nActiveModes {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.AddTerm(t)
+		}
+	}
+	return out
+}
+
+// Downfold performs Hermitian CC downfolding and returns the active-space
+// effective Hamiltonian.
+func Downfold(m *MolecularData, opts DownfoldOptions) (*DownfoldResult, error) {
+	if opts.ActiveOrbitals <= 0 || opts.ActiveOrbitals > m.NumOrbitals {
+		return nil, fmt.Errorf("%w: active orbitals %d of %d", core.ErrInvalidArgument, opts.ActiveOrbitals, m.NumOrbitals)
+	}
+	nActiveModes := 2 * opts.ActiveOrbitals
+	if m.NumElectrons > nActiveModes {
+		return nil, fmt.Errorf("%w: %d electrons exceed active space %d", core.ErrInvalidArgument, m.NumElectrons, nActiveModes)
+	}
+	if opts.Order < 0 || opts.Order > 2 {
+		return nil, fmt.Errorf("%w: order %d", core.ErrInvalidArgument, opts.Order)
+	}
+	ampCut := opts.AmplitudeCut
+	if ampCut == 0 {
+		ampCut = 1e-8
+	}
+	termCut := opts.TermCut
+	if termCut == 0 {
+		termCut = 1e-10
+	}
+
+	h := FermionicHamiltonian(m)
+	sigma, nAmp := externalSigma(m, nActiveModes, ampCut)
+
+	// BCH: H + [H,σ] + ½[[H,σ],σ] (σ anti-Hermitian keeps H_eff Hermitian
+	// at every order).
+	acc := h.Clone()
+	if opts.Order >= 1 && sigma.NumTerms() > 0 {
+		c1 := h.Commutator(sigma)
+		c1 = chopFermi(c1, termCut)
+		acc.Add(c1, 1)
+		if opts.Order >= 2 {
+			c2 := c1.Commutator(sigma)
+			c2 = chopFermi(c2, termCut)
+			acc.Add(c2, 0.5)
+		}
+	}
+
+	eff := projectActive(acc, nActiveModes)
+	q := eff.JordanWigner().HermitianPart()
+	return &DownfoldResult{
+		Molecule:        m,
+		ActiveOrbitals:  opts.ActiveOrbitals,
+		ActiveElectrons: m.NumElectrons,
+		Fermionic:       eff,
+		Qubit:           q,
+		SigmaTerms:      nAmp,
+	}, nil
+}
+
+// chopFermi drops fermionic terms with tiny coefficients.
+func chopFermi(op *fermion.Op, tol float64) *fermion.Op {
+	out := fermion.NewOp()
+	for _, t := range op.Terms() {
+		if math.Hypot(real(t.Coeff), imag(t.Coeff)) > tol {
+			out.AddTerm(t)
+		}
+	}
+	return out
+}
+
+// BareActive returns the zeroth-order comparison: the Hamiltonian simply
+// projected onto the active space with no commutator corrections (the
+// "bare Hamiltonian diagonalization" baseline of paper §2).
+func BareActive(m *MolecularData, activeOrbitals int) (*DownfoldResult, error) {
+	return Downfold(m, DownfoldOptions{ActiveOrbitals: activeOrbitals, Order: 0})
+}

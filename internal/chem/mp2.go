@@ -1,0 +1,35 @@
+package chem
+
+import "math"
+
+// MP2Energy returns the second-order Møller–Plesset estimate
+//
+//	E_MP2 = E_HF + ¼ Σ_{ijab} |⟨ij||ab⟩|² / (ε_i + ε_j − ε_a − ε_b)
+//
+// over occupied spin orbitals i,j and virtuals a,b — the classical
+// perturbative reference sitting between Hartree–Fock and FCI, and the
+// source of the downfolding amplitudes (σ) used in Downfold.
+func MP2Energy(m *MolecularData) float64 {
+	nso := m.NumSpinOrbitals()
+	ne := m.NumElectrons
+	eps := orbitalEnergies(m)
+	corr := 0.0
+	for i := 0; i < ne; i++ {
+		for j := 0; j < ne; j++ {
+			for a := ne; a < nso; a++ {
+				for b := ne; b < nso; b++ {
+					v := antisym(m, i, j, a, b)
+					if v == 0 {
+						continue
+					}
+					denom := eps[i] + eps[j] - eps[a] - eps[b]
+					if math.Abs(denom) < 1e-10 {
+						continue
+					}
+					corr += 0.25 * v * v / denom
+				}
+			}
+		}
+	}
+	return HartreeFockEnergy(m) + corr
+}

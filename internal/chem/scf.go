@@ -1,0 +1,255 @@
+package chem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+)
+
+// This file implements restricted Hartree–Fock self-consistent field
+// iteration for MolecularData in an orthonormal basis, and the O(N⁵)
+// integral transformation into the resulting molecular-orbital basis.
+// Models given in a site/atomic basis (e.g. Hubbard chains) must pass
+// through RHF before aufbau-reference methods (UCCSD, MP2, downfolding)
+// make sense; models already in an MO basis are fixed points of the
+// iteration.
+
+// SCFResult carries the converged mean field.
+type SCFResult struct {
+	// Molecule holds the integrals transformed into the MO basis.
+	Molecule *MolecularData
+	// Energy is the converged RHF energy.
+	Energy float64
+	// OrbitalEnergies are the Fock eigenvalues (spatial orbitals).
+	OrbitalEnergies []float64
+	// Coefficients[p][i]: weight of basis function i in MO p.
+	Coefficients [][]float64
+	// Iterations used.
+	Iterations int
+}
+
+// RHF runs closed-shell SCF (electron count must be even) and returns the
+// molecule re-expressed in its molecular-orbital basis.
+func RHF(m *MolecularData, maxIter int, tol float64) (*SCFResult, error) {
+	if m.NumElectrons%2 != 0 {
+		return nil, fmt.Errorf("%w: RHF needs an even electron count, got %d", core.ErrInvalidArgument, m.NumElectrons)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	n := m.NumOrbitals
+	nocc := m.NumElectrons / 2
+
+	// Core-Hamiltonian guess, then damped density iteration (50% mixing)
+	// to suppress the charge-sloshing oscillations small symmetric systems
+	// are prone to.
+	c, eps, err := diagonalizeSym(m.OneBody)
+	if err != nil {
+		return nil, err
+	}
+	d := density(c, n, nocc)
+	const mix = 0.5
+	var energyPrev float64
+	iters := 0
+	for iter := 1; iter <= maxIter; iter++ {
+		iters = iter
+		f := fock(m, d)
+		e := m.NuclearRepulsion + electronicEnergy(m, d, f)
+		c, eps, err = diagonalizeSym(f)
+		if err != nil {
+			return nil, err
+		}
+		dNew := density(c, n, nocc)
+		delta := 0.0
+		for p := range d {
+			for q := range d[p] {
+				delta += math.Abs(dNew[p][q] - d[p][q])
+				d[p][q] = mix*dNew[p][q] + (1-mix)*d[p][q]
+			}
+		}
+		if iter > 1 && math.Abs(e-energyPrev) < tol && delta < math.Sqrt(tol) {
+			energyPrev = e
+			break
+		}
+		energyPrev = e
+	}
+	// Final clean diagonalization from the converged density.
+	c, eps, err = diagonalizeSym(fock(m, d))
+	if err != nil {
+		return nil, err
+	}
+	dFinal := density(c, n, nocc)
+	energyPrev = m.NuclearRepulsion + electronicEnergy(m, dFinal, fock(m, dFinal))
+
+	mo := transformIntegrals(m, c)
+	return &SCFResult{
+		Molecule:        mo,
+		Energy:          energyPrev,
+		OrbitalEnergies: eps,
+		Coefficients:    c,
+		Iterations:      iters,
+	}, nil
+}
+
+// density returns D_rs = 2 Σ_{i<nocc} C_ir C_is with MO index first in c
+// as c[mo][basis].
+func density(c [][]float64, n, nocc int) [][]float64 {
+	d := make([][]float64, n)
+	for r := range d {
+		d[r] = make([]float64, n)
+		for s := 0; s < n; s++ {
+			for i := 0; i < nocc; i++ {
+				d[r][s] += 2 * c[i][r] * c[i][s]
+			}
+		}
+	}
+	return d
+}
+
+// fock builds F_pq = h_pq + Σ_rs D_rs [(pq|sr) − ½(pr|sq)].
+func fock(m *MolecularData, d [][]float64) [][]float64 {
+	n := m.NumOrbitals
+	f := make([][]float64, n)
+	for p := range f {
+		f[p] = make([]float64, n)
+		for q := 0; q < n; q++ {
+			v := m.OneBody[p][q]
+			for r := 0; r < n; r++ {
+				for s := 0; s < n; s++ {
+					v += d[r][s] * (m.TwoBody[p][q][s][r] - 0.5*m.TwoBody[p][r][s][q])
+				}
+			}
+			f[p][q] = v
+		}
+	}
+	return f
+}
+
+// electronicEnergy returns ½ Σ D_pq (h_pq + F_pq).
+func electronicEnergy(m *MolecularData, d, f [][]float64) float64 {
+	e := 0.0
+	for p := range d {
+		for q := range d[p] {
+			e += 0.5 * d[p][q] * (m.OneBody[p][q] + f[p][q])
+		}
+	}
+	return e
+}
+
+// diagonalizeSym diagonalizes a real symmetric matrix, returning
+// MO coefficients (rows = MOs, ascending eigenvalue) and eigenvalues.
+func diagonalizeSym(f [][]float64) ([][]float64, []float64, error) {
+	n := len(f)
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, complex(0.5*(f[i][j]+f[j][i]), 0))
+		}
+	}
+	res, err := linalg.EighJacobi(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := make([][]float64, n)
+	for mo := 0; mo < n; mo++ {
+		c[mo] = make([]float64, n)
+		for b := 0; b < n; b++ {
+			c[mo][b] = real(res.Vectors.At(b, mo))
+		}
+	}
+	return c, res.Values, nil
+}
+
+// transformIntegrals produces the MO-basis MolecularData:
+// h'_pq = Σ C_pi C_qj h_ij; (pq|rs)' via four quarter-transformations.
+func transformIntegrals(m *MolecularData, c [][]float64) *MolecularData {
+	n := m.NumOrbitals
+	out := &MolecularData{
+		Name:             m.Name + " [RHF MO basis]",
+		NumOrbitals:      n,
+		NumElectrons:     m.NumElectrons,
+		NuclearRepulsion: m.NuclearRepulsion,
+		OneBody:          allocOneBody(n),
+		TwoBody:          allocTwoBody(n),
+	}
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			v := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					v += c[p][i] * c[q][j] * m.OneBody[i][j]
+				}
+			}
+			if math.Abs(v) < 1e-12 {
+				v = 0
+			}
+			out.OneBody[p][q] = v
+		}
+	}
+	// Quarter transforms: g0 = AO integrals → g4 = MO integrals.
+	g := m.TwoBody
+	t1 := allocTwoBody(n)
+	for p := 0; p < n; p++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				for l := 0; l < n; l++ {
+					v := 0.0
+					for i := 0; i < n; i++ {
+						v += c[p][i] * g[i][j][k][l]
+					}
+					t1[p][j][k][l] = v
+				}
+			}
+		}
+	}
+	t2 := allocTwoBody(n)
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			for k := 0; k < n; k++ {
+				for l := 0; l < n; l++ {
+					v := 0.0
+					for j := 0; j < n; j++ {
+						v += c[q][j] * t1[p][j][k][l]
+					}
+					t2[p][q][k][l] = v
+				}
+			}
+		}
+	}
+	t3 := allocTwoBody(n)
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			for r := 0; r < n; r++ {
+				for l := 0; l < n; l++ {
+					v := 0.0
+					for k := 0; k < n; k++ {
+						v += c[r][k] * t2[p][q][k][l]
+					}
+					t3[p][q][r][l] = v
+				}
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			for r := 0; r < n; r++ {
+				for s := 0; s < n; s++ {
+					v := 0.0
+					for l := 0; l < n; l++ {
+						v += c[s][l] * t3[p][q][r][l]
+					}
+					if math.Abs(v) < 1e-12 {
+						v = 0
+					}
+					out.TwoBody[p][q][r][s] = v
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package chem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRHFOnMOBasisIsFixedPoint(t *testing.T) {
+	// H2 integrals are already in the RHF MO basis; SCF must reproduce the
+	// closed-form HF energy and leave the aufbau energy unchanged.
+	m := H2()
+	res, err := RHF(m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energy-HartreeFockEnergy(m)) > 1e-8 {
+		t.Errorf("SCF energy %v vs closed form %v", res.Energy, HartreeFockEnergy(m))
+	}
+	if math.Abs(HartreeFockEnergy(res.Molecule)-HartreeFockEnergy(m)) > 1e-8 {
+		t.Errorf("MO-basis aufbau energy changed: %v vs %v",
+			HartreeFockEnergy(res.Molecule), HartreeFockEnergy(m))
+	}
+}
+
+func TestRHFHubbardDimer(t *testing.T) {
+	// Half-filled Hubbard dimer: RHF energy = −2t + U/2 (bonding orbital
+	// doubly occupied).
+	tHop, u := 1.0, 2.0
+	m := Hubbard(2, tHop, u, 2)
+	res, err := RHF(m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -2*tHop + u/2
+	if math.Abs(res.Energy-want) > 1e-8 {
+		t.Errorf("RHF %v, want %v", res.Energy, want)
+	}
+	// In the MO basis the aufbau determinant realizes that energy.
+	if math.Abs(HartreeFockEnergy(res.Molecule)-want) > 1e-8 {
+		t.Errorf("MO-basis aufbau %v, want %v", HartreeFockEnergy(res.Molecule), want)
+	}
+	// Site-basis aufbau (both electrons on site 0) is strictly worse.
+	if HartreeFockEnergy(m) <= want+1e-9 {
+		t.Errorf("site-basis aufbau %v should be above RHF %v", HartreeFockEnergy(m), want)
+	}
+}
+
+func TestRHFPreservesFCI(t *testing.T) {
+	// The SCF basis change is unitary: FCI energies agree before/after.
+	m := Hubbard(3, 1, 3, 2)
+	res, err := RHF(m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := FCI(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := FCI(res.Molecule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before.Energy-after.Energy) > 1e-8 {
+		t.Errorf("FCI changed under basis rotation: %v vs %v", before.Energy, after.Energy)
+	}
+	if err := res.Molecule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRHFLowersAufbauEnergy(t *testing.T) {
+	// For a site-basis model, the MO-basis aufbau determinant is at least
+	// as good as the site-basis one (variational SCF).
+	for _, m := range []*MolecularData{
+		Hubbard(2, 1, 4, 2),
+		Hubbard(4, 1, 2, 4),
+	} {
+		res, err := RHF(m, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if HartreeFockEnergy(res.Molecule) > HartreeFockEnergy(m)+1e-9 {
+			t.Errorf("%s: SCF raised the aufbau energy %v → %v",
+				m.Name, HartreeFockEnergy(m), HartreeFockEnergy(res.Molecule))
+		}
+	}
+}
+
+func TestRHFOrbitalEnergiesSorted(t *testing.T) {
+	res, err := RHF(Hubbard(4, 1, 2, 4), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.OrbitalEnergies); i++ {
+		if res.OrbitalEnergies[i] < res.OrbitalEnergies[i-1]-1e-12 {
+			t.Error("orbital energies not ascending")
+		}
+	}
+}
+
+func TestRHFRejectsOddElectrons(t *testing.T) {
+	if _, err := RHF(Hubbard(2, 1, 2, 3), 0, 0); err == nil {
+		t.Error("odd electron count accepted")
+	}
+}

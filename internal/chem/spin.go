@@ -1,0 +1,57 @@
+package chem
+
+import (
+	"repro/internal/fermion"
+	"repro/internal/pauli"
+)
+
+// Symmetry operators used to verify that ansätze and optimized states
+// stay in the right particle-number and spin sectors — the invariants the
+// spin-conserving excitation enumeration (ansatz package) is supposed to
+// protect.
+
+// NumberOperator returns N = Σ_p a†_p a_p on n spin orbitals as a qubit
+// observable.
+func NumberOperator(n int) *pauli.Op {
+	op := fermion.NewOp()
+	for p := 0; p < n; p++ {
+		op.Add(fermion.Number(p), 1)
+	}
+	return op.JordanWigner().HermitianPart()
+}
+
+// SzOperator returns S_z = ½ Σ_p (n_{pα} − n_{pβ}) over nOrb spatial
+// orbitals (interleaved spin convention).
+func SzOperator(nOrb int) *pauli.Op {
+	op := fermion.NewOp()
+	for p := 0; p < nOrb; p++ {
+		op.Add(fermion.Number(SpinOrbital(p, 0)), 0.5)
+		op.Add(fermion.Number(SpinOrbital(p, 1)), -0.5)
+	}
+	return op.JordanWigner().HermitianPart()
+}
+
+// splus returns S₊ = Σ_p a†_{pα} a_{pβ}.
+func splus(nOrb int) *fermion.Op {
+	op := fermion.NewOp()
+	for p := 0; p < nOrb; p++ {
+		op.Add(fermion.OneBody(SpinOrbital(p, 0), SpinOrbital(p, 1)), 1)
+	}
+	return op
+}
+
+// S2Operator returns the total-spin operator S² = S₋S₊ + S_z(S_z + 1) on
+// nOrb spatial orbitals. Singlets are its zero-eigenvalue states.
+func S2Operator(nOrb int) *pauli.Op {
+	sp := splus(nOrb)
+	sm := sp.Adjoint()
+	sz := fermion.NewOp()
+	for p := 0; p < nOrb; p++ {
+		sz.Add(fermion.Number(SpinOrbital(p, 0)), 0.5)
+		sz.Add(fermion.Number(SpinOrbital(p, 1)), -0.5)
+	}
+	s2 := sm.Mul(sp)
+	s2.Add(sz.Mul(sz), 1)
+	s2.Add(sz, 1)
+	return s2.JordanWigner().HermitianPart()
+}

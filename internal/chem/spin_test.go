@@ -1,0 +1,121 @@
+package chem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ansatz"
+	"repro/internal/pauli"
+	"repro/internal/state"
+)
+
+func expectOn(t *testing.T, s *state.State, op *pauli.Op) float64 {
+	t.Helper()
+	return pauli.Expectation(s, op, pauli.ExpectationOptions{})
+}
+
+func TestNumberOperatorOnDeterminants(t *testing.T) {
+	n := 4
+	num := NumberOperator(n)
+	for det := uint64(0); det < 16; det++ {
+		s := state.New(n, state.Options{})
+		amps := s.Amplitudes()
+		amps[0] = 0
+		amps[det] = 1
+		want := float64(popcount(det))
+		if got := expectOn(t, s, num); math.Abs(got-want) > 1e-10 {
+			t.Errorf("det %04b: ⟨N⟩ = %v, want %v", det, got, want)
+		}
+	}
+}
+
+func TestSzOperatorOnDeterminants(t *testing.T) {
+	sz := SzOperator(2) // 4 spin orbitals: 0α 0β 1α 1β
+	cases := map[uint64]float64{
+		0b0000: 0,
+		0b0001: 0.5,  // 0α
+		0b0010: -0.5, // 0β
+		0b0011: 0,    // 0α0β
+		0b0101: 1,    // 0α1α
+		0b1010: -1,   // 0β1β
+	}
+	for det, want := range cases {
+		s := state.New(4, state.Options{})
+		s.Amplitudes()[0] = 0
+		s.Amplitudes()[det] = 1
+		if got := expectOn(t, s, sz); math.Abs(got-want) > 1e-10 {
+			t.Errorf("det %04b: ⟨Sz⟩ = %v, want %v", det, got, want)
+		}
+	}
+}
+
+func TestS2OnSingletAndTriplet(t *testing.T) {
+	s2 := S2Operator(2)
+	// Closed-shell determinant |0α0β⟩ is a singlet: S² = 0.
+	s := state.New(4, state.Options{})
+	s.Amplitudes()[0] = 0
+	s.Amplitudes()[0b0011] = 1
+	if got := expectOn(t, s, s2); math.Abs(got) > 1e-10 {
+		t.Errorf("closed shell S² = %v, want 0", got)
+	}
+	// |0α1α⟩ (two parallel spins) is a triplet: S² = s(s+1) = 2.
+	s2state := state.New(4, state.Options{})
+	s2state.Amplitudes()[0] = 0
+	s2state.Amplitudes()[0b0101] = 1
+	if got := expectOn(t, s2state, s2); math.Abs(got-2) > 1e-10 {
+		t.Errorf("parallel spins S² = %v, want 2", got)
+	}
+}
+
+func TestH2GroundStateIsSinglet(t *testing.T) {
+	fci, err := FCI(H2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := state.FromAmplitudes(fci.FullVector(), state.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := expectOn(t, s, S2Operator(2)); math.Abs(got) > 1e-8 {
+		t.Errorf("H2 ground S² = %v, want 0", got)
+	}
+	if got := expectOn(t, s, NumberOperator(4)); math.Abs(got-2) > 1e-8 {
+		t.Errorf("H2 ground ⟨N⟩ = %v, want 2", got)
+	}
+}
+
+func TestUCCSDConservesSymmetries(t *testing.T) {
+	// Spin-conserving UCCSD keeps ⟨N⟩ and ⟨Sz⟩ exactly at every θ.
+	u, err := ansatz.NewUCCSD(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num := NumberOperator(6)
+	sz := SzOperator(3)
+	params := make([]float64, u.NumParameters())
+	for i := range params {
+		params[i] = 0.15 * float64(i%4-2)
+	}
+	s := state.New(6, state.Options{})
+	s.Run(u.Circuit(params))
+	if got := expectOn(t, s, num); math.Abs(got-2) > 1e-9 {
+		t.Errorf("⟨N⟩ drifted: %v", got)
+	}
+	if got := expectOn(t, s, sz); math.Abs(got) > 1e-9 {
+		t.Errorf("⟨Sz⟩ drifted: %v", got)
+	}
+}
+
+func TestSymmetryOperatorsCommuteWithHamiltonian(t *testing.T) {
+	for _, m := range []*MolecularData{H2(), Hubbard(2, 1, 3, 2)} {
+		h := QubitHamiltonian(m)
+		num := NumberOperator(m.NumSpinOrbitals())
+		sz := SzOperator(m.NumOrbitals)
+		if c := h.Commutator(num); c.OneNorm() > 1e-8 {
+			t.Errorf("%s: [H, N] ≠ 0 (‖·‖₁ = %v)", m.Name, c.OneNorm())
+		}
+		if c := h.Commutator(sz); c.OneNorm() > 1e-8 {
+			t.Errorf("%s: [H, Sz] ≠ 0 (‖·‖₁ = %v)", m.Name, c.OneNorm())
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package circuit
+
+import (
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// TestEveryBuilderGateSimulates exercises every builder method against the
+// dense reference so no gate constructor can silently rot.
+func TestEveryBuilderGateSimulates(t *testing.T) {
+	c := New(3).
+		I(0).X(0).Y(1).Z(2).H(0).S(1).Sdg(1).T(2).Tdg(2).SX(0).
+		RX(0.3, 0).RY(-0.4, 1).RZ(0.5, 2).P(0.6, 0).U3(0.1, 0.2, 0.3, 1).
+		CX(0, 1).CY(1, 2).CZ(0, 2).CH(2, 0).SWAP(0, 1).ISWAP(1, 2).
+		CP(0.7, 0, 1).CRX(0.8, 1, 2).CRY(0.9, 2, 0).CRZ(1.0, 0, 1).
+		RXX(1.1, 0, 2).RYY(1.2, 1, 0).RZZ(1.3, 2, 1).
+		Barrier()
+	u := c.Unitary()
+	if !u.IsUnitary(1e-9) {
+		t.Fatal("builder circuit unitary broken")
+	}
+	// Inverse property holds across the whole gate set.
+	if !c.Inverse().Unitary().Mul(u).EqualUpToPhase(linalg.Identity(8), 1e-8) {
+		t.Fatal("inverse across full gate set broken")
+	}
+}

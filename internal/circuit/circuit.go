@@ -1,0 +1,234 @@
+// Package circuit provides the quantum-circuit intermediate representation
+// shared by the front-end (XACC-style compilation), the transpiler (gate
+// fusion, cancellation), and the simulation backends.
+//
+// Qubit convention: qubit 0 is the least-significant bit of a basis-state
+// index. For multi-qubit gates the first listed qubit is the high-order bit
+// of the gate's local sub-index (matching gate.Matrix4).
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gate"
+)
+
+// Circuit is an ordered list of gates over a fixed-width register.
+type Circuit struct {
+	NumQubits int
+	Gates     []gate.Gate
+}
+
+// New returns an empty circuit on n qubits.
+func New(n int) *Circuit {
+	if n < 0 {
+		panic(core.ErrInvalidArgument)
+	}
+	return &Circuit{NumQubits: n}
+}
+
+// Append adds a gate after validating its qubit indices.
+func (c *Circuit) Append(g gate.Gate) *Circuit {
+	for _, q := range g.Qubits {
+		if q < 0 || q >= c.NumQubits {
+			panic(core.QubitError(q, c.NumQubits))
+		}
+	}
+	if g.Arity() == 2 && g.Qubits[0] == g.Qubits[1] {
+		panic(fmt.Errorf("%w: duplicate qubit %d in two-qubit gate", core.ErrInvalidArgument, g.Qubits[0]))
+	}
+	c.Gates = append(c.Gates, g)
+	return c
+}
+
+// Compose appends every gate of o (which must have the same width).
+func (c *Circuit) Compose(o *Circuit) *Circuit {
+	if o.NumQubits > c.NumQubits {
+		panic(core.ErrDimensionMismatch)
+	}
+	for _, g := range o.Gates {
+		c.Append(g.Clone())
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (c *Circuit) Clone() *Circuit {
+	out := New(c.NumQubits)
+	out.Gates = make([]gate.Gate, 0, len(c.Gates))
+	for _, g := range c.Gates {
+		out.Gates = append(out.Gates, g.Clone())
+	}
+	return out
+}
+
+// Inverse returns the adjoint circuit (gates reversed and inverted).
+// Measurement/reset markers cause a panic since they are not invertible.
+func (c *Circuit) Inverse() *Circuit {
+	out := New(c.NumQubits)
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		g := c.Gates[i]
+		if !g.IsUnitary() {
+			if g.Kind == gate.Barrier {
+				out.Append(g.Clone())
+				continue
+			}
+			panic(fmt.Errorf("%w: cannot invert %v", core.ErrInvalidArgument, g.Kind))
+		}
+		out.Append(g.Inverse())
+	}
+	return out
+}
+
+// Builder-style helpers. Each returns the circuit for chaining.
+
+func (c *Circuit) I(q int) *Circuit     { return c.Append(gate.New(gate.I, q)) }
+func (c *Circuit) X(q int) *Circuit     { return c.Append(gate.New(gate.X, q)) }
+func (c *Circuit) Y(q int) *Circuit     { return c.Append(gate.New(gate.Y, q)) }
+func (c *Circuit) Z(q int) *Circuit     { return c.Append(gate.New(gate.Z, q)) }
+func (c *Circuit) H(q int) *Circuit     { return c.Append(gate.New(gate.H, q)) }
+func (c *Circuit) S(q int) *Circuit     { return c.Append(gate.New(gate.S, q)) }
+func (c *Circuit) Sdg(q int) *Circuit   { return c.Append(gate.New(gate.Sdg, q)) }
+func (c *Circuit) T(q int) *Circuit     { return c.Append(gate.New(gate.T, q)) }
+func (c *Circuit) Tdg(q int) *Circuit   { return c.Append(gate.New(gate.Tdg, q)) }
+func (c *Circuit) SX(q int) *Circuit    { return c.Append(gate.New(gate.SX, q)) }
+func (c *Circuit) Reset(q int) *Circuit { return c.Append(gate.New(gate.Reset, q)) }
+
+func (c *Circuit) RX(theta float64, q int) *Circuit {
+	return c.Append(gate.NewP(gate.RX, []float64{theta}, q))
+}
+func (c *Circuit) RY(theta float64, q int) *Circuit {
+	return c.Append(gate.NewP(gate.RY, []float64{theta}, q))
+}
+func (c *Circuit) RZ(theta float64, q int) *Circuit {
+	return c.Append(gate.NewP(gate.RZ, []float64{theta}, q))
+}
+func (c *Circuit) P(theta float64, q int) *Circuit {
+	return c.Append(gate.NewP(gate.P, []float64{theta}, q))
+}
+func (c *Circuit) U3(theta, phi, lambda float64, q int) *Circuit {
+	return c.Append(gate.NewP(gate.U3, []float64{theta, phi, lambda}, q))
+}
+
+func (c *Circuit) CX(ctrl, tgt int) *Circuit { return c.Append(gate.New(gate.CX, ctrl, tgt)) }
+func (c *Circuit) CY(ctrl, tgt int) *Circuit { return c.Append(gate.New(gate.CY, ctrl, tgt)) }
+func (c *Circuit) CZ(ctrl, tgt int) *Circuit { return c.Append(gate.New(gate.CZ, ctrl, tgt)) }
+func (c *Circuit) CH(ctrl, tgt int) *Circuit { return c.Append(gate.New(gate.CH, ctrl, tgt)) }
+func (c *Circuit) SWAP(a, b int) *Circuit    { return c.Append(gate.New(gate.SWAP, a, b)) }
+func (c *Circuit) ISWAP(a, b int) *Circuit   { return c.Append(gate.New(gate.ISWAP, a, b)) }
+func (c *Circuit) Barrier() *Circuit         { return c.Append(gate.New(gate.Barrier)) }
+func (c *Circuit) Measure(q int) *Circuit    { return c.Append(gate.New(gate.Measure, q)) }
+
+func (c *Circuit) CP(theta float64, ctrl, tgt int) *Circuit {
+	return c.Append(gate.NewP(gate.CP, []float64{theta}, ctrl, tgt))
+}
+func (c *Circuit) CRX(theta float64, ctrl, tgt int) *Circuit {
+	return c.Append(gate.NewP(gate.CRX, []float64{theta}, ctrl, tgt))
+}
+func (c *Circuit) CRY(theta float64, ctrl, tgt int) *Circuit {
+	return c.Append(gate.NewP(gate.CRY, []float64{theta}, ctrl, tgt))
+}
+func (c *Circuit) CRZ(theta float64, ctrl, tgt int) *Circuit {
+	return c.Append(gate.NewP(gate.CRZ, []float64{theta}, ctrl, tgt))
+}
+func (c *Circuit) RXX(theta float64, a, b int) *Circuit {
+	return c.Append(gate.NewP(gate.RXX, []float64{theta}, a, b))
+}
+func (c *Circuit) RYY(theta float64, a, b int) *Circuit {
+	return c.Append(gate.NewP(gate.RYY, []float64{theta}, a, b))
+}
+func (c *Circuit) RZZ(theta float64, a, b int) *Circuit {
+	return c.Append(gate.NewP(gate.RZZ, []float64{theta}, a, b))
+}
+
+// Stats summarizes circuit composition, the quantity tracked throughout
+// the paper's evaluation (Figures 1a, 3, 4).
+type Stats struct {
+	Total    int // unitary gates (markers excluded)
+	OneQubit int
+	TwoQubit int
+	Depth    int
+	ByKind   map[gate.Kind]int
+}
+
+// Stats computes gate counts and circuit depth. Depth counts unitary gates
+// only; barriers separate layers but contribute no depth themselves.
+func (c *Circuit) Stats() Stats {
+	s := Stats{ByKind: map[gate.Kind]int{}}
+	level := make([]int, c.NumQubits)
+	maxLevel := 0
+	for _, g := range c.Gates {
+		if g.Kind == gate.Barrier {
+			// Synchronize all qubits.
+			top := 0
+			for _, l := range level {
+				if l > top {
+					top = l
+				}
+			}
+			for i := range level {
+				level[i] = top
+			}
+			continue
+		}
+		if !g.IsUnitary() {
+			continue
+		}
+		s.Total++
+		s.ByKind[g.Kind]++
+		switch g.Arity() {
+		case 1:
+			s.OneQubit++
+		case 2:
+			s.TwoQubit++
+		}
+		top := 0
+		for _, q := range g.Qubits {
+			if level[q] > top {
+				top = level[q]
+			}
+		}
+		top++
+		for _, q := range g.Qubits {
+			level[q] = top
+		}
+		if top > maxLevel {
+			maxLevel = top
+		}
+	}
+	s.Depth = maxLevel
+	return s
+}
+
+// GateCount returns the number of unitary gates.
+func (c *Circuit) GateCount() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.IsUnitary() {
+			n++
+		}
+	}
+	return n
+}
+
+// ParameterCount returns the number of scalar rotation parameters.
+func (c *Circuit) ParameterCount() int {
+	n := 0
+	for _, g := range c.Gates {
+		n += len(g.Params)
+	}
+	return n
+}
+
+// String renders the circuit one gate per line (QASM-lite body).
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "qreg q[%d]\n", c.NumQubits)
+	for _, g := range c.Gates {
+		b.WriteString(g.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

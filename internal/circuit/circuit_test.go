@@ -1,0 +1,168 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+)
+
+func TestAppendValidation(t *testing.T) {
+	c := New(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range qubit accepted")
+			}
+		}()
+		c.X(2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate qubits accepted")
+			}
+		}()
+		c.CX(1, 1)
+	}()
+}
+
+func TestBuilderChaining(t *testing.T) {
+	c := New(3).H(0).CX(0, 1).CX(1, 2).RZ(0.5, 2)
+	if c.GateCount() != 4 {
+		t.Errorf("gate count %d", c.GateCount())
+	}
+	if c.ParameterCount() != 1 {
+		t.Errorf("param count %d", c.ParameterCount())
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(3).H(0).H(1).CX(0, 1).CX(1, 2).X(2).Barrier().Z(0)
+	s := c.Stats()
+	if s.Total != 6 || s.OneQubit != 4 || s.TwoQubit != 2 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.ByKind[gate.H] != 2 || s.ByKind[gate.CX] != 2 {
+		t.Errorf("by-kind %v", s.ByKind)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	// H(0) and H(1) are parallel (depth 1); CX makes depth 2; X(0) depth 3.
+	c := New(2).H(0).H(1).CX(0, 1).X(0)
+	if d := c.Stats().Depth; d != 3 {
+		t.Errorf("depth %d, want 3", d)
+	}
+	// Barrier forces synchronization.
+	c2 := New(2).H(0).Barrier().H(1)
+	if d := c2.Stats().Depth; d != 2 {
+		t.Errorf("depth with barrier %d, want 2", d)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := New(1).RX(0.5, 0)
+	c2 := c.Clone()
+	c2.Gates[0].Params[0] = 99
+	if c.Gates[0].Params[0] != 0.5 {
+		t.Error("clone shares parameter storage")
+	}
+}
+
+func TestComposeWidthCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("compose with wider circuit accepted")
+		}
+	}()
+	New(1).Compose(New(2).X(1))
+}
+
+func TestEmbedGateSingleQubit(t *testing.T) {
+	// X on qubit 1 of 2: |00⟩ → |10⟩ (qubit 1 is bit 1, index 2).
+	m := EmbedGate(gate.New(gate.X, 1), 2)
+	v := make([]complex128, 4)
+	v[0] = 1
+	out := m.MulVec(v)
+	if out[2] != 1 {
+		t.Errorf("X⊗I embedding wrong: %v", out)
+	}
+}
+
+func TestEmbedGateMatchesKron(t *testing.T) {
+	// For qubit 0 (low bit) of 2 qubits, embedding of U is I ⊗ U.
+	u := gate.New(gate.H, 0).Matrix2()
+	got := EmbedGate(gate.New(gate.H, 0), 2)
+	want := linalg.Identity(2).Kron(u)
+	if !got.Equal(want, 1e-12) {
+		t.Error("embedding ≠ I⊗H for qubit 0")
+	}
+	// For qubit 1 (high bit), it is U ⊗ I.
+	got = EmbedGate(gate.New(gate.H, 1), 2)
+	want = u.Kron(linalg.Identity(2))
+	if !got.Equal(want, 1e-12) {
+		t.Error("embedding ≠ H⊗I for qubit 1")
+	}
+}
+
+func TestEmbedCXBothOrders(t *testing.T) {
+	// CX(0,1): control=qubit0(low bit), target=qubit1.
+	m := EmbedGate(gate.New(gate.CX, 0, 1), 2)
+	// |01⟩ = index 1 (qubit0=1) → target flips → |11⟩ = index 3.
+	v := make([]complex128, 4)
+	v[1] = 1
+	if out := m.MulVec(v); out[3] != 1 {
+		t.Errorf("CX(0,1)|01⟩: %v", out)
+	}
+	// CX(1,0): control=qubit1.
+	m = EmbedGate(gate.New(gate.CX, 1, 0), 2)
+	v = make([]complex128, 4)
+	v[2] = 1 // qubit1=1
+	if out := m.MulVec(v); out[3] != 1 {
+		t.Errorf("CX(1,0)|10⟩: %v", out)
+	}
+}
+
+func TestBellCircuitUnitary(t *testing.T) {
+	c := New(2).H(0).CX(0, 1)
+	u := c.Unitary()
+	v := make([]complex128, 4)
+	v[0] = 1
+	out := u.MulVec(v)
+	s := 1 / math.Sqrt2
+	if !core.AlmostEqualC(out[0], complex(s, 0), 1e-12) || !core.AlmostEqualC(out[3], complex(s, 0), 1e-12) {
+		t.Errorf("Bell state wrong: %v", out)
+	}
+	if !core.AlmostEqualC(out[1], 0, 1e-12) || !core.AlmostEqualC(out[2], 0, 1e-12) {
+		t.Errorf("Bell state has spurious amplitudes: %v", out)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	c := New(3).H(0).CX(0, 1).RZ(0.7, 1).RY(-0.3, 2).CX(1, 2).T(0).SWAP(0, 2)
+	inv := c.Inverse()
+	prod := inv.Unitary().Mul(c.Unitary())
+	if !prod.EqualUpToPhase(linalg.Identity(8), 1e-10) {
+		t.Error("C⁻¹·C != I")
+	}
+}
+
+func TestInversePanicsOnMeasure(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic inverting measurement")
+		}
+	}()
+	New(1).Measure(0).Inverse()
+}
+
+func TestStringOutput(t *testing.T) {
+	s := New(2).H(0).CX(0, 1).String()
+	want := "qreg q[2]\nh q[0]\ncx q[0], q[1]\n"
+	if s != want {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,81 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+)
+
+// Controlled compiles a controlled version of a circuit: every gate fires
+// only when the control qubit is |1⟩. The output acts on the same register
+// plus the control wire (which must be outside the circuit's range).
+// Single-qubit gates become fused controlled 2-qubit blocks; the common
+// two-qubit gates lower onto the Toffoli-family synthesis. Gates without a
+// controlled form (measurement, reset) are rejected.
+//
+// This is the building block of Hadamard tests and of textbook QPE over
+// arbitrary preparation circuits.
+func Controlled(c *Circuit, ctrl int) (*Circuit, error) {
+	n := c.NumQubits
+	if ctrl < n {
+		return nil, fmt.Errorf("%w: control %d overlaps the %d-qubit register", core.ErrInvalidArgument, ctrl, n)
+	}
+	out := New(ctrl + 1)
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case gate.Barrier, gate.I:
+			out.Append(g.Clone())
+			continue
+		case gate.Measure, gate.Reset:
+			return nil, fmt.Errorf("%w: cannot control %v", core.ErrInvalidArgument, g.Kind)
+		}
+		switch g.Arity() {
+		case 1:
+			// Controlled-U as a fused 4×4 block: |0⟩⟨0|⊗I + |1⟩⟨1|⊗U with
+			// the control as the high local bit.
+			u := g.Matrix2()
+			m := linalg.Identity(4)
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 2; j++ {
+					m.Set(2+i, 2+j, u.At(i, j))
+				}
+			}
+			out.Append(gate.Gate{Kind: gate.Fused2Q, Qubits: []int{ctrl, g.Qubits[0]}, Matrix: m})
+		case 2:
+			a, b := g.Qubits[0], g.Qubits[1]
+			switch g.Kind {
+			case gate.CX:
+				out.CCX(ctrl, a, b)
+			case gate.CZ:
+				out.CCZ(ctrl, a, b)
+			case gate.SWAP:
+				out.CSWAP(ctrl, a, b)
+			case gate.CP:
+				out.MCPhase(g.Params[0], []int{ctrl, a}, b)
+			case gate.CRZ:
+				// CRZ(θ; a→b) = RZ(θ/2)_b · CX_{ab} · RZ(−θ/2)_b · CX_{ab};
+				// controlling only the RZ halves keeps identity at ctrl=0
+				// (the CX pair cancels) and yields CRZ(θ) at ctrl=1.
+				out.CRZ(g.Params[0]/2, ctrl, b)
+				out.CX(a, b)
+				out.CRZ(-g.Params[0]/2, ctrl, b)
+				out.CX(a, b)
+			case gate.RZZ:
+				// RZZ(θ) = CX(a,b)·RZ(θ,b)·CX(a,b): control the middle RZ
+				// (the CX pair is self-inverse when the control is |0⟩ —
+				// but CX must also fire unconditionally; controlling only
+				// RZ keeps the identity when ctrl=|0⟩).
+				out.CX(a, b)
+				out.CRZ(g.Params[0], ctrl, b)
+				out.CX(a, b)
+			default:
+				return nil, fmt.Errorf("%w: no controlled form for %v", core.ErrInvalidArgument, g.Kind)
+			}
+		default:
+			return nil, fmt.Errorf("%w: arity %d", core.ErrInvalidArgument, g.Arity())
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/linalg"
+)
+
+// controlledReference builds the exact controlled unitary |0⟩⟨0|⊗I +
+// |1⟩⟨1|⊗U with the control as the top qubit.
+func controlledReference(c *Circuit, ctrl int) *linalg.Matrix {
+	u := c.Unitary()
+	dim := u.Rows
+	out := linalg.NewMatrix(2*dim, 2*dim)
+	for i := 0; i < dim; i++ {
+		out.Set(i, i, 1)
+		for j := 0; j < dim; j++ {
+			out.Set(dim+i, dim+j, u.At(i, j))
+		}
+	}
+	_ = ctrl
+	return out
+}
+
+func assertControlled(t *testing.T, c *Circuit) {
+	t.Helper()
+	ctrl := c.NumQubits
+	cc, err := Controlled(c, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cc.Unitary()
+	want := controlledReference(c, ctrl)
+	if !got.EqualUpToPhase(want, 1e-9) {
+		t.Fatalf("controlled circuit wrong for:\n%s", c)
+	}
+}
+
+func TestControlledSingleQubitGates(t *testing.T) {
+	assertControlled(t, New(1).H(0))
+	assertControlled(t, New(1).RY(0.7, 0).T(0))
+	assertControlled(t, New(2).X(0).RZ(0.3, 1))
+}
+
+func TestControlledTwoQubitGates(t *testing.T) {
+	assertControlled(t, New(2).CX(0, 1))
+	assertControlled(t, New(2).CZ(0, 1))
+	assertControlled(t, New(2).SWAP(0, 1))
+	assertControlled(t, New(2).CP(0.9, 0, 1))
+	assertControlled(t, New(2).CRZ(1.3, 0, 1))
+	assertControlled(t, New(2).RZZ(0.5, 0, 1))
+}
+
+func TestControlledCompositeCircuit(t *testing.T) {
+	// A Bell preparation under control: fires only when ctrl = |1⟩.
+	assertControlled(t, New(2).H(0).CX(0, 1).RZ(0.4, 1).CX(0, 1).H(0))
+}
+
+func TestControlledRejectsBadInput(t *testing.T) {
+	if _, err := Controlled(New(2).H(0), 1); err == nil {
+		t.Error("overlapping control accepted")
+	}
+	if _, err := Controlled(New(1).Measure(0), 1); err == nil {
+		t.Error("measurement accepted")
+	}
+	if _, err := Controlled(New(2).ISWAP(0, 1), 2); err == nil {
+		t.Error("unsupported 2q kind accepted")
+	}
+}
+
+func TestControlledPreservesBarrier(t *testing.T) {
+	cc, err := Controlled(New(1).H(0).Barrier().H(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, g := range cc.Gates {
+		if g.Kind == gate.Barrier {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("barrier dropped")
+	}
+}
+
+func TestHadamardTestRealOverlap(t *testing.T) {
+	// Hadamard test: ancilla ⟨Z⟩ = Re⟨ψ|U|ψ⟩. Prepare |ψ⟩ = H|0⟩ and
+	// U = RZ(θ): Re⟨+|RZ(θ)|+⟩ = cos(θ/2).
+	theta := 0.87
+	u := New(1).RZ(theta, 0)
+	cu, err := Controlled(u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := New(2).H(0). // prepare |ψ⟩ on qubit 0
+				H(1). // ancilla superposition
+				Compose(cu)
+	full.H(1)
+	m := full.Unitary()
+	v := make([]complex128, 4)
+	v[0] = 1
+	out := m.MulVec(v)
+	// ⟨Z⟩ on ancilla (qubit 1): P(anc=0) − P(anc=1).
+	p0 := cabs2(out[0]) + cabs2(out[1])
+	p1 := cabs2(out[2]) + cabs2(out[3])
+	want := math.Cos(theta / 2)
+	if diff := p0 - p1 - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Hadamard test ⟨Z⟩ = %v, want %v", p0-p1, want)
+	}
+}
+
+func cabs2(c complex128) float64 { return real(c)*real(c) + imag(c)*imag(c) }
+
+func TestControlledWidthGuard(t *testing.T) {
+	c := New(2).H(0)
+	cc, err := Controlled(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.NumQubits != 6 {
+		t.Errorf("width %d, want 6", cc.NumQubits)
+	}
+}

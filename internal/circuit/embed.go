@@ -1,0 +1,70 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+)
+
+// EmbedGate expands a 1- or 2-qubit gate into the full 2ⁿ×2ⁿ unitary.
+// This is a reference implementation used by tests and the dense-matrix
+// cross-checks; the simulation backends never materialize these matrices.
+func EmbedGate(g gate.Gate, n int) *linalg.Matrix {
+	dim := core.Dim(n)
+	m := linalg.NewMatrix(dim, dim)
+	switch g.Arity() {
+	case 1:
+		u := g.Matrix2()
+		q := g.Qubits[0]
+		for rest := uint64(0); rest < uint64(dim/2); rest++ {
+			i0 := core.InsertZeroBit(rest, q)
+			i1 := core.FlipBit(i0, q)
+			m.Set(int(i0), int(i0), u.At(0, 0))
+			m.Set(int(i0), int(i1), u.At(0, 1))
+			m.Set(int(i1), int(i0), u.At(1, 0))
+			m.Set(int(i1), int(i1), u.At(1, 1))
+		}
+	case 2:
+		u := g.Matrix4()
+		a, b := g.Qubits[0], g.Qubits[1] // a = high bit of sub-index
+		for rest := uint64(0); rest < uint64(dim/4); rest++ {
+			base := core.InsertTwoZeroBits(rest, a, b)
+			var idx [4]uint64
+			for s := 0; s < 4; s++ {
+				x := base
+				x = core.SetBit(x, a, s&2 != 0)
+				x = core.SetBit(x, b, s&1 != 0)
+				idx[s] = x
+			}
+			for r := 0; r < 4; r++ {
+				for col := 0; col < 4; col++ {
+					if v := u.At(r, col); v != 0 {
+						m.Set(int(idx[r]), int(idx[col]), v)
+					}
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("circuit: EmbedGate arity %d", g.Arity()))
+	}
+	return m
+}
+
+// Unitary returns the full unitary of the circuit (unitary gates only;
+// barriers are skipped, measurement markers cause a panic). Exponential in
+// qubit count — for verification on small circuits only.
+func (c *Circuit) Unitary() *linalg.Matrix {
+	u := linalg.Identity(core.Dim(c.NumQubits))
+	for _, g := range c.Gates {
+		if g.Kind == gate.Barrier {
+			continue
+		}
+		if !g.IsUnitary() {
+			panic(fmt.Errorf("%w: Unitary() on circuit with %v", core.ErrInvalidArgument, g.Kind))
+		}
+		u = EmbedGate(g, c.NumQubits).Mul(u)
+	}
+	return u
+}

@@ -1,0 +1,160 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gate"
+)
+
+// This file implements connectivity-aware routing onto a linear-chain
+// topology (qubits i and i+1 coupled): the qubit-mapping problem of the
+// paper's related work (Sabre, Siraichi et al.). Two-qubit gates between
+// distant qubits are preceded by SWAP chains that move the operands
+// adjacent; the logical→physical mapping evolves as SWAPs are inserted.
+
+// RouteResult is a routed circuit plus its bookkeeping.
+type RouteResult struct {
+	// Routed is the circuit over physical qubits; every 2-qubit gate acts
+	// on neighbouring wires.
+	Routed *Circuit
+	// FinalPosition[logical] = physical wire holding that logical qubit
+	// at the end of the circuit.
+	FinalPosition []int
+	// SwapsInserted counts routing SWAP gates added.
+	SwapsInserted int
+}
+
+// RouteLinear maps the circuit onto a nearest-neighbour chain. The
+// returned circuit computes P·U where U is the original unitary and P the
+// wire permutation described by FinalPosition; use UndoPermutation to
+// restore wire order when needed.
+func RouteLinear(c *Circuit) (*RouteResult, error) {
+	n := c.NumQubits
+	pos := make([]int, n)  // logical → physical
+	wire := make([]int, n) // physical → logical
+	for i := range pos {
+		pos[i] = i
+		wire[i] = i
+	}
+	out := New(n)
+	swaps := 0
+
+	swapPhys := func(p int) { // swap physical wires p, p+1
+		out.SWAP(p, p+1)
+		la, lb := wire[p], wire[p+1]
+		wire[p], wire[p+1] = lb, la
+		pos[la], pos[lb] = p+1, p
+		swaps++
+	}
+
+	for _, g := range c.Gates {
+		switch g.Arity() {
+		case 0:
+			out.Append(g.Clone())
+		case 1:
+			ng := g.Clone()
+			ng.Qubits[0] = pos[g.Qubits[0]]
+			out.Append(ng)
+		case 2:
+			pa, pb := pos[g.Qubits[0]], pos[g.Qubits[1]]
+			// Walk the farther operand toward the nearer one.
+			for pa < pb-1 {
+				swapPhys(pa)
+				pa++
+			}
+			for pa > pb+1 {
+				swapPhys(pa - 1)
+				pa--
+			}
+			ng := g.Clone()
+			ng.Qubits[0] = pa
+			ng.Qubits[1] = pb
+			out.Append(ng)
+		default:
+			return nil, fmt.Errorf("%w: cannot route %d-qubit gate", core.ErrInvalidArgument, g.Arity())
+		}
+	}
+	return &RouteResult{Routed: out, FinalPosition: pos, SwapsInserted: swaps}, nil
+}
+
+// UndoPermutation appends SWAPs restoring logical qubit i to wire i, so
+// the total circuit equals the original unitary exactly.
+func (r *RouteResult) UndoPermutation() *Circuit {
+	c := r.Routed.Clone()
+	pos := append([]int(nil), r.FinalPosition...)
+	wire := make([]int, len(pos))
+	for l, p := range pos {
+		wire[p] = l
+	}
+	// Selection-sort the wires with adjacent swaps.
+	for target := 0; target < len(pos); target++ {
+		p := pos[target]
+		for p > target {
+			c.SWAP(p-1, p)
+			la, lb := wire[p-1], wire[p]
+			wire[p-1], wire[p] = lb, la
+			pos[la], pos[lb] = p, p-1
+			p--
+		}
+	}
+	return c
+}
+
+// IsLinear reports whether every multi-qubit gate in the circuit acts on
+// adjacent wires (the routing post-condition).
+func IsLinear(c *Circuit) bool {
+	for _, g := range c.Gates {
+		if g.Arity() == 2 {
+			d := g.Qubits[0] - g.Qubits[1]
+			if d != 1 && d != -1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SwapOverhead estimates routing cost without materializing the result:
+// the number of SWAPs RouteLinear would insert.
+func SwapOverhead(c *Circuit) int {
+	n := c.NumQubits
+	pos := make([]int, n)
+	wire := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+		wire[i] = i
+	}
+	swaps := 0
+	move := func(p int) {
+		la, lb := wire[p], wire[p+1]
+		wire[p], wire[p+1] = lb, la
+		pos[la], pos[lb] = p+1, p
+		swaps++
+	}
+	for _, g := range c.Gates {
+		if g.Arity() != 2 {
+			continue
+		}
+		pa, pb := pos[g.Qubits[0]], pos[g.Qubits[1]]
+		for pa < pb-1 {
+			move(pa)
+			pa++
+		}
+		for pa > pb+1 {
+			move(pa - 1)
+			pa--
+		}
+	}
+	return swaps
+}
+
+// gateTouchesQubit is a small helper used by routing tests.
+func gateTouchesQubit(g gate.Gate, q int) bool {
+	for _, x := range g.Qubits {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package circuit
+
+import (
+	"testing"
+
+	"repro/internal/gate"
+)
+
+func TestRouteLinearAdjacentGatesUntouched(t *testing.T) {
+	c := New(4).H(0).CX(0, 1).CX(2, 3).CX(1, 2)
+	res, err := RouteLinear(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted != 0 {
+		t.Errorf("inserted %d swaps for an already-linear circuit", res.SwapsInserted)
+	}
+	if !IsLinear(res.Routed) {
+		t.Error("output not linear")
+	}
+}
+
+func TestRouteLinearLongRangeGate(t *testing.T) {
+	c := New(5).CX(0, 4)
+	res, err := RouteLinear(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsLinear(res.Routed) {
+		t.Fatal("output not linear")
+	}
+	if res.SwapsInserted != 3 {
+		t.Errorf("swaps %d, want 3 (distance 4 → 3 moves)", res.SwapsInserted)
+	}
+}
+
+func TestRouteLinearSemanticsWithUndo(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		c := randomCircuit(5, 20, seed+100)
+		res, err := RouteLinear(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsLinear(res.Routed) {
+			t.Fatal("not linear")
+		}
+		restored := res.UndoPermutation()
+		if !restored.Unitary().EqualUpToPhase(c.Unitary(), 1e-9) {
+			t.Fatalf("seed %d: routed+undo circuit differs from original", seed)
+		}
+	}
+}
+
+func TestRouteLinearPositionsConsistent(t *testing.T) {
+	c := New(4).CX(0, 3).CX(1, 3).CX(0, 2)
+	res, err := RouteLinear(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, p := range res.FinalPosition {
+		if p < 0 || p >= 4 || seen[p] {
+			t.Fatalf("FinalPosition not a permutation: %v", res.FinalPosition)
+		}
+		seen[p] = true
+	}
+}
+
+func TestRouteLinearPreservesMeasure(t *testing.T) {
+	c := New(3).H(0).CX(0, 2).Measure(0)
+	res, err := RouteLinear(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, g := range res.Routed.Gates {
+		if g.Kind == gate.Measure {
+			found = true
+			// Measurement follows the logical qubit to its physical wire.
+			if g.Qubits[0] != res.FinalPosition[0] && !gateTouchesQubit(g, res.FinalPosition[0]) {
+				t.Errorf("measure on wire %d, logical 0 at %d", g.Qubits[0], res.FinalPosition[0])
+			}
+		}
+	}
+	if !found {
+		t.Error("measurement dropped")
+	}
+}
+
+func TestSwapOverheadMatchesRouter(t *testing.T) {
+	for seed := uint64(20); seed <= 24; seed++ {
+		c := randomCircuit(6, 25, seed)
+		res, err := RouteLinear(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est := SwapOverhead(c); est != res.SwapsInserted {
+			t.Errorf("seed %d: estimate %d vs actual %d", seed, est, res.SwapsInserted)
+		}
+	}
+}
+
+func TestSwapOverheadGrowsWithRange(t *testing.T) {
+	short := New(6).CX(0, 1)
+	long := New(6).CX(0, 5)
+	if SwapOverhead(long) <= SwapOverhead(short) {
+		t.Error("long-range gate should cost more")
+	}
+}
+
+func TestRouteLinearBarrier(t *testing.T) {
+	c := New(3).H(0).Barrier().CX(0, 2)
+	res, err := RouteLinear(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasBarrier := false
+	for _, g := range res.Routed.Gates {
+		if g.Kind == gate.Barrier {
+			hasBarrier = true
+		}
+	}
+	if !hasBarrier {
+		t.Error("barrier dropped")
+	}
+}

@@ -1,0 +1,87 @@
+package circuit
+
+import "math"
+
+// Multi-qubit gate synthesis over the native 1- and 2-qubit gate set. The
+// simulator (like NWQ-Sim) executes only 1q/2q gates, so three-qubit-and-
+// wider primitives are compiled here: the textbook Toffoli decomposition,
+// Fredkin via Toffoli, and exact ancilla-free multi-controlled phase/X by
+// the standard recursive halving (gate count grows exponentially in the
+// control count — intended for small k).
+
+// CCX appends a Toffoli gate (controls a, b; target t) using the standard
+// 6-CNOT + 7-T decomposition (Nielsen & Chuang Fig. 4.9).
+func (c *Circuit) CCX(a, b, t int) *Circuit {
+	c.H(t)
+	c.CX(b, t)
+	c.Tdg(t)
+	c.CX(a, t)
+	c.T(t)
+	c.CX(b, t)
+	c.Tdg(t)
+	c.CX(a, t)
+	c.T(b)
+	c.T(t)
+	c.H(t)
+	c.CX(a, b)
+	c.T(a)
+	c.Tdg(b)
+	c.CX(a, b)
+	return c
+}
+
+// CCZ appends a doubly-controlled Z (symmetric in all three qubits).
+func (c *Circuit) CCZ(a, b, t int) *Circuit {
+	c.H(t)
+	c.CCX(a, b, t)
+	c.H(t)
+	return c
+}
+
+// CSWAP appends a controlled-SWAP (Fredkin) gate with control ctrl.
+func (c *Circuit) CSWAP(ctrl, x, y int) *Circuit {
+	c.CX(y, x)
+	c.CCX(ctrl, x, y)
+	c.CX(y, x)
+	return c
+}
+
+// MCPhase appends the multi-controlled phase gate C^k P(θ): the state
+// acquires e^{iθ} iff every control and the target are |1⟩. Recursion:
+//
+//	C^k P(θ) = CP(θ/2; c_k → t) · C^{k−1}X(c₁…c_{k−1} → c_k) ·
+//	           CP(−θ/2; c_k → t) · C^{k−1}X(…) · C^{k−1}P(θ/2; c₁… → t)
+func (c *Circuit) MCPhase(theta float64, controls []int, target int) *Circuit {
+	switch len(controls) {
+	case 0:
+		c.P(theta, target)
+	case 1:
+		c.CP(theta, controls[0], target)
+	default:
+		last := controls[len(controls)-1]
+		rest := controls[:len(controls)-1]
+		c.CP(theta/2, last, target)
+		c.MCX(rest, last)
+		c.CP(-theta/2, last, target)
+		c.MCX(rest, last)
+		c.MCPhase(theta/2, rest, target)
+	}
+	return c
+}
+
+// MCX appends a multi-controlled X: X on target iff all controls are |1⟩.
+func (c *Circuit) MCX(controls []int, target int) *Circuit {
+	switch len(controls) {
+	case 0:
+		c.X(target)
+	case 1:
+		c.CX(controls[0], target)
+	case 2:
+		c.CCX(controls[0], controls[1], target)
+	default:
+		c.H(target)
+		c.MCPhase(math.Pi, controls, target)
+		c.H(target)
+	}
+	return c
+}

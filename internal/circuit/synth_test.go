@@ -1,0 +1,150 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+)
+
+// permutationMatrix builds the dim×dim unitary of a classical bit map.
+func permutationMatrix(dim int, f func(uint64) uint64) *linalg.Matrix {
+	m := linalg.NewMatrix(dim, dim)
+	for i := 0; i < dim; i++ {
+		m.Set(int(f(uint64(i))), i, 1)
+	}
+	return m
+}
+
+func TestCCXMatchesToffoli(t *testing.T) {
+	for _, order := range [][3]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}} {
+		a, b, tq := order[0], order[1], order[2]
+		c := New(3).CCX(a, b, tq)
+		want := permutationMatrix(8, func(x uint64) uint64 {
+			if core.BitSet(x, a) && core.BitSet(x, b) {
+				return core.FlipBit(x, tq)
+			}
+			return x
+		})
+		if !c.Unitary().EqualUpToPhase(want, 1e-10) {
+			t.Errorf("CCX(%d,%d,%d) wrong", a, b, tq)
+		}
+	}
+}
+
+func TestCCXGateBudget(t *testing.T) {
+	c := New(3).CCX(0, 1, 2)
+	st := c.Stats()
+	if st.TwoQubit != 6 {
+		t.Errorf("Toffoli uses %d CNOTs, want 6", st.TwoQubit)
+	}
+}
+
+func TestCCZSymmetric(t *testing.T) {
+	// CCZ must be invariant under any qubit permutation.
+	u1 := New(3).CCZ(0, 1, 2).Unitary()
+	u2 := New(3).CCZ(2, 0, 1).Unitary()
+	if !u1.EqualUpToPhase(u2, 1e-10) {
+		t.Error("CCZ not permutation symmetric")
+	}
+	// Diagonal with a single −1 at |111⟩.
+	for i := 0; i < 8; i++ {
+		want := complex(1, 0)
+		if i == 7 {
+			want = -1
+		}
+		if !core.AlmostEqualC(u1.At(i, i)/u1.At(0, 0), want, 1e-10) {
+			t.Errorf("CCZ diag[%d] = %v", i, u1.At(i, i))
+		}
+	}
+}
+
+func TestCSWAPMatchesFredkin(t *testing.T) {
+	c := New(3).CSWAP(2, 0, 1)
+	want := permutationMatrix(8, func(x uint64) uint64 {
+		if !core.BitSet(x, 2) {
+			return x
+		}
+		b0, b1 := core.BitSet(x, 0), core.BitSet(x, 1)
+		x = core.SetBit(x, 0, b1)
+		return core.SetBit(x, 1, b0)
+	})
+	if !c.Unitary().EqualUpToPhase(want, 1e-10) {
+		t.Error("CSWAP wrong")
+	}
+}
+
+func TestMCXUpToFourControls(t *testing.T) {
+	for k := 0; k <= 4; k++ {
+		n := k + 1
+		controls := make([]int, k)
+		for i := range controls {
+			controls[i] = i
+		}
+		target := k
+		c := New(n).MCX(controls, target)
+		mask := uint64(1)<<uint(k) - 1
+		want := permutationMatrix(1<<uint(n), func(x uint64) uint64 {
+			if x&mask == mask {
+				return core.FlipBit(x, target)
+			}
+			return x
+		})
+		if !c.Unitary().EqualUpToPhase(want, 1e-9) {
+			t.Errorf("MCX with %d controls wrong", k)
+		}
+	}
+}
+
+func TestMCPhaseDiagonal(t *testing.T) {
+	theta := 0.731
+	controls := []int{0, 1, 2}
+	c := New(4).MCPhase(theta, controls, 3)
+	u := c.Unitary()
+	for i := 0; i < 16; i++ {
+		want := complex(1, 0)
+		if i == 15 { // all qubits |1⟩
+			want = cmplx.Exp(complex(0, theta))
+		}
+		got := u.At(i, i) / u.At(0, 0)
+		if !core.AlmostEqualC(got, want, 1e-9) {
+			t.Errorf("MCPhase diag[%d] = %v, want %v", i, got, want)
+		}
+		// Off-diagonals vanish.
+		for j := 0; j < 16; j++ {
+			if j != i && cmplx.Abs(u.At(i, j)) > 1e-9 {
+				t.Fatalf("MCPhase not diagonal at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSwapTestCircuit(t *testing.T) {
+	// SWAP test: ancilla P(0) = ½(1 + |⟨ψ|φ⟩|²). Build |ψ⟩ = RY(α)|0⟩ and
+	// |φ⟩ = RY(β)|0⟩; overlap = cos((α−β)/2).
+	for _, angles := range [][2]float64{{0, 0}, {0.8, 0.8}, {0, math.Pi}, {0.4, 1.3}} {
+		alpha, beta := angles[0], angles[1]
+		// Qubits: 0 = |ψ⟩, 1 = |φ⟩, 2 = ancilla.
+		c := New(3).
+			RY(alpha, 0).
+			RY(beta, 1).
+			H(2).
+			CSWAP(2, 0, 1).
+			H(2)
+		u := c.Unitary()
+		v := make([]complex128, 8)
+		v[0] = 1
+		out := u.MulVec(v)
+		p0 := 0.0
+		for i := 0; i < 4; i++ { // ancilla (bit 2) = 0
+			p0 += real(out[i])*real(out[i]) + imag(out[i])*imag(out[i])
+		}
+		overlap := math.Cos((alpha - beta) / 2)
+		want := 0.5 * (1 + overlap*overlap)
+		if math.Abs(p0-want) > 1e-9 {
+			t.Errorf("α=%v β=%v: P(0) = %v, want %v", alpha, beta, p0, want)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package cluster implements a rank-partitioned state-vector backend that
+// simulates NWQ-Sim's multi-node (PGAS / SV-Sim) execution model in a
+// single process. The 2ⁿ amplitudes are split across R = 2ʳ ranks; the
+// low n−r qubits are "local" (gates touch only a rank's own block) and the
+// high r qubits are "global" (gates require pairwise block exchange, the
+// analogue of NVSHMEM/MPI communication on Perlmutter). Communication
+// volume is tracked so the benchmarks can report the local/global gate
+// cost asymmetry that dominates multi-node scaling.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+	"repro/internal/state"
+)
+
+// CommStats records simulated inter-rank traffic.
+type CommStats struct {
+	Messages         int    // block transfers between rank pairs
+	BytesTransferred uint64 // total payload
+	LocalGates       int    // gates applied without communication
+	GlobalGates      int    // gates requiring exchange
+	QubitSwaps       int    // local/global remap operations
+}
+
+// Cluster is a distributed state vector.
+type Cluster struct {
+	n       int // total qubits
+	rankLog int // log2(ranks)
+	localN  int // local qubits per rank = n - rankLog
+	blocks  [][]complex128
+	workers int
+	stats   CommStats
+	statsMu sync.Mutex
+}
+
+// New creates an n-qubit cluster state |0…0⟩ over numRanks ranks
+// (numRanks must be a power of two, ≤ 2ⁿ⁻²  so that at least two local
+// qubits exist for two-qubit gate remapping).
+func New(n, numRanks int) (*Cluster, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: need ≥2 qubits", core.ErrInvalidArgument)
+	}
+	if numRanks < 1 || numRanks&(numRanks-1) != 0 {
+		return nil, fmt.Errorf("%w: ranks %d not a power of two", core.ErrInvalidArgument, numRanks)
+	}
+	rankLog := bits.TrailingZeros(uint(numRanks))
+	if rankLog > n-2 {
+		return nil, fmt.Errorf("%w: %d ranks leave <2 local qubits of %d", core.ErrInvalidArgument, numRanks, n)
+	}
+	localDim := 1 << uint(n-rankLog)
+	c := &Cluster{n: n, rankLog: rankLog, localN: n - rankLog, workers: numRanks}
+	c.blocks = make([][]complex128, numRanks)
+	for r := range c.blocks {
+		c.blocks[r] = make([]complex128, localDim)
+	}
+	c.blocks[0][0] = 1
+	return c, nil
+}
+
+// NumQubits returns the register width.
+func (c *Cluster) NumQubits() int { return c.n }
+
+// NumRanks returns the rank count.
+func (c *Cluster) NumRanks() int { return len(c.blocks) }
+
+// Stats returns the communication counters.
+func (c *Cluster) Stats() CommStats { return c.stats }
+
+// isLocal reports whether qubit q lives inside each rank's block.
+func (c *Cluster) isLocal(q int) bool { return q < c.localN }
+
+// eachRank runs body(rank) concurrently over all ranks.
+func (c *Cluster) eachRank(body func(r int)) {
+	var wg sync.WaitGroup
+	for r := range c.blocks {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			body(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// eachRankPair runs body over all rank pairs differing in globalBit.
+func (c *Cluster) eachRankPair(globalBit int, body func(r0, r1 int)) {
+	var wg sync.WaitGroup
+	bit := 1 << uint(globalBit)
+	for r := range c.blocks {
+		if r&bit != 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(r0 int) {
+			defer wg.Done()
+			body(r0, r0|bit)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func (c *Cluster) addComm(messages int, bytes uint64) {
+	c.statsMu.Lock()
+	c.stats.Messages += messages
+	c.stats.BytesTransferred += bytes
+	c.statsMu.Unlock()
+}
+
+// apply1QLocal applies a 2×2 matrix to a local qubit: embarrassingly
+// parallel across ranks.
+func (c *Cluster) apply1QLocal(u *linalg.Matrix, q int) {
+	u00, u01, u10, u11 := u.At(0, 0), u.At(0, 1), u.At(1, 0), u.At(1, 1)
+	half := uint64(len(c.blocks[0]) / 2)
+	c.eachRank(func(r int) {
+		blk := c.blocks[r]
+		for rest := uint64(0); rest < half; rest++ {
+			i0 := core.InsertZeroBit(rest, q)
+			i1 := i0 | 1<<uint(q)
+			a0, a1 := blk[i0], blk[i1]
+			blk[i0] = u00*a0 + u01*a1
+			blk[i1] = u10*a0 + u11*a1
+		}
+	})
+	c.stats.LocalGates++
+}
+
+// apply1QGlobal applies a 2×2 matrix to a global qubit: every rank pair
+// exchanges its full block (the SV-Sim all-pairs pattern).
+func (c *Cluster) apply1QGlobal(u *linalg.Matrix, q int) {
+	u00, u01, u10, u11 := u.At(0, 0), u.At(0, 1), u.At(1, 0), u.At(1, 1)
+	gbit := q - c.localN
+	blockBytes := uint64(len(c.blocks[0])) * state.BytesPerAmp
+	c.eachRankPair(gbit, func(r0, r1 int) {
+		b0, b1 := c.blocks[r0], c.blocks[r1]
+		// "Receive" the partner block (simulated transfer), then update.
+		for i := range b0 {
+			a0, a1 := b0[i], b1[i]
+			b0[i] = u00*a0 + u01*a1
+			b1[i] = u10*a0 + u11*a1
+		}
+		c.addComm(2, 2*blockBytes)
+	})
+	c.stats.GlobalGates++
+}
+
+// swapLocalGlobal exchanges qubit roles: local qubit l ↔ global qubit g.
+// Amplitudes where the two bits differ migrate between rank pairs; this is
+// the qubit-remapping communication primitive used before two-qubit gates
+// touching global qubits.
+func (c *Cluster) swapLocalGlobal(l, g int) {
+	gbit := g - c.localN
+	half := uint64(len(c.blocks[0]) / 2)
+	halfBytes := half * state.BytesPerAmp
+	c.eachRankPair(gbit, func(r0, r1 int) {
+		b0, b1 := c.blocks[r0], c.blocks[r1]
+		// Rank r0 holds G=0; its L=1 entries swap with r1's L=0 entries.
+		for rest := uint64(0); rest < half; rest++ {
+			i1 := core.InsertZeroBit(rest, l) | 1<<uint(l) // L=1 in r0
+			i0 := core.InsertZeroBit(rest, l)              // L=0 in r1
+			b0[i1], b1[i0] = b1[i0], b0[i1]
+		}
+		c.addComm(2, 2*halfBytes)
+	})
+	c.statsMu.Lock()
+	c.stats.QubitSwaps++
+	c.statsMu.Unlock()
+}
+
+// apply2QLocal applies a 4×4 matrix to two local qubits (a = high bit).
+func (c *Cluster) apply2QLocal(u *linalg.Matrix, a, b int) {
+	var m [4][4]complex128
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m[i][j] = u.At(i, j)
+		}
+	}
+	quarter := uint64(len(c.blocks[0]) / 4)
+	c.eachRank(func(r int) {
+		blk := c.blocks[r]
+		for rest := uint64(0); rest < quarter; rest++ {
+			base := core.InsertTwoZeroBits(rest, a, b)
+			i0 := base
+			i1 := base | 1<<uint(b)
+			i2 := base | 1<<uint(a)
+			i3 := i1 | 1<<uint(a)
+			v0, v1, v2, v3 := blk[i0], blk[i1], blk[i2], blk[i3]
+			blk[i0] = m[0][0]*v0 + m[0][1]*v1 + m[0][2]*v2 + m[0][3]*v3
+			blk[i1] = m[1][0]*v0 + m[1][1]*v1 + m[1][2]*v2 + m[1][3]*v3
+			blk[i2] = m[2][0]*v0 + m[2][1]*v1 + m[2][2]*v2 + m[2][3]*v3
+			blk[i3] = m[3][0]*v0 + m[3][1]*v1 + m[3][2]*v2 + m[3][3]*v3
+		}
+	})
+	c.stats.LocalGates++
+}
+
+// freeLocalQubits returns local qubits not in `used`, lowest first.
+func (c *Cluster) freeLocalQubits(used ...int) []int {
+	inUse := map[int]bool{}
+	for _, q := range used {
+		inUse[q] = true
+	}
+	var out []int
+	for q := 0; q < c.localN; q++ {
+		if !inUse[q] {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// ApplyGate dispatches one gate, remapping global qubits to local slots as
+// needed. Non-unitary markers are rejected (the cluster backend serves
+// expectation-value workloads; use the single-node engine for mid-circuit
+// measurement).
+func (c *Cluster) ApplyGate(g gate.Gate) {
+	if g.Kind == gate.Barrier || g.Kind == gate.I {
+		return
+	}
+	if !g.IsUnitary() {
+		panic(fmt.Errorf("%w: cluster backend cannot apply %v", core.ErrInvalidArgument, g.Kind))
+	}
+	switch g.Arity() {
+	case 1:
+		q := g.Qubits[0]
+		if q < 0 || q >= c.n {
+			panic(core.QubitError(q, c.n))
+		}
+		u := g.Matrix2()
+		if c.isLocal(q) {
+			c.apply1QLocal(u, q)
+		} else {
+			c.apply1QGlobal(u, q)
+		}
+	case 2:
+		a, b := g.Qubits[0], g.Qubits[1]
+		if a < 0 || a >= c.n || b < 0 || b >= c.n {
+			panic(core.QubitError(a, c.n))
+		}
+		u := g.Matrix4()
+		// Remap any global qubit onto a free local slot, apply, unmap.
+		swaps := [][2]int{}
+		if !c.isLocal(a) || !c.isLocal(b) {
+			free := c.freeLocalQubits(a, b)
+			fi := 0
+			if !c.isLocal(a) {
+				c.swapLocalGlobal(free[fi], a)
+				swaps = append(swaps, [2]int{free[fi], a})
+				a = free[fi]
+				fi++
+			}
+			if !c.isLocal(b) {
+				c.swapLocalGlobal(free[fi], b)
+				swaps = append(swaps, [2]int{free[fi], b})
+				b = free[fi]
+				fi++
+			}
+			c.stats.GlobalGates++
+		}
+		c.apply2QLocal(u, a, b)
+		if len(swaps) > 0 {
+			c.stats.LocalGates-- // counted as a global gate above
+		}
+		for i := len(swaps) - 1; i >= 0; i-- {
+			c.swapLocalGlobal(swaps[i][0], swaps[i][1])
+		}
+	default:
+		panic(fmt.Sprintf("cluster: arity %d", g.Arity()))
+	}
+}
+
+// Run applies a circuit.
+func (c *Cluster) Run(circ *circuit.Circuit) {
+	if circ.NumQubits > c.n {
+		panic(core.ErrDimensionMismatch)
+	}
+	for _, g := range circ.Gates {
+		c.ApplyGate(g)
+	}
+}
+
+// Gather copies the distributed amplitudes into one contiguous vector
+// (rank r owns indices [r·2^localN, (r+1)·2^localN)).
+func (c *Cluster) Gather() []complex128 {
+	out := make([]complex128, 0, len(c.blocks)*len(c.blocks[0]))
+	for _, blk := range c.blocks {
+		out = append(out, blk...)
+	}
+	return out
+}
+
+// ToState gathers into a single-node State (for measurement/expectation).
+func (c *Cluster) ToState() (*state.State, error) {
+	return state.FromAmplitudes(c.Gather(), state.Options{})
+}
+
+// Norm returns ‖ψ‖ computed as a distributed reduction.
+func (c *Cluster) Norm() float64 {
+	partial := make([]float64, len(c.blocks))
+	c.eachRank(func(r int) {
+		s := 0.0
+		for _, a := range c.blocks[r] {
+			s += real(a)*real(a) + imag(a)*imag(a)
+		}
+		partial[r] = s
+	})
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return math.Sqrt(total)
+}

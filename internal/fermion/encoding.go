@@ -1,0 +1,256 @@
+package fermion
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/pauli"
+)
+
+// Encoding is a linear fermion-to-qubit encoding defined by an invertible
+// binary matrix B: the qubit state is q = B·n (mod 2) where n is the
+// occupation vector. Jordan–Wigner (B = I), the parity encoding (B = lower
+// triangular ones), and Bravyi–Kitaev (B = the binary-tree matrix of
+// Seeley–Richard–Love) are all instances; ladder operators become
+//
+//	a_j  = X_{U(j)} · Z_{P(j)} · (I − Z_{F(j)})/2
+//	a_j† = X_{U(j)} · Z_{P(j)} · (I + Z_{F(j)})/2
+//
+// with U(j) the qubits storing bit j (column j of B), F(j) the qubits
+// whose parity recovers occupation j (row j of B⁻¹), and P(j) the qubits
+// encoding the parity of modes below j.
+type Encoding struct {
+	Name string
+	n    int
+	b    []uint64 // b[i] = row i of B (bit j set ⇔ B_{ij} = 1)
+	binv []uint64 // rows of B⁻¹
+	// Precomputed per-mode Pauli masks.
+	update []uint64 // X mask per mode
+	parity []uint64 // Z mask for parity of modes < j
+	flip   []uint64 // Z mask recovering occupation j
+}
+
+// NumModes returns the mode/qubit count.
+func (e *Encoding) NumModes() int { return e.n }
+
+// newEncoding finalizes an encoding from its matrix rows.
+func newEncoding(name string, rows []uint64) (*Encoding, error) {
+	n := len(rows)
+	if n == 0 || n > 64 {
+		return nil, fmt.Errorf("%w: %d modes", core.ErrInvalidArgument, n)
+	}
+	inv, err := invertGF2(rows)
+	if err != nil {
+		return nil, fmt.Errorf("encoding %s: %w", name, err)
+	}
+	e := &Encoding{Name: name, n: n, b: rows, binv: inv}
+	e.update = make([]uint64, n)
+	e.parity = make([]uint64, n)
+	e.flip = make([]uint64, n)
+	for j := 0; j < n; j++ {
+		// U(j): column j of B.
+		var u uint64
+		for i := 0; i < n; i++ {
+			if rows[i]>>uint(j)&1 == 1 {
+				u |= 1 << uint(i)
+			}
+		}
+		e.update[j] = u
+		// F(j): row j of B⁻¹.
+		e.flip[j] = inv[j]
+		// P(j): XOR of rows < j of B⁻¹ (parity of those occupations).
+		var p uint64
+		for k := 0; k < j; k++ {
+			p ^= inv[k]
+		}
+		e.parity[j] = p
+	}
+	return e, nil
+}
+
+// invertGF2 inverts a binary matrix (rows as bitmasks) over GF(2).
+func invertGF2(rows []uint64) ([]uint64, error) {
+	n := len(rows)
+	a := append([]uint64(nil), rows...)
+	inv := make([]uint64, n)
+	for i := range inv {
+		inv[i] = 1 << uint(i)
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a[r]>>uint(col)&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("%w: singular encoding matrix", core.ErrInvalidArgument)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		for r := 0; r < n; r++ {
+			if r != col && a[r]>>uint(col)&1 == 1 {
+				a[r] ^= a[col]
+				inv[r] ^= inv[col]
+			}
+		}
+	}
+	return inv, nil
+}
+
+// JordanWignerEncoding returns B = I (the default mapping used elsewhere).
+func JordanWignerEncoding(n int) (*Encoding, error) {
+	rows := make([]uint64, n)
+	for i := range rows {
+		rows[i] = 1 << uint(i)
+	}
+	return newEncoding("jordan-wigner", rows)
+}
+
+// ParityEncoding returns the lower-triangular-of-ones matrix: qubit i
+// stores the parity of occupations 0…i.
+func ParityEncoding(n int) (*Encoding, error) {
+	rows := make([]uint64, n)
+	for i := range rows {
+		rows[i] = (uint64(1) << uint(i+1)) - 1
+	}
+	return newEncoding("parity", rows)
+}
+
+// BravyiKitaevEncoding returns the Seeley–Richard–Love binary-tree matrix
+// (top-left n×n block of the power-of-two construction).
+func BravyiKitaevEncoding(n int) (*Encoding, error) {
+	if n <= 0 || n > 64 {
+		return nil, core.ErrInvalidArgument
+	}
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	full := bkMatrix(size)
+	rows := make([]uint64, n)
+	mask := uint64(1)<<uint(n) - 1
+	if n == 64 {
+		mask = ^uint64(0)
+	}
+	for i := 0; i < n; i++ {
+		rows[i] = full[i] & mask
+	}
+	return newEncoding("bravyi-kitaev", rows)
+}
+
+// bkMatrix builds the 2^k-dimensional BK matrix recursively: the doubled
+// matrix repeats the block on both diagonal positions and fills the last
+// row's left half with ones (the top qubit stores the total parity of the
+// lower half).
+func bkMatrix(size int) []uint64 {
+	if size == 1 {
+		return []uint64{1}
+	}
+	half := bkMatrix(size / 2)
+	rows := make([]uint64, size)
+	for i := 0; i < size/2; i++ {
+		rows[i] = half[i]
+		rows[size/2+i] = half[i] << uint(size/2)
+	}
+	// Last row: parity of everything below (fill the low half with ones).
+	rows[size-1] |= uint64(1)<<uint(size/2) - 1
+	return rows
+}
+
+// LadderOp maps one ladder operator to its Pauli form under the encoding.
+func (e *Encoding) LadderOp(l Ladder) (*pauli.Op, error) {
+	if l.Mode < 0 || l.Mode >= e.n {
+		return nil, core.QubitError(l.Mode, e.n)
+	}
+	j := l.Mode
+	xPart := pauli.NewOp().Add(pauli.String{X: e.update[j]}, 1)
+	zParity := pauli.NewOp().Add(pauli.String{Z: e.parity[j]}, 1)
+	// Projector (I ∓ Z_{F(j)})/2: − for annihilation (needs n_j = 1),
+	// + for creation (needs n_j = 0).
+	sign := complex(-0.5, 0)
+	if l.Dagger {
+		sign = 0.5
+	}
+	proj := pauli.NewOp().Add(pauli.Identity, 0.5).Add(pauli.String{Z: e.flip[j]}, sign)
+	return xPart.Mul(zParity).Mul(proj), nil
+}
+
+// Transform maps a fermionic operator to qubits under the encoding.
+func (e *Encoding) Transform(op *Op) (*pauli.Op, error) {
+	if op.MaxMode() >= e.n {
+		return nil, core.QubitError(op.MaxMode(), e.n)
+	}
+	out := pauli.NewOp()
+	for _, t := range op.Terms() {
+		acc := pauli.Scalar(t.Coeff)
+		for _, l := range t.Ops {
+			lp, err := e.LadderOp(l)
+			if err != nil {
+				return nil, err
+			}
+			acc = acc.Mul(lp)
+		}
+		out.AddOp(acc, 1)
+	}
+	return out.Chop(core.CoeffEps), nil
+}
+
+// AverageWeight reports the mean Pauli weight of an operator's strings —
+// the locality metric by which Bravyi–Kitaev (O(log n) weights) improves
+// on Jordan–Wigner (O(n) parity strings).
+func AverageWeight(op *pauli.Op) float64 {
+	terms := op.Terms()
+	if len(terms) == 0 {
+		return 0
+	}
+	total := 0
+	count := 0
+	for _, t := range terms {
+		if t.P.IsIdentity() {
+			continue
+		}
+		total += t.P.Weight()
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(total) / float64(count)
+}
+
+// MaxWeight reports the largest Pauli weight in the operator.
+func MaxWeight(op *pauli.Op) int {
+	mx := 0
+	for _, t := range op.Terms() {
+		if w := t.P.Weight(); w > mx {
+			mx = w
+		}
+	}
+	return mx
+}
+
+// EncodeOccupation maps an occupation bitmask to the encoded qubit basis
+// index (q = B·n mod 2).
+func (e *Encoding) EncodeOccupation(occ uint64) uint64 {
+	var q uint64
+	for i := 0; i < e.n; i++ {
+		if bits.OnesCount64(e.b[i]&occ)%2 == 1 {
+			q |= 1 << uint(i)
+		}
+	}
+	return q
+}
+
+// DecodeOccupation inverts EncodeOccupation.
+func (e *Encoding) DecodeOccupation(q uint64) uint64 {
+	var occ uint64
+	for i := 0; i < e.n; i++ {
+		if bits.OnesCount64(e.binv[i]&q)%2 == 1 {
+			occ |= 1 << uint(i)
+		}
+	}
+	return occ
+}

@@ -1,0 +1,212 @@
+package fermion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func mustEncoding(e *Encoding, err error) *Encoding {
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func TestJWEncodingMatchesDirectTransform(t *testing.T) {
+	e := mustEncoding(JordanWignerEncoding(4))
+	ops := []*Op{
+		OneBody(0, 2),
+		TwoBody(3, 1, 0, 2),
+		Number(1),
+		NewOp().AddTerm(Term{Coeff: 0.3 - 0.1i, Ops: []Ladder{{2, true}}}),
+	}
+	for i, op := range ops {
+		viaEncoding, err := e.Transform(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := op.JordanWigner()
+		if !viaEncoding.Equal(direct, 1e-12) {
+			t.Errorf("op %d: encoding-based JW differs from direct JW", i)
+		}
+	}
+}
+
+func TestBKMatrixKnownForm(t *testing.T) {
+	// The 4-mode BK matrix (Seeley–Richard–Love):
+	// rows: [1000, 1100, 0010, 1111] (bit j of row i = B_{ij}).
+	rows := bkMatrix(4)
+	want := []uint64{0b0001, 0b0011, 0b0100, 0b1111}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d = %04b, want %04b", i, rows[i], want[i])
+		}
+	}
+}
+
+func TestEncodingsAnticommutation(t *testing.T) {
+	n := 4
+	encs := []*Encoding{
+		mustEncoding(JordanWignerEncoding(n)),
+		mustEncoding(BravyiKitaevEncoding(n)),
+		mustEncoding(ParityEncoding(n)),
+	}
+	id := linalg.Identity(1 << n)
+	zero := linalg.NewMatrix(1<<n, 1<<n)
+	for _, e := range encs {
+		dense := func(l Ladder) *linalg.Matrix {
+			op, err := e.LadderOp(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return op.ToDense(n)
+		}
+		for p := 0; p < n; p++ {
+			for q := 0; q < n; q++ {
+				ap := dense(Ladder{p, false})
+				aqD := dense(Ladder{q, true})
+				anti := ap.Mul(aqD).Add(aqD.Mul(ap))
+				want := zero
+				if p == q {
+					want = id
+				}
+				if !anti.Equal(want, 1e-10) {
+					t.Errorf("%s: {a_%d, a_%d†} wrong", e.Name, p, q)
+				}
+				aq := dense(Ladder{q, false})
+				if !ap.Mul(aq).Add(aq.Mul(ap)).Equal(zero, 1e-10) {
+					t.Errorf("%s: {a_%d, a_%d} != 0", e.Name, p, q)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodingsShareSpectrum(t *testing.T) {
+	// A Hermitian fermionic operator must have identical spectra under
+	// every valid encoding (they differ by a basis permutation).
+	h := NewOp()
+	h.Add(Number(0), 0.7)
+	h.Add(Number(2), -0.4)
+	h.Add(OneBody(0, 1), 0.3)
+	h.Add(OneBody(1, 0), 0.3)
+	h.Add(TwoBody(0, 1, 1, 0), 0.9)
+	n := 3
+	var spectra [][]float64
+	for _, mk := range []func(int) (*Encoding, error){JordanWignerEncoding, BravyiKitaevEncoding, ParityEncoding} {
+		e := mustEncoding(mk(n))
+		q, err := e.Transform(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := linalg.EighJacobi(q.ToDense(n))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		spectra = append(spectra, res.Values)
+	}
+	for enc := 1; enc < len(spectra); enc++ {
+		for i := range spectra[0] {
+			if math.Abs(spectra[enc][i]-spectra[0][i]) > 1e-8 {
+				t.Fatalf("encoding %d: eigenvalue %d differs: %v vs %v",
+					enc, i, spectra[enc][i], spectra[0][i])
+			}
+		}
+	}
+}
+
+func TestBKReducesMaxWeight(t *testing.T) {
+	// A long-range hopping term a_0† a_{n−1} has JW weight n (the full
+	// parity string) but only O(log n) under BK.
+	n := 16
+	hop := OneBody(0, n-1)
+	hop.Add(OneBody(n-1, 0), 1)
+	jw := mustEncoding(JordanWignerEncoding(n))
+	bk := mustEncoding(BravyiKitaevEncoding(n))
+	qJW, err := jw.Transform(hop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qBK, err := bk.Transform(hop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxWeight(qBK) >= MaxWeight(qJW) {
+		t.Errorf("BK max weight %d not below JW %d", MaxWeight(qBK), MaxWeight(qJW))
+	}
+	if AverageWeight(qBK) >= AverageWeight(qJW) {
+		t.Errorf("BK avg weight %v not below JW %v", AverageWeight(qBK), AverageWeight(qJW))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, mk := range []func(int) (*Encoding, error){JordanWignerEncoding, BravyiKitaevEncoding, ParityEncoding} {
+		e := mustEncoding(mk(6))
+		for occ := uint64(0); occ < 64; occ++ {
+			if got := e.DecodeOccupation(e.EncodeOccupation(occ)); got != occ {
+				t.Fatalf("%s: roundtrip %b → %b", e.Name, occ, got)
+			}
+		}
+	}
+}
+
+func TestEncodingNumberOperatorDiagonal(t *testing.T) {
+	// n_p is diagonal in any linear encoding; its eigenvalue on encoded
+	// basis state B·occ must equal occupation bit p.
+	e := mustEncoding(BravyiKitaevEncoding(4))
+	for p := 0; p < 4; p++ {
+		q, err := e.Transform(Number(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := q.ToDense(4)
+		for occ := uint64(0); occ < 16; occ++ {
+			enc := e.EncodeOccupation(occ)
+			want := float64(occ >> uint(p) & 1)
+			if math.Abs(real(d.At(int(enc), int(enc)))-want) > 1e-10 {
+				t.Fatalf("n_%d on occ %04b: %v, want %v", p, occ, d.At(int(enc), int(enc)), want)
+			}
+		}
+	}
+}
+
+func TestInvertGF2Errors(t *testing.T) {
+	if _, err := invertGF2([]uint64{1, 1}); err == nil {
+		t.Error("singular matrix inverted")
+	}
+}
+
+func TestEncodingValidation(t *testing.T) {
+	if _, err := BravyiKitaevEncoding(0); err == nil {
+		t.Error("zero modes accepted")
+	}
+	e := mustEncoding(JordanWignerEncoding(2))
+	if _, err := e.LadderOp(Ladder{Mode: 5}); err == nil {
+		t.Error("out-of-range mode accepted")
+	}
+	if _, err := e.Transform(Number(3)); err == nil {
+		t.Error("wide operator accepted")
+	}
+}
+
+func TestWeightHelpers(t *testing.T) {
+	op := Number(0).JordanWigner() // ½I − ½Z₀
+	if AverageWeight(op) != 1 {
+		t.Errorf("avg weight %v", AverageWeight(op))
+	}
+	if MaxWeight(op) != 1 {
+		t.Errorf("max weight %v", MaxWeight(op))
+	}
+	if AverageWeight(Scalar(1).JordanWigner()) != 0 {
+		t.Error("scalar weight")
+	}
+}
+
+func TestEncodingAccessors(t *testing.T) {
+	e := mustEncoding(BravyiKitaevEncoding(4))
+	if e.NumModes() != 4 || e.Name != "bravyi-kitaev" {
+		t.Error("accessors wrong")
+	}
+}

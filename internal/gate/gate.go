@@ -1,0 +1,347 @@
+// Package gate defines the quantum gate set natively supported by the
+// simulator (mirroring NWQ-Sim's native single- and two-qubit gate model),
+// including parametric rotations and fused unitary gates produced by the
+// transpiler.
+package gate
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+
+	"repro/internal/linalg"
+)
+
+// Kind enumerates the gate vocabulary.
+type Kind int
+
+// Supported gate kinds. Fused1Q/Fused2Q carry explicit matrices produced by
+// the gate-fusion pass (paper §4.3); everything else has a fixed or
+// parameter-derived matrix.
+const (
+	I Kind = iota
+	X
+	Y
+	Z
+	H
+	S
+	Sdg
+	T
+	Tdg
+	SX // sqrt-X
+	RX
+	RY
+	RZ
+	P  // phase gate diag(1, e^{iθ})
+	U3 // generic single-qubit rotation U3(θ,φ,λ)
+	CX
+	CY
+	CZ
+	CH
+	CP  // controlled phase
+	CRX // controlled RX
+	CRY
+	CRZ
+	SWAP
+	ISWAP
+	RXX // exp(-iθ XX/2)
+	RYY
+	RZZ
+	Fused1Q
+	Fused2Q
+	Measure // computational-basis measurement marker
+	Reset
+	Barrier // optimization fence
+)
+
+var kindNames = map[Kind]string{
+	I: "i", X: "x", Y: "y", Z: "z", H: "h", S: "s", Sdg: "sdg", T: "t",
+	Tdg: "tdg", SX: "sx", RX: "rx", RY: "ry", RZ: "rz", P: "p", U3: "u3",
+	CX: "cx", CY: "cy", CZ: "cz", CH: "ch", CP: "cp", CRX: "crx",
+	CRY: "cry", CRZ: "crz", SWAP: "swap", ISWAP: "iswap", RXX: "rxx",
+	RYY: "ryy", RZZ: "rzz", Fused1Q: "fused1q", Fused2Q: "fused2q",
+	Measure: "measure", Reset: "reset", Barrier: "barrier",
+}
+
+// String returns the lower-case mnemonic used by the QASM-lite dialect.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// KindByName resolves a mnemonic; ok is false for unknown names.
+func KindByName(name string) (Kind, bool) {
+	for k, s := range kindNames {
+		if s == name {
+			return k, true
+		}
+	}
+	return I, false
+}
+
+// Gate is one operation in a circuit. Qubits[0] is the target for
+// single-qubit gates; for controlled gates Qubits[0] is the control and
+// Qubits[1] the target (matching OpenQASM argument order). Matrix is only
+// set for fused gates.
+type Gate struct {
+	Kind   Kind
+	Qubits []int
+	Params []float64
+	Matrix *linalg.Matrix // fused gates only; 2×2 or 4×4
+}
+
+// New constructs a non-parametric gate.
+func New(k Kind, qubits ...int) Gate {
+	return Gate{Kind: k, Qubits: qubits}
+}
+
+// NewP constructs a parametric gate.
+func NewP(k Kind, params []float64, qubits ...int) Gate {
+	return Gate{Kind: k, Qubits: qubits, Params: params}
+}
+
+// Arity returns the number of qubits the gate acts on.
+func (g Gate) Arity() int { return len(g.Qubits) }
+
+// IsUnitary reports whether the gate is a unitary operation (as opposed to
+// measurement, reset, or barrier markers).
+func (g Gate) IsUnitary() bool {
+	switch g.Kind {
+	case Measure, Reset, Barrier:
+		return false
+	}
+	return true
+}
+
+// IsParametric reports whether the gate carries rotation parameters.
+func (g Gate) IsParametric() bool { return len(g.Params) > 0 }
+
+// IsDiagonal reports whether the gate's matrix is diagonal in the
+// computational basis (useful for fusion and commutation analysis).
+func (g Gate) IsDiagonal() bool {
+	switch g.Kind {
+	case I, Z, S, Sdg, T, Tdg, RZ, P, CZ, CP, CRZ, RZZ:
+		return true
+	}
+	return false
+}
+
+// String renders the gate in QASM-lite form, e.g. "rx(0.500000) q[2]".
+func (g Gate) String() string {
+	var b strings.Builder
+	b.WriteString(g.Kind.String())
+	if len(g.Params) > 0 {
+		b.WriteByte('(')
+		for i, p := range g.Params {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", p)
+		}
+		b.WriteByte(')')
+	}
+	for i, q := range g.Qubits {
+		if i == 0 {
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "q[%d]", q)
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy (Params and Qubits are not shared).
+func (g Gate) Clone() Gate {
+	c := Gate{Kind: g.Kind}
+	c.Qubits = append([]int(nil), g.Qubits...)
+	c.Params = append([]float64(nil), g.Params...)
+	if g.Matrix != nil {
+		c.Matrix = g.Matrix.Clone()
+	}
+	return c
+}
+
+// sq2 is 1/√2.
+var sq2 = complex(1/math.Sqrt2, 0)
+
+// Matrix2 returns the 2×2 unitary of a single-qubit gate. It panics for
+// non-unitary or multi-qubit kinds.
+func (g Gate) Matrix2() *linalg.Matrix {
+	switch g.Kind {
+	case I:
+		return linalg.Identity(2)
+	case X:
+		return linalg.MatrixFrom(2, 2, []complex128{0, 1, 1, 0})
+	case Y:
+		return linalg.MatrixFrom(2, 2, []complex128{0, -1i, 1i, 0})
+	case Z:
+		return linalg.MatrixFrom(2, 2, []complex128{1, 0, 0, -1})
+	case H:
+		return linalg.MatrixFrom(2, 2, []complex128{sq2, sq2, sq2, -sq2})
+	case S:
+		return linalg.MatrixFrom(2, 2, []complex128{1, 0, 0, 1i})
+	case Sdg:
+		return linalg.MatrixFrom(2, 2, []complex128{1, 0, 0, -1i})
+	case T:
+		return linalg.MatrixFrom(2, 2, []complex128{1, 0, 0, cmplx.Exp(1i * math.Pi / 4)})
+	case Tdg:
+		return linalg.MatrixFrom(2, 2, []complex128{1, 0, 0, cmplx.Exp(-1i * math.Pi / 4)})
+	case SX:
+		return linalg.MatrixFrom(2, 2, []complex128{
+			0.5 + 0.5i, 0.5 - 0.5i,
+			0.5 - 0.5i, 0.5 + 0.5i,
+		})
+	case RX:
+		th := g.Params[0] / 2
+		c, s := complex(math.Cos(th), 0), complex(0, -math.Sin(th))
+		return linalg.MatrixFrom(2, 2, []complex128{c, s, s, c})
+	case RY:
+		th := g.Params[0] / 2
+		c, s := complex(math.Cos(th), 0), complex(math.Sin(th), 0)
+		return linalg.MatrixFrom(2, 2, []complex128{c, -s, s, c})
+	case RZ:
+		th := g.Params[0] / 2
+		return linalg.MatrixFrom(2, 2, []complex128{
+			cmplx.Exp(complex(0, -real(complex(th, 0)))), 0,
+			0, cmplx.Exp(complex(0, real(complex(th, 0)))),
+		})
+	case P:
+		return linalg.MatrixFrom(2, 2, []complex128{1, 0, 0, cmplx.Exp(complex(0, g.Params[0]))})
+	case U3:
+		th, phi, lam := g.Params[0], g.Params[1], g.Params[2]
+		c, s := math.Cos(th/2), math.Sin(th/2)
+		return linalg.MatrixFrom(2, 2, []complex128{
+			complex(c, 0), -cmplx.Exp(complex(0, lam)) * complex(s, 0),
+			cmplx.Exp(complex(0, phi)) * complex(s, 0), cmplx.Exp(complex(0, phi+lam)) * complex(c, 0),
+		})
+	case Fused1Q:
+		if g.Matrix == nil || g.Matrix.Rows != 2 {
+			panic("gate: fused1q without 2x2 matrix")
+		}
+		return g.Matrix.Clone()
+	}
+	panic(fmt.Sprintf("gate: Matrix2 on %v", g.Kind))
+}
+
+// Matrix4 returns the 4×4 unitary of a two-qubit gate in the basis
+// |q0 q1⟩ = |control target⟩ ordered (00, 01, 10, 11) where the FIRST
+// listed qubit is the high-order bit. It panics for other kinds.
+func (g Gate) Matrix4() *linalg.Matrix {
+	mk := func(d []complex128) *linalg.Matrix { return linalg.MatrixFrom(4, 4, d) }
+	ctrl := func(u *linalg.Matrix) *linalg.Matrix {
+		m := linalg.Identity(4)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				m.Set(2+i, 2+j, u.At(i, j))
+			}
+		}
+		return m
+	}
+	switch g.Kind {
+	case CX:
+		return ctrl(New(X).Matrix2())
+	case CY:
+		return ctrl(New(Y).Matrix2())
+	case CZ:
+		return ctrl(New(Z).Matrix2())
+	case CH:
+		return ctrl(New(H).Matrix2())
+	case CP:
+		return ctrl(NewP(P, g.Params).Matrix2())
+	case CRX:
+		return ctrl(NewP(RX, g.Params).Matrix2())
+	case CRY:
+		return ctrl(NewP(RY, g.Params).Matrix2())
+	case CRZ:
+		return ctrl(NewP(RZ, g.Params).Matrix2())
+	case SWAP:
+		return mk([]complex128{
+			1, 0, 0, 0,
+			0, 0, 1, 0,
+			0, 1, 0, 0,
+			0, 0, 0, 1,
+		})
+	case ISWAP:
+		return mk([]complex128{
+			1, 0, 0, 0,
+			0, 0, 1i, 0,
+			0, 1i, 0, 0,
+			0, 0, 0, 1,
+		})
+	case RXX:
+		th := g.Params[0] / 2
+		c, s := complex(math.Cos(th), 0), complex(0, -math.Sin(th))
+		return mk([]complex128{
+			c, 0, 0, s,
+			0, c, s, 0,
+			0, s, c, 0,
+			s, 0, 0, c,
+		})
+	case RYY:
+		th := g.Params[0] / 2
+		c := complex(math.Cos(th), 0)
+		s := complex(0, math.Sin(th))
+		return mk([]complex128{
+			c, 0, 0, s,
+			0, c, -s, 0,
+			0, -s, c, 0,
+			s, 0, 0, c,
+		})
+	case RZZ:
+		th := g.Params[0] / 2
+		em := cmplx.Exp(complex(0, -real(complex(th, 0))))
+		ep := cmplx.Exp(complex(0, real(complex(th, 0))))
+		return mk([]complex128{
+			em, 0, 0, 0,
+			0, ep, 0, 0,
+			0, 0, ep, 0,
+			0, 0, 0, em,
+		})
+	case Fused2Q:
+		if g.Matrix == nil || g.Matrix.Rows != 4 {
+			panic("gate: fused2q without 4x4 matrix")
+		}
+		return g.Matrix.Clone()
+	}
+	panic(fmt.Sprintf("gate: Matrix4 on %v", g.Kind))
+}
+
+// Inverse returns a gate implementing the adjoint unitary.
+func (g Gate) Inverse() Gate {
+	neg := func() []float64 {
+		ps := make([]float64, len(g.Params))
+		for i, p := range g.Params {
+			ps[i] = -p
+		}
+		return ps
+	}
+	switch g.Kind {
+	case I, X, Y, Z, H, CX, CY, CZ, CH, SWAP, Barrier:
+		return g.Clone()
+	case S:
+		return New(Sdg, g.Qubits...)
+	case Sdg:
+		return New(S, g.Qubits...)
+	case T:
+		return New(Tdg, g.Qubits...)
+	case Tdg:
+		return New(T, g.Qubits...)
+	case SX:
+		// SX† = SX·X·Z up to phase; express directly as a fused matrix.
+		return Gate{Kind: Fused1Q, Qubits: append([]int(nil), g.Qubits...), Matrix: New(SX).Matrix2().Adjoint()}
+	case RX, RY, RZ, P, CP, CRX, CRY, CRZ, RXX, RYY, RZZ:
+		return NewP(g.Kind, neg(), g.Qubits...)
+	case U3:
+		th, phi, lam := g.Params[0], g.Params[1], g.Params[2]
+		return NewP(U3, []float64{-th, -lam, -phi}, g.Qubits...)
+	case ISWAP:
+		return Gate{Kind: Fused2Q, Qubits: append([]int(nil), g.Qubits...), Matrix: New(ISWAP).Matrix4().Adjoint()}
+	case Fused1Q, Fused2Q:
+		return Gate{Kind: g.Kind, Qubits: append([]int(nil), g.Qubits...), Matrix: g.Matrix.Adjoint()}
+	}
+	panic(fmt.Sprintf("gate: Inverse on %v", g.Kind))
+}

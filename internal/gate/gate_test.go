@@ -1,0 +1,267 @@
+package gate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+var oneQubitKinds = []Kind{I, X, Y, Z, H, S, Sdg, T, Tdg, SX}
+var paramOneQubitKinds = []Kind{RX, RY, RZ, P}
+var twoQubitKinds = []Kind{CX, CY, CZ, CH, SWAP, ISWAP}
+var paramTwoQubitKinds = []Kind{CP, CRX, CRY, CRZ, RXX, RYY, RZZ}
+
+func TestAllFixed1QMatricesUnitary(t *testing.T) {
+	for _, k := range oneQubitKinds {
+		if !New(k, 0).Matrix2().IsUnitary(1e-12) {
+			t.Errorf("%v matrix not unitary", k)
+		}
+	}
+}
+
+func TestAllParam1QMatricesUnitary(t *testing.T) {
+	for _, k := range paramOneQubitKinds {
+		for _, th := range []float64{0, 0.3, math.Pi, -2.1} {
+			if !NewP(k, []float64{th}, 0).Matrix2().IsUnitary(1e-12) {
+				t.Errorf("%v(%v) not unitary", k, th)
+			}
+		}
+	}
+	if !NewP(U3, []float64{0.4, 1.1, -0.6}, 0).Matrix2().IsUnitary(1e-12) {
+		t.Error("U3 not unitary")
+	}
+}
+
+func TestAll2QMatricesUnitary(t *testing.T) {
+	for _, k := range twoQubitKinds {
+		if !New(k, 0, 1).Matrix4().IsUnitary(1e-12) {
+			t.Errorf("%v not unitary", k)
+		}
+	}
+	for _, k := range paramTwoQubitKinds {
+		if !NewP(k, []float64{0.7}, 0, 1).Matrix4().IsUnitary(1e-12) {
+			t.Errorf("%v(0.7) not unitary", k)
+		}
+	}
+}
+
+func TestHadamardSquaresToIdentity(t *testing.T) {
+	h := New(H, 0).Matrix2()
+	if !h.Mul(h).Equal(linalg.Identity(2), 1e-12) {
+		t.Error("H² != I")
+	}
+}
+
+func TestSIsSquareRootOfZ(t *testing.T) {
+	s := New(S, 0).Matrix2()
+	if !s.Mul(s).Equal(New(Z, 0).Matrix2(), 1e-12) {
+		t.Error("S² != Z")
+	}
+}
+
+func TestTIsSquareRootOfS(t *testing.T) {
+	tm := New(T, 0).Matrix2()
+	if !tm.Mul(tm).Equal(New(S, 0).Matrix2(), 1e-12) {
+		t.Error("T² != S")
+	}
+}
+
+func TestSXIsSquareRootOfX(t *testing.T) {
+	sx := New(SX, 0).Matrix2()
+	if !sx.Mul(sx).Equal(New(X, 0).Matrix2(), 1e-12) {
+		t.Error("SX² != X")
+	}
+}
+
+func TestRZAgreesWithPhaseUpToGlobalPhase(t *testing.T) {
+	th := 0.913
+	rz := NewP(RZ, []float64{th}, 0).Matrix2()
+	p := NewP(P, []float64{th}, 0).Matrix2()
+	if !rz.EqualUpToPhase(p, 1e-12) {
+		t.Error("RZ(θ) should equal P(θ) up to global phase")
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	// RX(a)·RX(b) == RX(a+b)
+	a, b := 0.37, 1.21
+	lhs := NewP(RX, []float64{a}, 0).Matrix2().Mul(NewP(RX, []float64{b}, 0).Matrix2())
+	rhs := NewP(RX, []float64{a + b}, 0).Matrix2()
+	if !lhs.Equal(rhs, 1e-12) {
+		t.Error("RX does not compose additively")
+	}
+}
+
+func TestU3Decomposition(t *testing.T) {
+	// U3(θ,φ,λ) = e^{i(φ+λ)/2} RZ(φ)·RY(θ)·RZ(λ) up to global phase.
+	th, phi, lam := 0.81, -0.5, 1.9
+	u3 := NewP(U3, []float64{th, phi, lam}, 0).Matrix2()
+	rz1 := NewP(RZ, []float64{phi}, 0).Matrix2()
+	ry := NewP(RY, []float64{th}, 0).Matrix2()
+	rz2 := NewP(RZ, []float64{lam}, 0).Matrix2()
+	if !u3.EqualUpToPhase(rz1.Mul(ry).Mul(rz2), 1e-12) {
+		t.Error("U3 != RZ·RY·RZ up to phase")
+	}
+}
+
+func TestCXMatrixAction(t *testing.T) {
+	cx := New(CX, 0, 1).Matrix4()
+	// Basis convention: first qubit (control) is the high bit.
+	// |10⟩ (index 2) → |11⟩ (index 3)
+	v := make([]complex128, 4)
+	v[2] = 1
+	out := cx.MulVec(v)
+	if out[3] != 1 || out[2] != 0 {
+		t.Errorf("CX|10⟩ = %v", out)
+	}
+	// |01⟩ (index 1) unchanged.
+	v = make([]complex128, 4)
+	v[1] = 1
+	out = cx.MulVec(v)
+	if out[1] != 1 {
+		t.Errorf("CX|01⟩ = %v", out)
+	}
+}
+
+func TestSWAPAction(t *testing.T) {
+	sw := New(SWAP, 0, 1).Matrix4()
+	v := make([]complex128, 4)
+	v[1] = 1 // |01⟩
+	out := sw.MulVec(v)
+	if out[2] != 1 {
+		t.Errorf("SWAP|01⟩ = %v", out)
+	}
+}
+
+func TestRZZDiagonal(t *testing.T) {
+	m := NewP(RZZ, []float64{0.4}, 0, 1).Matrix4()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j && m.At(i, j) != 0 {
+				t.Fatal("RZZ not diagonal")
+			}
+		}
+	}
+	// Diagonal phases: e^{-iθ/2} for even parity, e^{+iθ/2} for odd.
+	if real(m.At(0, 0)) != real(m.At(3, 3)) || real(m.At(1, 1)) != real(m.At(2, 2)) {
+		t.Error("RZZ parity structure wrong")
+	}
+}
+
+func TestInverseAllKinds(t *testing.T) {
+	check1 := func(g Gate) {
+		u := g.Matrix2()
+		ui := g.Inverse().Matrix2()
+		if !u.Mul(ui).Equal(linalg.Identity(2), 1e-12) {
+			t.Errorf("%v: U·U⁻¹ != I", g)
+		}
+	}
+	for _, k := range oneQubitKinds {
+		check1(New(k, 0))
+	}
+	for _, k := range paramOneQubitKinds {
+		check1(NewP(k, []float64{0.77}, 0))
+	}
+	check1(NewP(U3, []float64{0.4, 1.1, -0.6}, 0))
+
+	check2 := func(g Gate) {
+		u := g.Matrix4()
+		ui := g.Inverse().Matrix4()
+		if !u.Mul(ui).Equal(linalg.Identity(4), 1e-12) {
+			t.Errorf("%v: U·U⁻¹ != I", g)
+		}
+	}
+	for _, k := range twoQubitKinds {
+		check2(New(k, 0, 1))
+	}
+	for _, k := range paramTwoQubitKinds {
+		check2(NewP(k, []float64{-1.3}, 0, 1))
+	}
+}
+
+func TestFusedInverse(t *testing.T) {
+	g := Gate{Kind: Fused1Q, Qubits: []int{0}, Matrix: New(H, 0).Matrix2()}
+	if !g.Inverse().Matrix2().Mul(g.Matrix2()).Equal(linalg.Identity(2), 1e-12) {
+		t.Error("fused inverse wrong")
+	}
+}
+
+func TestIsDiagonal(t *testing.T) {
+	for _, k := range []Kind{Z, S, T, RZ, P, CZ, RZZ} {
+		g := Gate{Kind: k, Params: []float64{0.1}}
+		if !g.IsDiagonal() {
+			t.Errorf("%v should be diagonal", k)
+		}
+	}
+	for _, k := range []Kind{X, H, RX, CX, SWAP} {
+		g := Gate{Kind: k, Params: []float64{0.1}}
+		if g.IsDiagonal() {
+			t.Errorf("%v should not be diagonal", k)
+		}
+	}
+}
+
+func TestDiagonalKindsHaveDiagonalMatrices(t *testing.T) {
+	for _, k := range []Kind{Z, S, Sdg, T, Tdg} {
+		m := New(k, 0).Matrix2()
+		if m.At(0, 1) != 0 || m.At(1, 0) != 0 {
+			t.Errorf("%v matrix not diagonal", k)
+		}
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k, name := range kindNames {
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Errorf("round trip failed for %v", name)
+		}
+	}
+	if _, ok := KindByName("bogus"); ok {
+		t.Error("bogus name resolved")
+	}
+}
+
+func TestGateString(t *testing.T) {
+	g := NewP(RX, []float64{0.5}, 2)
+	if g.String() != "rx(0.5) q[2]" {
+		t.Errorf("String() = %q", g.String())
+	}
+	g2 := New(CX, 0, 1)
+	if g2.String() != "cx q[0], q[1]" {
+		t.Errorf("String() = %q", g2.String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewP(RX, []float64{0.5}, 3)
+	c := g.Clone()
+	c.Params[0] = 9
+	c.Qubits[0] = 7
+	if g.Params[0] != 0.5 || g.Qubits[0] != 3 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestIsUnitaryClassification(t *testing.T) {
+	if New(Measure, 0).IsUnitary() || New(Reset, 0).IsUnitary() || New(Barrier).IsUnitary() {
+		t.Error("markers reported unitary")
+	}
+	if !New(X, 0).IsUnitary() {
+		t.Error("X not reported unitary")
+	}
+}
+
+func TestInversePropertyRandomRotations(t *testing.T) {
+	f := func(raw int16, kindSel uint8) bool {
+		th := float64(raw) / 5000
+		k := paramOneQubitKinds[int(kindSel)%len(paramOneQubitKinds)]
+		g := NewP(k, []float64{th}, 0)
+		return g.Matrix2().Mul(g.Inverse().Matrix2()).Equal(linalg.Identity(2), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package linalg provides the dense and sparse complex linear algebra the
+// simulator stack is built on: matrices, Kronecker products, Hermitian
+// eigensolvers (Jacobi for dense, Lanczos for sparse), and matrix
+// exponentials. Everything is stdlib-only and sized for quantum registers
+// of up to ~20 qubits of dense work and ~24 qubits of sparse work.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Matrix is a dense, row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// MatrixFrom builds a matrix from a row-major slice literal. It panics if
+// len(data) != rows*cols.
+func MatrixFrom(rows, cols int, data []complex128) *Matrix {
+	if len(data) != rows*cols {
+		panic("linalg: data length mismatch")
+	}
+	d := make([]complex128, len(data))
+	copy(d, data)
+	return &Matrix{Rows: rows, Cols: cols, Data: d}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	return MatrixFrom(m.Rows, m.Cols, m.Data)
+}
+
+// Add returns m + o.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	m.mustSameShape(o)
+	r := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = m.Data[i] + o.Data[i]
+	}
+	return r
+}
+
+// Sub returns m - o.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	m.mustSameShape(o)
+	r := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = m.Data[i] - o.Data[i]
+	}
+	return r
+}
+
+// Scale returns c*m.
+func (m *Matrix) Scale(c complex128) *Matrix {
+	r := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = c * m.Data[i]
+	}
+	return r
+}
+
+// Mul returns the matrix product m·o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(core.ErrDimensionMismatch)
+	}
+	r := NewMatrix(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			row := o.Data[k*o.Cols:]
+			out := r.Data[i*o.Cols:]
+			for j := 0; j < o.Cols; j++ {
+				out[j] += a * row[j]
+			}
+		}
+	}
+	return r
+}
+
+// MulVec returns m·v.
+func (m *Matrix) MulVec(v []complex128) []complex128 {
+	if m.Cols != len(v) {
+		panic(core.ErrDimensionMismatch)
+	}
+	out := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s complex128
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Adjoint returns the conjugate transpose m†.
+func (m *Matrix) Adjoint() *Matrix {
+	r := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			r.Data[j*m.Rows+i] = cmplx.Conj(m.Data[i*m.Cols+j])
+		}
+	}
+	return r
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	r := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			r.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return r
+}
+
+// Trace returns the sum of diagonal entries of a square matrix.
+func (m *Matrix) Trace() complex128 {
+	if m.Rows != m.Cols {
+		panic(core.ErrDimensionMismatch)
+	}
+	var t complex128
+	for i := 0; i < m.Rows; i++ {
+		t += m.Data[i*m.Cols+i]
+	}
+	return t
+}
+
+// Kron returns the Kronecker product m ⊗ o.
+func (m *Matrix) Kron(o *Matrix) *Matrix {
+	r := NewMatrix(m.Rows*o.Rows, m.Cols*o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			a := m.Data[i*m.Cols+j]
+			if a == 0 {
+				continue
+			}
+			for p := 0; p < o.Rows; p++ {
+				for q := 0; q < o.Cols; q++ {
+					r.Data[(i*o.Rows+p)*r.Cols+(j*o.Cols+q)] = a * o.Data[p*o.Cols+q]
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Equal reports element-wise equality within tol.
+func (m *Matrix) Equal(o *Matrix, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if !core.AlmostEqualC(m.Data[i], o.Data[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualUpToPhase reports whether m == e^{iφ}·o for some global phase φ.
+func (m *Matrix) EqualUpToPhase(o *Matrix, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	var phase complex128
+	for i := range m.Data {
+		if cmplx.Abs(o.Data[i]) > tol {
+			phase = m.Data[i] / o.Data[i]
+			break
+		}
+	}
+	if phase == 0 {
+		return m.Equal(o, tol)
+	}
+	if math.Abs(cmplx.Abs(phase)-1) > tol {
+		return false
+	}
+	return m.Equal(o.Scale(phase), tol)
+}
+
+// IsUnitary reports whether m†m == I within tol.
+func (m *Matrix) IsUnitary(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	return m.Adjoint().Mul(m).Equal(Identity(m.Rows), tol)
+}
+
+// IsHermitian reports whether m == m† within tol.
+func (m *Matrix) IsHermitian(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i; j < m.Cols; j++ {
+			if !core.AlmostEqualC(m.At(i, j), cmplx.Conj(m.At(j, i)), tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbs returns the largest element modulus.
+func (m *Matrix) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range m.Data {
+		if a := cmplx.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// String renders a compact human-readable form (for tests and debugging).
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			v := m.At(i, j)
+			fmt.Fprintf(&b, "(%6.3f%+6.3fi) ", real(v), imag(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (m *Matrix) mustSameShape(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(core.ErrDimensionMismatch)
+	}
+}
+
+// Expm returns e^m for a square matrix via scaling-and-squaring with a
+// Taylor series. Intended for the small (≤ 2^10) matrices appearing in
+// gate synthesis, Trotter checks, and downfolding; not a general-purpose
+// Padé implementation.
+func Expm(m *Matrix) *Matrix {
+	if m.Rows != m.Cols {
+		panic(core.ErrDimensionMismatch)
+	}
+	norm := m.MaxAbs() * float64(m.Rows)
+	s := 0
+	for norm > 0.5 {
+		norm /= 2
+		s++
+	}
+	scaled := m.Scale(complex(math.Pow(2, -float64(s)), 0))
+	sum := Identity(m.Rows)
+	term := Identity(m.Rows)
+	for k := 1; k <= 24; k++ {
+		term = term.Mul(scaled).Scale(complex(1/float64(k), 0))
+		sum = sum.Add(term)
+		if term.MaxAbs() < 1e-16 {
+			break
+		}
+	}
+	for i := 0; i < s; i++ {
+		sum = sum.Mul(sum)
+	}
+	return sum
+}
+
+// VecDot returns ⟨a|b⟩ = Σ conj(a_i)·b_i.
+func VecDot(a, b []complex128) complex128 {
+	if len(a) != len(b) {
+		panic(core.ErrDimensionMismatch)
+	}
+	var s complex128
+	for i := range a {
+		s += cmplx.Conj(a[i]) * b[i]
+	}
+	return s
+}
+
+// VecNorm returns the Euclidean norm of v.
+func VecNorm(v []complex128) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// VecScale multiplies v in place by c and returns it.
+func VecScale(v []complex128, c complex128) []complex128 {
+	for i := range v {
+		v[i] *= c
+	}
+	return v
+}
+
+// VecAXPY performs y += a·x in place and returns y.
+func VecAXPY(a complex128, x, y []complex128) []complex128 {
+	if len(x) != len(y) {
+		panic(core.ErrDimensionMismatch)
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+	return y
+}

@@ -1,0 +1,233 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func pauliX() *Matrix { return MatrixFrom(2, 2, []complex128{0, 1, 1, 0}) }
+func pauliY() *Matrix { return MatrixFrom(2, 2, []complex128{0, -1i, 1i, 0}) }
+func pauliZ() *Matrix { return MatrixFrom(2, 2, []complex128{1, 0, 0, -1}) }
+func hadamard() *Matrix {
+	s := complex(1/math.Sqrt2, 0)
+	return MatrixFrom(2, 2, []complex128{s, s, s, -s})
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("I(%d,%d)=%v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMatrixFromPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MatrixFrom(2, 2, []complex128{1})
+}
+
+func TestMulIdentity(t *testing.T) {
+	x := pauliX()
+	if !x.Mul(Identity(2)).Equal(x, 1e-12) || !Identity(2).Mul(x).Equal(x, 1e-12) {
+		t.Error("multiplying by identity changed matrix")
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	x, y, z := pauliX(), pauliY(), pauliZ()
+	// XY = iZ
+	if !x.Mul(y).Equal(z.Scale(1i), 1e-12) {
+		t.Error("XY != iZ")
+	}
+	// YX = -iZ
+	if !y.Mul(x).Equal(z.Scale(-1i), 1e-12) {
+		t.Error("YX != -iZ")
+	}
+	// X² = I
+	if !x.Mul(x).Equal(Identity(2), 1e-12) {
+		t.Error("X² != I")
+	}
+}
+
+func TestAdjoint(t *testing.T) {
+	m := MatrixFrom(2, 2, []complex128{1 + 2i, 3, 4i, 5})
+	a := m.Adjoint()
+	if a.At(0, 0) != 1-2i || a.At(0, 1) != -4i || a.At(1, 0) != 3 || a.At(1, 1) != 5 {
+		t.Errorf("adjoint wrong: %v", a)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := MatrixFrom(2, 3, []complex128{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Error("transpose wrong")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := MatrixFrom(2, 2, []complex128{1, 9, 9, 2i})
+	if m.Trace() != 1+2i {
+		t.Errorf("trace = %v", m.Trace())
+	}
+}
+
+func TestKronDimensions(t *testing.T) {
+	k := pauliX().Kron(Identity(2))
+	if k.Rows != 4 || k.Cols != 4 {
+		t.Fatal("kron shape wrong")
+	}
+	// X⊗I acting on |00⟩ (index 0) gives |10⟩ (index 2).
+	v := []complex128{1, 0, 0, 0}
+	out := k.MulVec(v)
+	if out[2] != 1 {
+		t.Errorf("X⊗I|00⟩ = %v", out)
+	}
+}
+
+func TestKronMixedProduct(t *testing.T) {
+	// (A⊗B)(C⊗D) = (AC)⊗(BD)
+	a, b, c, d := pauliX(), pauliY(), pauliZ(), hadamard()
+	lhs := a.Kron(b).Mul(c.Kron(d))
+	rhs := a.Mul(c).Kron(b.Mul(d))
+	if !lhs.Equal(rhs, 1e-12) {
+		t.Error("Kronecker mixed-product identity fails")
+	}
+}
+
+func TestIsUnitary(t *testing.T) {
+	if !hadamard().IsUnitary(1e-12) || !pauliY().IsUnitary(1e-12) {
+		t.Error("H and Y should be unitary")
+	}
+	if MatrixFrom(2, 2, []complex128{1, 1, 0, 1}).IsUnitary(1e-12) {
+		t.Error("shear is not unitary")
+	}
+}
+
+func TestIsHermitian(t *testing.T) {
+	if !pauliY().IsHermitian(1e-12) {
+		t.Error("Y should be Hermitian")
+	}
+	if MatrixFrom(2, 2, []complex128{0, 1i, 1i, 0}).IsHermitian(1e-12) {
+		t.Error("matrix should not be Hermitian")
+	}
+}
+
+func TestEqualUpToPhase(t *testing.T) {
+	h := hadamard()
+	phased := h.Scale(cmplx.Exp(0.7i))
+	if !h.EqualUpToPhase(phased, 1e-12) {
+		t.Error("phase-equal matrices not detected")
+	}
+	if h.EqualUpToPhase(pauliX(), 1e-12) {
+		t.Error("H and X are not phase-equal")
+	}
+}
+
+func TestExpmPauliX(t *testing.T) {
+	// e^{-iθX/2} = cos(θ/2)I - i sin(θ/2)X (RX gate).
+	theta := 0.731
+	arg := pauliX().Scale(complex(0, -theta/2))
+	got := Expm(arg)
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	want := MatrixFrom(2, 2, []complex128{
+		complex(c, 0), complex(0, -s),
+		complex(0, -s), complex(c, 0),
+	})
+	if !got.Equal(want, 1e-10) {
+		t.Errorf("Expm RX mismatch:\n%v\nwant\n%v", got, want)
+	}
+}
+
+func TestExpmZero(t *testing.T) {
+	if !Expm(NewMatrix(3, 3)).Equal(Identity(3), 1e-12) {
+		t.Error("e^0 != I")
+	}
+}
+
+func TestExpmAntiHermitianIsUnitary(t *testing.T) {
+	// e^{iH} for Hermitian H must be unitary.
+	h := MatrixFrom(2, 2, []complex128{0.3, 0.5 - 0.2i, 0.5 + 0.2i, -0.7})
+	u := Expm(h.Scale(1i))
+	if !u.IsUnitary(1e-10) {
+		t.Error("exp of anti-Hermitian not unitary")
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	a := []complex128{1, 1i}
+	b := []complex128{1i, 1}
+	// ⟨a|b⟩ = conj(1)·i + conj(i)·1 = i − i = 0
+	if d := VecDot(a, b); d != 0 {
+		t.Errorf("dot = %v", d)
+	}
+	if n := VecNorm(a); math.Abs(n-math.Sqrt2) > 1e-12 {
+		t.Errorf("norm = %v", n)
+	}
+	y := []complex128{0, 0}
+	VecAXPY(2, a, y)
+	if y[0] != 2 || y[1] != 2i {
+		t.Errorf("axpy = %v", y)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	f := func(rawI [4]int16, vrI [2]int16) bool {
+		var raw [4]float64
+		for i, x := range rawI {
+			raw[i] = float64(x) / 1000
+		}
+		m := MatrixFrom(2, 2, []complex128{
+			complex(raw[0], raw[1]), complex(raw[2], raw[3]),
+			complex(raw[1], raw[2]), complex(raw[3], raw[0]),
+		})
+		v := []complex128{complex(float64(vrI[0])/1000, 0), complex(float64(vrI[1])/1000, 0)}
+		got := m.MulVec(v)
+		col := MatrixFrom(2, 1, v)
+		want := m.Mul(col)
+		return core2(got[0], want.At(0, 0)) && core2(got[1], want.At(1, 0))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func core2(a, b complex128) bool {
+	return cmplx.Abs(a-b) < 1e-9
+}
+
+func TestAddSubScale(t *testing.T) {
+	x := pauliX()
+	if !x.Add(x).Equal(x.Scale(2), 1e-12) {
+		t.Error("X+X != 2X")
+	}
+	if !x.Sub(x).Equal(NewMatrix(2, 2), 1e-12) {
+		t.Error("X-X != 0")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := MatrixFrom(2, 2, []complex128{1, -3i, 2, 0})
+	if m.MaxAbs() != 3 {
+		t.Errorf("MaxAbs = %v", m.MaxAbs())
+	}
+}
+
+func TestStringDoesNotCrash(t *testing.T) {
+	if s := pauliY().String(); len(s) == 0 {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,134 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// EigenResult holds the spectrum of a Hermitian matrix: eigenvalues in
+// ascending order and the matching eigenvectors as columns of V.
+type EigenResult struct {
+	Values  []float64
+	Vectors *Matrix // column j is the eigenvector of Values[j]
+}
+
+// EighJacobi diagonalizes a Hermitian matrix with the cyclic complex
+// Jacobi method. It is O(n³) per sweep and intended for the small dense
+// matrices in this code base (FCI reference spectra, gate checks,
+// downfolded Hamiltonian blocks up to a few thousand rows).
+func EighJacobi(h *Matrix) (*EigenResult, error) {
+	n := h.Rows
+	if h.Cols != n {
+		return nil, core.ErrDimensionMismatch
+	}
+	if !h.IsHermitian(1e-9) {
+		return nil, core.ErrInvalidArgument
+	}
+	a := h.Clone()
+	v := Identity(n)
+
+	offDiag := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += cmplx.Abs(a.At(i, j)) * cmplx.Abs(a.At(i, j))
+			}
+		}
+		return math.Sqrt(s)
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if offDiag() < 1e-12*float64(n) {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if cmplx.Abs(apq) < 1e-15 {
+					continue
+				}
+				app := real(a.At(p, p))
+				aqq := real(a.At(q, q))
+				// Complex Jacobi rotation: zero out a[p][q].
+				// Write a[p][q] = |apq| e^{iφ}; rotate with
+				// U = [[c, -s e^{iφ}], [s e^{-iφ}, c]].
+				absApq := cmplx.Abs(apq)
+				phase := apq / complex(absApq, 0)
+				tau := (aqq - app) / (2 * absApq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				cc := complex(c, 0)
+				sp := complex(s, 0) * phase              // s·e^{iφ}
+				spc := complex(s, 0) * cmplx.Conj(phase) // s·e^{-iφ}
+
+				// Update rows/columns p and q of a: a ← U† a U.
+				for k := 0; k < n; k++ {
+					akp := a.At(k, p)
+					akq := a.At(k, q)
+					a.Set(k, p, cc*akp-spc*akq)
+					a.Set(k, q, sp*akp+cc*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := a.At(p, k)
+					aqk := a.At(q, k)
+					a.Set(p, k, cc*apk-sp*aqk)
+					a.Set(q, k, spc*apk+cc*aqk)
+				}
+				// Accumulate eigenvectors: v ← v U.
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, cc*vkp-spc*vkq)
+					v.Set(k, q, sp*vkp+cc*vkq)
+				}
+			}
+		}
+	}
+	if offDiag() > 1e-7*float64(n) {
+		return nil, core.ErrNotConverged
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = real(a.At(i, i))
+	}
+	// Sort ascending, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] < vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newJ, oldJ := range idx {
+		sortedVals[newJ] = vals[oldJ]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return &EigenResult{Values: sortedVals, Vectors: sortedVecs}, nil
+}
+
+// GroundState returns the smallest eigenvalue and its eigenvector of a
+// Hermitian matrix, choosing dense Jacobi for small systems.
+func GroundState(h *Matrix) (float64, []complex128, error) {
+	res, err := EighJacobi(h)
+	if err != nil {
+		return 0, nil, err
+	}
+	vec := make([]complex128, h.Rows)
+	for i := 0; i < h.Rows; i++ {
+		vec[i] = res.Vectors.At(i, 0)
+	}
+	return res.Values[0], vec, nil
+}

@@ -1,0 +1,121 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestEighDiagonal(t *testing.T) {
+	m := MatrixFrom(3, 3, []complex128{
+		3, 0, 0,
+		0, -1, 0,
+		0, 0, 2,
+	})
+	res, err := EighJacobi(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 2, 3}
+	for i, w := range want {
+		if math.Abs(res.Values[i]-w) > 1e-10 {
+			t.Errorf("eig[%d]=%v want %v", i, res.Values[i], w)
+		}
+	}
+}
+
+func TestEighPauliX(t *testing.T) {
+	res, err := EighJacobi(pauliX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Values[0]+1) > 1e-10 || math.Abs(res.Values[1]-1) > 1e-10 {
+		t.Errorf("X eigenvalues %v, want [-1, 1]", res.Values)
+	}
+}
+
+func TestEighComplexHermitian(t *testing.T) {
+	// H = [[1, i],[−i, 1]] has eigenvalues 0 and 2.
+	m := MatrixFrom(2, 2, []complex128{1, 1i, -1i, 1})
+	res, err := EighJacobi(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Values[0]) > 1e-10 || math.Abs(res.Values[1]-2) > 1e-10 {
+		t.Errorf("eigenvalues %v, want [0, 2]", res.Values)
+	}
+}
+
+func TestEighEigenvectorResidual(t *testing.T) {
+	// Random-ish 6×6 Hermitian matrix; verify H·v = λ·v for all pairs.
+	rng := core.NewRNG(11)
+	n := 6
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, complex(rng.NormFloat64(), 0))
+		for j := i + 1; j < n; j++ {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			m.Set(i, j, v)
+			m.Set(j, i, complex(real(v), -imag(v)))
+		}
+	}
+	res, err := EighJacobi(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		v := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			v[i] = res.Vectors.At(i, j)
+		}
+		hv := m.MulVec(v)
+		for i := 0; i < n; i++ {
+			want := complex(res.Values[j], 0) * v[i]
+			if !core.AlmostEqualC(hv[i], want, 1e-8) {
+				t.Fatalf("residual too large for pair %d: %v vs %v", j, hv[i], want)
+			}
+		}
+	}
+	// Eigenvalues ascending.
+	for j := 1; j < n; j++ {
+		if res.Values[j] < res.Values[j-1]-1e-12 {
+			t.Error("eigenvalues not sorted")
+		}
+	}
+	// Trace preserved.
+	sum := 0.0
+	for _, v := range res.Values {
+		sum += v
+	}
+	if math.Abs(sum-real(m.Trace())) > 1e-8 {
+		t.Errorf("trace %v vs eigenvalue sum %v", real(m.Trace()), sum)
+	}
+}
+
+func TestEighRejectsNonHermitian(t *testing.T) {
+	m := MatrixFrom(2, 2, []complex128{0, 1, 0, 0})
+	if _, err := EighJacobi(m); err == nil {
+		t.Error("expected error for non-Hermitian input")
+	}
+}
+
+func TestEighRejectsNonSquare(t *testing.T) {
+	if _, err := EighJacobi(NewMatrix(2, 3)); err == nil {
+		t.Error("expected error for non-square input")
+	}
+}
+
+func TestGroundState(t *testing.T) {
+	m := MatrixFrom(2, 2, []complex128{2, 0, 0, -5})
+	e, v, err := GroundState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e+5) > 1e-10 {
+		t.Errorf("ground energy %v", e)
+	}
+	if math.Abs(real(v[1])*real(v[1])+imag(v[1])*imag(v[1])-1) > 1e-10 {
+		t.Errorf("ground vector %v", v)
+	}
+}

@@ -1,0 +1,312 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Sparse is a compressed-sparse-row complex matrix, the workhorse for
+// Hamiltonians too large to store densely (FCI matrices, Pauli sums on
+// 14–24 qubits).
+type Sparse struct {
+	N      int // square dimension
+	RowPtr []int
+	ColIdx []int
+	Vals   []complex128
+}
+
+// coo is a temporary coordinate-format entry used while building.
+type coo struct {
+	r, c int
+	v    complex128
+}
+
+// SparseBuilder accumulates entries (duplicates are summed) and produces a
+// CSR matrix.
+type SparseBuilder struct {
+	n       int
+	entries []coo
+}
+
+// NewSparseBuilder returns a builder for an n×n matrix.
+func NewSparseBuilder(n int) *SparseBuilder {
+	return &SparseBuilder{n: n}
+}
+
+// Add accumulates v into entry (r,c).
+func (b *SparseBuilder) Add(r, c int, v complex128) {
+	if r < 0 || r >= b.n || c < 0 || c >= b.n {
+		panic(core.ErrDimensionMismatch)
+	}
+	if v == 0 {
+		return
+	}
+	b.entries = append(b.entries, coo{r, c, v})
+}
+
+// Build sorts, merges duplicates, drops negligible entries, and returns
+// the CSR matrix.
+func (b *SparseBuilder) Build() *Sparse {
+	sort.Slice(b.entries, func(i, j int) bool {
+		if b.entries[i].r != b.entries[j].r {
+			return b.entries[i].r < b.entries[j].r
+		}
+		return b.entries[i].c < b.entries[j].c
+	})
+	s := &Sparse{N: b.n, RowPtr: make([]int, b.n+1)}
+	for i := 0; i < len(b.entries); {
+		j := i
+		v := complex128(0)
+		for j < len(b.entries) && b.entries[j].r == b.entries[i].r && b.entries[j].c == b.entries[i].c {
+			v += b.entries[j].v
+			j++
+		}
+		if math.Hypot(real(v), imag(v)) > core.CoeffEps {
+			s.ColIdx = append(s.ColIdx, b.entries[i].c)
+			s.Vals = append(s.Vals, v)
+			s.RowPtr[b.entries[i].r+1]++
+		}
+		i = j
+	}
+	for r := 0; r < b.n; r++ {
+		s.RowPtr[r+1] += s.RowPtr[r]
+	}
+	return s
+}
+
+// NNZ returns the number of stored nonzeros.
+func (s *Sparse) NNZ() int { return len(s.Vals) }
+
+// MulVec computes y = s·x.
+func (s *Sparse) MulVec(x []complex128) []complex128 {
+	y := make([]complex128, s.N)
+	s.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes y = s·x into a caller-provided buffer.
+func (s *Sparse) MulVecTo(y, x []complex128) {
+	if len(x) != s.N || len(y) != s.N {
+		panic(core.ErrDimensionMismatch)
+	}
+	for r := 0; r < s.N; r++ {
+		var acc complex128
+		for k := s.RowPtr[r]; k < s.RowPtr[r+1]; k++ {
+			acc += s.Vals[k] * x[s.ColIdx[k]]
+		}
+		y[r] = acc
+	}
+}
+
+// Dense expands the matrix to dense form (small systems only).
+func (s *Sparse) Dense() *Matrix {
+	m := NewMatrix(s.N, s.N)
+	for r := 0; r < s.N; r++ {
+		for k := s.RowPtr[r]; k < s.RowPtr[r+1]; k++ {
+			m.Set(r, s.ColIdx[k], s.Vals[k])
+		}
+	}
+	return m
+}
+
+// MatVecer is any operator that can apply itself to a vector; both *Sparse
+// and matrix-free Hamiltonians satisfy it.
+type MatVecer interface {
+	Dim() int
+	Apply(dst, src []complex128)
+}
+
+// Dim implements MatVecer.
+func (s *Sparse) Dim() int { return s.N }
+
+// Apply implements MatVecer.
+func (s *Sparse) Apply(dst, src []complex128) { s.MulVecTo(dst, src) }
+
+// LanczosOptions tunes the iterative ground-state solver.
+type LanczosOptions struct {
+	MaxIter int     // Krylov dimension cap (default 200)
+	Tol     float64 // eigenvalue convergence tolerance (default 1e-10)
+	Seed    uint64  // starting-vector seed (default 1)
+}
+
+// LanczosGround computes the smallest eigenvalue (and eigenvector) of a
+// Hermitian operator using the Lanczos method with full
+// reorthogonalization. Full reorthogonalization is O(k·n) per iteration
+// but immune to ghost eigenvalues, which matters because VQE accuracy is
+// judged against this reference.
+func LanczosGround(op MatVecer, opts LanczosOptions) (float64, []complex128, error) {
+	n := op.Dim()
+	if n == 0 {
+		return 0, nil, core.ErrInvalidArgument
+	}
+	if n == 1 {
+		e := make([]complex128, 1)
+		e[0] = 1
+		dst := make([]complex128, 1)
+		op.Apply(dst, e)
+		return real(dst[0]), e, nil
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	if maxIter > n {
+		maxIter = n
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	rng := core.NewRNG(seed)
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	VecScale(v, complex(1/VecNorm(v), 0))
+
+	basis := [][]complex128{append([]complex128(nil), v...)}
+	var alphas, betas []float64
+	w := make([]complex128, n)
+	prevEig := math.Inf(1)
+
+	for k := 0; k < maxIter; k++ {
+		op.Apply(w, basis[k])
+		alpha := real(VecDot(basis[k], w))
+		alphas = append(alphas, alpha)
+		// w ← w − α v_k − β v_{k−1}, then full reorthogonalization.
+		VecAXPY(complex(-alpha, 0), basis[k], w)
+		if k > 0 {
+			VecAXPY(complex(-betas[k-1], 0), basis[k-1], w)
+		}
+		for _, b := range basis {
+			VecAXPY(-VecDot(b, w), b, w)
+		}
+		beta := VecNorm(w)
+
+		// Solve the tridiagonal eigenproblem for current Krylov space.
+		eig, evec := tridiagGround(alphas, betas)
+		if math.Abs(eig-prevEig) < tol || beta < 1e-13 || k == maxIter-1 {
+			// Assemble the Ritz vector.
+			out := make([]complex128, n)
+			for i, b := range basis {
+				VecAXPY(complex(evec[i], 0), b, out)
+			}
+			VecScale(out, complex(1/VecNorm(out), 0))
+			return eig, out, nil
+		}
+		prevEig = eig
+		betas = append(betas, beta)
+		next := make([]complex128, n)
+		copy(next, w)
+		VecScale(next, complex(1/beta, 0))
+		basis = append(basis, next)
+	}
+	return 0, nil, core.ErrNotConverged
+}
+
+// tridiagGround finds the smallest eigenpair of the symmetric tridiagonal
+// matrix with the given diagonal (alphas) and off-diagonal (betas, one
+// shorter) via bisection + inverse iteration.
+func tridiagGround(alphas, betas []float64) (float64, []float64) {
+	k := len(alphas)
+	if k == 1 {
+		return alphas[0], []float64{1}
+	}
+	// Gershgorin bounds.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < k; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(betas[i-1])
+		}
+		if i < k-1 {
+			r += math.Abs(betas[i])
+		}
+		lo = math.Min(lo, alphas[i]-r)
+		hi = math.Max(hi, alphas[i]+r)
+	}
+	// countBelow returns #eigenvalues < x (Sturm sequence).
+	countBelow := func(x float64) int {
+		count := 0
+		d := alphas[0] - x
+		if d < 0 {
+			count++
+		}
+		for i := 1; i < k; i++ {
+			if d == 0 {
+				d = 1e-300
+			}
+			d = alphas[i] - x - betas[i-1]*betas[i-1]/d
+			if d < 0 {
+				count++
+			}
+		}
+		return count
+	}
+	for hi-lo > 1e-14*(1+math.Abs(lo)) {
+		mid := 0.5 * (lo + hi)
+		if countBelow(mid) >= 1 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	eig := 0.5 * (lo + hi)
+
+	// Inverse iteration for the eigenvector.
+	vec := make([]float64, k)
+	for i := range vec {
+		vec[i] = 1 / math.Sqrt(float64(k))
+	}
+	shift := eig - 1e-10
+	for iter := 0; iter < 4; iter++ {
+		vec = solveTridiag(alphas, betas, shift, vec)
+		norm := 0.0
+		for _, x := range vec {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		for i := range vec {
+			vec[i] /= norm
+		}
+	}
+	return eig, vec
+}
+
+// solveTridiag solves (T - shift·I)x = b with the Thomas algorithm.
+func solveTridiag(alphas, betas []float64, shift float64, b []float64) []float64 {
+	k := len(alphas)
+	c := make([]float64, k)
+	d := make([]float64, k)
+	x := make([]float64, k)
+	denom := alphas[0] - shift
+	if math.Abs(denom) < 1e-300 {
+		denom = 1e-300
+	}
+	if k > 1 {
+		c[0] = betas[0] / denom
+	}
+	d[0] = b[0] / denom
+	for i := 1; i < k; i++ {
+		denom = alphas[i] - shift - betas[i-1]*c[i-1]
+		if math.Abs(denom) < 1e-300 {
+			denom = 1e-300
+		}
+		if i < k-1 {
+			c[i] = betas[i] / denom
+		}
+		d[i] = (b[i] - betas[i-1]*d[i-1]) / denom
+	}
+	x[k-1] = d[k-1]
+	for i := k - 2; i >= 0; i-- {
+		x[i] = d[i] - c[i]*x[i+1]
+	}
+	return x
+}

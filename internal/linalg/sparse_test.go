@@ -1,0 +1,146 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSparseBuildAndMulVec(t *testing.T) {
+	b := NewSparseBuilder(3)
+	b.Add(0, 0, 2)
+	b.Add(0, 2, 1i)
+	b.Add(2, 1, -1)
+	b.Add(0, 0, 3) // duplicate, summed
+	s := b.Build()
+	if s.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", s.NNZ())
+	}
+	y := s.MulVec([]complex128{1, 2, 3})
+	if y[0] != 5+3i || y[1] != 0 || y[2] != -2 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+func TestSparseDropsZero(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, -1)
+	b.Add(1, 1, 1e-20)
+	s := b.Build()
+	if s.NNZ() != 0 {
+		t.Errorf("expected all entries dropped, nnz=%d", s.NNZ())
+	}
+}
+
+func TestSparseDense(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 1, 7)
+	b.Add(1, 0, -7i)
+	d := b.Build().Dense()
+	if d.At(0, 1) != 7 || d.At(1, 0) != -7i || d.At(0, 0) != 0 {
+		t.Error("dense conversion wrong")
+	}
+}
+
+func TestSparseAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewSparseBuilder(2).Add(2, 0, 1)
+}
+
+func buildHermitianSparse(n int, seed uint64) *Sparse {
+	rng := core.NewRNG(seed)
+	b := NewSparseBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, complex(rng.NormFloat64(), 0))
+		// A few off-diagonal couplings per row.
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			b.Add(i, j, v)
+			b.Add(j, i, complex(real(v), -imag(v)))
+		}
+	}
+	return b.Build()
+}
+
+func TestLanczosMatchesJacobi(t *testing.T) {
+	for _, n := range []int{4, 16, 40} {
+		s := buildHermitianSparse(n, uint64(n))
+		eLanczos, vec, err := LanczosGround(s, LanczosOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		res, err := EighJacobi(s.Dense())
+		if err != nil {
+			t.Fatalf("n=%d jacobi: %v", n, err)
+		}
+		if math.Abs(eLanczos-res.Values[0]) > 1e-7 {
+			t.Errorf("n=%d: lanczos %v vs jacobi %v", n, eLanczos, res.Values[0])
+		}
+		// Residual ‖Hv − Ev‖ small.
+		hv := s.MulVec(vec)
+		VecAXPY(complex(-eLanczos, 0), vec, hv)
+		if VecNorm(hv) > 1e-5 {
+			t.Errorf("n=%d: residual %v", n, VecNorm(hv))
+		}
+	}
+}
+
+func TestLanczosDiagonal(t *testing.T) {
+	b := NewSparseBuilder(100)
+	for i := 0; i < 100; i++ {
+		b.Add(i, i, complex(float64(i)-37.5, 0))
+	}
+	e, _, err := LanczosGround(b.Build(), LanczosOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e+37.5) > 1e-8 {
+		t.Errorf("ground %v, want -37.5", e)
+	}
+}
+
+func TestLanczosOneByOne(t *testing.T) {
+	b := NewSparseBuilder(1)
+	b.Add(0, 0, -3)
+	e, v, err := LanczosGround(b.Build(), LanczosOptions{})
+	if err != nil || math.Abs(e+3) > 1e-12 || len(v) != 1 {
+		t.Errorf("e=%v v=%v err=%v", e, v, err)
+	}
+}
+
+func TestLanczosDegenerate(t *testing.T) {
+	// Matrix with a doubly-degenerate ground state still converges.
+	b := NewSparseBuilder(4)
+	b.Add(0, 0, -1)
+	b.Add(1, 1, -1)
+	b.Add(2, 2, 1)
+	b.Add(3, 3, 2)
+	e, _, err := LanczosGround(b.Build(), LanczosOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e+1) > 1e-8 {
+		t.Errorf("ground %v, want -1", e)
+	}
+}
+
+func TestSparseApplyInterface(t *testing.T) {
+	var op MatVecer = buildHermitianSparse(8, 3)
+	if op.Dim() != 8 {
+		t.Error("dim wrong")
+	}
+	dst := make([]complex128, 8)
+	src := make([]complex128, 8)
+	src[0] = 1
+	op.Apply(dst, src)
+}

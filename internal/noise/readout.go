@@ -1,0 +1,139 @@
+package noise
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// ReadoutModel describes classical measurement errors: qubit q reads 1
+// despite being 0 with probability E01[q], and reads 0 despite being 1
+// with probability E10[q]. The per-qubit confusion matrices factorize, so
+// both application and mitigation (matrix inversion, the standard
+// "unfolding" technique) cost O(n·2ⁿ) on a full distribution.
+type ReadoutModel struct {
+	E01, E10 []float64
+}
+
+// UniformReadout builds a model with identical error rates on n qubits.
+func UniformReadout(n int, e01, e10 float64) ReadoutModel {
+	m := ReadoutModel{E01: make([]float64, n), E10: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		m.E01[i] = e01
+		m.E10[i] = e10
+	}
+	return m
+}
+
+// NumQubits returns the register width.
+func (r ReadoutModel) NumQubits() int { return len(r.E01) }
+
+// Validate checks shapes and probability ranges, and that every
+// confusion matrix is invertible (e01 + e10 < 1).
+func (r ReadoutModel) Validate() error {
+	if len(r.E01) != len(r.E10) {
+		return core.ErrDimensionMismatch
+	}
+	for q := range r.E01 {
+		if r.E01[q] < 0 || r.E10[q] < 0 || r.E01[q]+r.E10[q] >= 1 {
+			return fmt.Errorf("%w: qubit %d confusion (%v, %v)", core.ErrInvalidArgument, q, r.E01[q], r.E10[q])
+		}
+	}
+	return nil
+}
+
+// applyQubitMap applies a per-qubit 2×2 map [[a00,a01],[a10,a11]] (column
+// = true value, row = read value) to the distribution in place.
+func applyQubitMap(probs []float64, q int, a00, a01, a10, a11 float64) {
+	half := uint64(len(probs) / 2)
+	for rest := uint64(0); rest < half; rest++ {
+		i0 := core.InsertZeroBit(rest, q)
+		i1 := i0 | 1<<uint(q)
+		p0, p1 := probs[i0], probs[i1]
+		probs[i0] = a00*p0 + a01*p1
+		probs[i1] = a10*p0 + a11*p1
+	}
+}
+
+// Apply transforms a true outcome distribution into the noisy measured
+// distribution (returns a new slice).
+func (r ReadoutModel) Apply(probs []float64) ([]float64, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if len(probs) != core.Dim(r.NumQubits()) {
+		return nil, core.ErrDimensionMismatch
+	}
+	out := append([]float64(nil), probs...)
+	for q := range r.E01 {
+		e01, e10 := r.E01[q], r.E10[q]
+		applyQubitMap(out, q, 1-e01, e10, e01, 1-e10)
+	}
+	return out, nil
+}
+
+// Mitigate inverts the confusion matrices on a measured distribution
+// (unfolding). Statistical noise can push entries slightly negative; they
+// are clipped and the distribution renormalized.
+func (r ReadoutModel) Mitigate(measured []float64) ([]float64, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if len(measured) != core.Dim(r.NumQubits()) {
+		return nil, core.ErrDimensionMismatch
+	}
+	out := append([]float64(nil), measured...)
+	for q := range r.E01 {
+		e01, e10 := r.E01[q], r.E10[q]
+		det := 1 - e01 - e10
+		// Inverse of [[1−e01, e10],[e01, 1−e10]].
+		applyQubitMap(out, q, (1-e10)/det, -e10/det, -e01/det, (1-e01)/det)
+	}
+	total := 0.0
+	for i, p := range out {
+		if p < 0 {
+			out[i] = 0
+		}
+		total += out[i]
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out, nil
+}
+
+// CountsToDistribution normalizes a shot histogram into a probability
+// vector over 2ⁿ outcomes.
+func CountsToDistribution(counts map[uint64]int, n int) []float64 {
+	out := make([]float64, core.Dim(n))
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	for outcome, c := range counts {
+		if int(outcome) < len(out) {
+			out[outcome] += float64(c) / float64(total)
+		}
+	}
+	return out
+}
+
+// ZExpectation reads ⟨Z-string⟩ (for the qubits in zmask) from a
+// distribution.
+func ZExpectation(probs []float64, zmask uint64) float64 {
+	e := 0.0
+	for i, p := range probs {
+		if bits.OnesCount64(uint64(i)&zmask)%2 == 0 {
+			e += p
+		} else {
+			e -= p
+		}
+	}
+	return e
+}

@@ -1,0 +1,166 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/state"
+)
+
+func TestReadoutValidate(t *testing.T) {
+	if err := UniformReadout(2, 0.02, 0.05).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (ReadoutModel{E01: []float64{0.6}, E10: []float64{0.5}}).Validate(); err == nil {
+		t.Error("singular confusion accepted")
+	}
+	if err := (ReadoutModel{E01: []float64{-0.1}, E10: []float64{0}}).Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := (ReadoutModel{E01: []float64{0.1}, E10: []float64{0.1, 0.1}}).Validate(); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestReadoutApplySingleQubit(t *testing.T) {
+	// True |0⟩ with e01 = 0.1: measured distribution (0.9, 0.1).
+	m := UniformReadout(1, 0.1, 0.2)
+	noisy, err := m.Apply([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(noisy[0]-0.9) > 1e-12 || math.Abs(noisy[1]-0.1) > 1e-12 {
+		t.Errorf("noisy = %v", noisy)
+	}
+	// True |1⟩ with e10 = 0.2: (0.2, 0.8).
+	noisy, _ = m.Apply([]float64{0, 1})
+	if math.Abs(noisy[0]-0.2) > 1e-12 || math.Abs(noisy[1]-0.8) > 1e-12 {
+		t.Errorf("noisy = %v", noisy)
+	}
+}
+
+func TestReadoutApplyPreservesNormalization(t *testing.T) {
+	m := UniformReadout(3, 0.03, 0.07)
+	s := state.New(3, state.Options{})
+	s.Run(circuit.New(3).H(0).CX(0, 1).RY(0.4, 2))
+	noisy, err := m.Apply(s.Probabilities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, p := range noisy {
+		total += p
+	}
+	if math.Abs(total-1) > 1e-10 {
+		t.Errorf("total probability %v", total)
+	}
+}
+
+func TestMitigateInvertsApply(t *testing.T) {
+	m := UniformReadout(3, 0.05, 0.08)
+	s := state.New(3, state.Options{})
+	s.Run(circuit.New(3).H(0).CX(0, 1).CX(1, 2))
+	truth := s.Probabilities()
+	noisy, err := m.Apply(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := m.Mitigate(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(recovered[i]-truth[i]) > 1e-10 {
+			t.Fatalf("index %d: %v vs %v", i, recovered[i], truth[i])
+		}
+	}
+}
+
+func TestReadoutDegradesZExpectation(t *testing.T) {
+	// Symmetric error e on every qubit scales a weight-k Z correlator by
+	// (1−2e)^k.
+	e := 0.06
+	m := UniformReadout(2, e, e)
+	s := state.New(2, state.Options{})
+	s.Run(circuit.New(2).H(0).CX(0, 1))
+	truth := s.Probabilities()
+	noisy, _ := m.Apply(truth)
+	want := math.Pow(1-2*e, 2) * ZExpectation(truth, 0b11)
+	if got := ZExpectation(noisy, 0b11); math.Abs(got-want) > 1e-10 {
+		t.Errorf("degraded ⟨ZZ⟩ = %v, want %v", got, want)
+	}
+}
+
+func TestMitigationRecoversSampledExpectation(t *testing.T) {
+	// Sample the noisy distribution, mitigate, and compare ⟨ZZ⟩ against
+	// the true value: the mitigated estimate must be much closer.
+	m := UniformReadout(2, 0.08, 0.05)
+	s := state.New(2, state.Options{Seed: 3})
+	s.Run(circuit.New(2).H(0).CX(0, 1))
+	truth := s.Probabilities()
+	trueZZ := ZExpectation(truth, 0b11)
+
+	noisyDist, _ := m.Apply(truth)
+	// Simulate finite sampling of the noisy distribution.
+	noisyState, err := state.FromAmplitudes(sqrtDist(noisyDist), state.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := noisyState.SampleCounts(200000)
+	measured := CountsToDistribution(counts, 2)
+
+	rawErr := math.Abs(ZExpectation(measured, 0b11) - trueZZ)
+	mitigated, err := m.Mitigate(measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitErr := math.Abs(ZExpectation(mitigated, 0b11) - trueZZ)
+	if mitErr >= rawErr {
+		t.Errorf("mitigation did not help: raw %v vs mitigated %v", rawErr, mitErr)
+	}
+	if mitErr > 0.02 {
+		t.Errorf("mitigated error %v too large", mitErr)
+	}
+}
+
+// sqrtDist builds a real amplitude vector whose probabilities equal the
+// distribution (for reusing the sampler).
+func sqrtDist(probs []float64) []complex128 {
+	out := make([]complex128, len(probs))
+	for i, p := range probs {
+		out[i] = complex(math.Sqrt(p), 0)
+	}
+	return out
+}
+
+func TestMitigateClipsNegatives(t *testing.T) {
+	// A deliberately inconsistent measured distribution (impossible under
+	// the model) still yields a valid probability vector.
+	m := UniformReadout(1, 0.3, 0.3)
+	out, err := m.Mitigate([]float64{0.999, 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, p := range out {
+		if p < 0 {
+			t.Errorf("negative probability %v", p)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-10 {
+		t.Errorf("not renormalized: %v", total)
+	}
+}
+
+func TestCountsToDistribution(t *testing.T) {
+	d := CountsToDistribution(map[uint64]int{0: 3, 3: 1}, 2)
+	if math.Abs(d[0]-0.75) > 1e-12 || math.Abs(d[3]-0.25) > 1e-12 {
+		t.Errorf("distribution %v", d)
+	}
+	empty := CountsToDistribution(nil, 1)
+	if empty[0] != 0 {
+		t.Error("empty counts")
+	}
+}

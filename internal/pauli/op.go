@@ -1,0 +1,266 @@
+package pauli
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+)
+
+// Term is one weighted Pauli string of an observable.
+type Term struct {
+	Coeff complex128
+	P     String
+}
+
+// Op is a Pauli-sum operator (observable / Hamiltonian): a linear
+// combination of Pauli strings stored in a canonical map. The zero value
+// is the zero operator and is ready to use.
+type Op struct {
+	terms map[String]complex128
+}
+
+// NewOp returns an empty operator.
+func NewOp() *Op { return &Op{terms: map[String]complex128{}} }
+
+// FromTerms builds an operator from a term list (duplicates are summed).
+func FromTerms(ts []Term) *Op {
+	op := NewOp()
+	for _, t := range ts {
+		op.Add(t.P, t.Coeff)
+	}
+	return op
+}
+
+// Scalar returns c·I as an operator.
+func Scalar(c complex128) *Op {
+	op := NewOp()
+	op.Add(Identity, c)
+	return op
+}
+
+// Add accumulates coeff·P into the operator.
+func (op *Op) Add(p String, coeff complex128) *Op {
+	if op.terms == nil {
+		op.terms = map[String]complex128{}
+	}
+	v := op.terms[p] + coeff
+	if cmplx.Abs(v) <= core.CoeffEps {
+		delete(op.terms, p)
+	} else {
+		op.terms[p] = v
+	}
+	return op
+}
+
+// AddOp accumulates c·o into op.
+func (op *Op) AddOp(o *Op, c complex128) *Op {
+	for p, v := range o.terms {
+		op.Add(p, c*v)
+	}
+	return op
+}
+
+// Coeff returns the coefficient of string p (zero if absent).
+func (op *Op) Coeff(p String) complex128 { return op.terms[p] }
+
+// NumTerms returns the number of stored Pauli strings — the quantity in
+// the paper's Figure 1b.
+func (op *Op) NumTerms() int { return len(op.terms) }
+
+// Terms returns the term list sorted canonically.
+func (op *Op) Terms() []Term {
+	out := make([]Term, 0, len(op.terms))
+	for p, c := range op.terms {
+		out = append(out, Term{Coeff: c, P: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].P.Less(out[j].P) })
+	return out
+}
+
+// Clone deep-copies the operator.
+func (op *Op) Clone() *Op {
+	out := NewOp()
+	for p, c := range op.terms {
+		out.terms[p] = c
+	}
+	return out
+}
+
+// Scale multiplies every coefficient by c in place and returns op.
+func (op *Op) Scale(c complex128) *Op {
+	if c == 0 {
+		op.terms = map[String]complex128{}
+		return op
+	}
+	for p := range op.terms {
+		op.terms[p] *= c
+	}
+	return op
+}
+
+// Mul returns the operator product op·o (term-by-term with phase
+// tracking). Cost is O(|op|·|o|).
+func (op *Op) Mul(o *Op) *Op {
+	out := NewOp()
+	for p1, c1 := range op.terms {
+		for p2, c2 := range o.terms {
+			r, ph := p1.Mul(p2)
+			out.Add(r, c1*c2*ph)
+		}
+	}
+	return out
+}
+
+// Commutator returns [op, o] = op·o − o·op.
+func (op *Op) Commutator(o *Op) *Op {
+	out := op.Mul(o)
+	out.AddOp(o.Mul(op), -1)
+	return out
+}
+
+// MaxQubit returns the highest qubit index used, or -1 for a scalar.
+func (op *Op) MaxQubit() int {
+	mx := -1
+	for p := range op.terms {
+		if q := p.MaxQubit(); q > mx {
+			mx = q
+		}
+	}
+	return mx
+}
+
+// IsHermitian reports whether the operator is Hermitian — every Pauli
+// string is Hermitian, so this holds iff all coefficients are real.
+func (op *Op) IsHermitian(tol float64) bool {
+	for _, c := range op.terms {
+		if math.Abs(imag(c)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// HermitianPart returns (op + op†)/2 — for Pauli sums that simply drops
+// the imaginary part of each coefficient.
+func (op *Op) HermitianPart() *Op {
+	out := NewOp()
+	for p, c := range op.terms {
+		if r := real(c); math.Abs(r) > core.CoeffEps {
+			out.terms[p] = complex(r, 0)
+		}
+	}
+	return out
+}
+
+// Chop removes terms with |coeff| ≤ tol in place and returns op.
+func (op *Op) Chop(tol float64) *Op {
+	for p, c := range op.terms {
+		if cmplx.Abs(c) <= tol {
+			delete(op.terms, p)
+		}
+	}
+	return op
+}
+
+// OneNorm returns Σ|coeff| (identity included).
+func (op *Op) OneNorm() float64 {
+	s := 0.0
+	for _, c := range op.terms {
+		s += cmplx.Abs(c)
+	}
+	return s
+}
+
+// Equal reports coefficient-wise equality within tol.
+func (op *Op) Equal(o *Op, tol float64) bool {
+	for p, c := range op.terms {
+		if !core.AlmostEqualC(c, o.terms[p], tol) {
+			return false
+		}
+	}
+	for p, c := range o.terms {
+		if _, ok := op.terms[p]; !ok && cmplx.Abs(c) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the operator compactly, canonical term order.
+func (op *Op) String() string {
+	ts := op.Terms()
+	if len(ts) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i, t := range ts {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		if imag(t.Coeff) == 0 {
+			fmt.Fprintf(&b, "%g", real(t.Coeff))
+		} else {
+			fmt.Fprintf(&b, "(%g%+gi)", real(t.Coeff), imag(t.Coeff))
+		}
+		b.WriteString("·")
+		b.WriteString(t.P.Compact())
+	}
+	return b.String()
+}
+
+// ToSparse materializes the operator as a CSR matrix on n qubits, used to
+// cross-check simulated expectation values against exact linear algebra.
+func (op *Op) ToSparse(n int) *linalg.Sparse {
+	dim := core.Dim(n)
+	b := linalg.NewSparseBuilder(dim)
+	for p, c := range op.terms {
+		if p.MaxQubit() >= n {
+			panic(core.QubitError(p.MaxQubit(), n))
+		}
+		for i := uint64(0); i < uint64(dim); i++ {
+			j, ph := p.ApplyToBasis(i)
+			// Column i contributes to row j: H|i⟩ = Σ ph·|j⟩.
+			b.Add(int(j), int(i), c*ph)
+		}
+	}
+	return b.Build()
+}
+
+// ToDense materializes the operator densely (small n only).
+func (op *Op) ToDense(n int) *linalg.Matrix {
+	return op.ToSparse(n).Dense()
+}
+
+// MatVec applies the operator to a state vector without materializing a
+// matrix: O(terms · 2ⁿ). src and dst must have length 2ⁿ.
+func (op *Op) MatVec(dst, src []complex128) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for p, c := range op.terms {
+		for i := uint64(0); i < uint64(len(src)); i++ {
+			if src[i] == 0 {
+				continue
+			}
+			j, ph := p.ApplyToBasis(i)
+			dst[j] += c * ph * src[i]
+		}
+	}
+}
+
+// OpMatVec adapts an Op to linalg.MatVecer for Lanczos.
+type OpMatVec struct {
+	Op *Op
+	N  int
+}
+
+// Dim implements linalg.MatVecer.
+func (m OpMatVec) Dim() int { return core.Dim(m.N) }
+
+// Apply implements linalg.MatVecer.
+func (m OpMatVec) Apply(dst, src []complex128) { m.Op.MatVec(dst, src) }

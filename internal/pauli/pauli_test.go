@@ -1,0 +1,191 @@
+package pauli
+
+import (
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+)
+
+func TestParseAndLabel(t *testing.T) {
+	s := MustParse("XIZY")
+	if s.At(0) != 'X' || s.At(1) != 'I' || s.At(2) != 'Z' || s.At(3) != 'Y' {
+		t.Errorf("letters wrong: %s", s.Label(4))
+	}
+	if s.Label(4) != "XIZY" {
+		t.Errorf("label %q", s.Label(4))
+	}
+	if s.Compact() != "X0 Z2 Y3" {
+		t.Errorf("compact %q", s.Compact())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("XQ"); err == nil {
+		t.Error("bad letter accepted")
+	}
+}
+
+func TestSingleErrors(t *testing.T) {
+	if _, err := Single('X', 64); err == nil {
+		t.Error("qubit 64 accepted")
+	}
+	if _, err := Single('W', 0); err == nil {
+		t.Error("letter W accepted")
+	}
+}
+
+func TestWeightSupportMaxQubit(t *testing.T) {
+	s := MustParse("IXIY")
+	if s.Weight() != 2 {
+		t.Error("weight")
+	}
+	sup := s.Support()
+	if len(sup) != 2 || sup[0] != 1 || sup[1] != 3 {
+		t.Errorf("support %v", sup)
+	}
+	if s.MaxQubit() != 3 {
+		t.Error("max qubit")
+	}
+	if Identity.MaxQubit() != -1 || !Identity.IsIdentity() {
+		t.Error("identity props")
+	}
+}
+
+// denseOf builds the explicit matrix of a string on n qubits from
+// single-qubit Kronecker factors (independent reference construction).
+func denseOf(s String, n int) *linalg.Matrix {
+	m := linalg.Identity(1)
+	// Qubit n-1 is the high bit, so iterate high → low.
+	for q := n - 1; q >= 0; q-- {
+		var f *linalg.Matrix
+		switch s.At(q) {
+		case 'I':
+			f = linalg.Identity(2)
+		case 'X':
+			f = gate.New(gate.X).Matrix2()
+		case 'Y':
+			f = gate.New(gate.Y).Matrix2()
+		case 'Z':
+			f = gate.New(gate.Z).Matrix2()
+		}
+		m = m.Kron(f)
+	}
+	return m
+}
+
+func TestMulMatchesDense(t *testing.T) {
+	labels := []string{"XI", "IY", "ZZ", "XY", "YX", "YY", "ZX", "II", "XZ"}
+	for _, a := range labels {
+		for _, b := range labels {
+			pa, pb := MustParse(a), MustParse(b)
+			r, ph := pa.Mul(pb)
+			got := denseOf(r, 2).Scale(ph)
+			want := denseOf(pa, 2).Mul(denseOf(pb, 2))
+			if !got.Equal(want, 1e-12) {
+				t.Errorf("%s·%s: phase %v wrong", a, b, ph)
+			}
+		}
+	}
+}
+
+func TestMulKnownPhases(t *testing.T) {
+	x, y, z := MustParse("X"), MustParse("Y"), MustParse("Z")
+	r, ph := x.Mul(y)
+	if r != z || ph != 1i {
+		t.Errorf("XY = %v·%v, want i·Z", ph, r.Compact())
+	}
+	r, ph = y.Mul(x)
+	if r != z || ph != -1i {
+		t.Errorf("YX = %v·%v, want -i·Z", ph, r.Compact())
+	}
+	r, ph = y.Mul(y)
+	if !r.IsIdentity() || ph != 1 {
+		t.Errorf("Y² = %v·%v", ph, r.Compact())
+	}
+}
+
+func TestMulProperties(t *testing.T) {
+	f := func(x1, z1, x2, z2 uint16) bool {
+		a := String{X: uint64(x1), Z: uint64(z1)}
+		b := String{X: uint64(x2), Z: uint64(z2)}
+		r, ph := a.Mul(b)
+		// |phase| = 1.
+		if !core.AlmostEqual(cmplx.Abs(ph), 1, 1e-12) {
+			return false
+		}
+		// (ab)b = a·(b²) = a (b² = I).
+		r2, ph2 := r.Mul(b)
+		return r2 == a && core.AlmostEqualC(ph*ph2, 1, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommutes(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"XX", "ZZ", true},  // anticommute on both qubits → commute
+		{"XI", "ZI", false}, // anticommute on one qubit
+		{"XI", "IZ", true},  // disjoint support
+		{"XY", "YX", true},
+		{"ZZ", "ZI", true},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.a).Commutes(MustParse(c.b)); got != c.want {
+			t.Errorf("[%s,%s] commute=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCommutesMatchesDense(t *testing.T) {
+	f := func(x1, z1, x2, z2 uint8) bool {
+		a := String{X: uint64(x1 & 7), Z: uint64(z1 & 7)}
+		b := String{X: uint64(x2 & 7), Z: uint64(z2 & 7)}
+		da, db := denseOf(a, 3), denseOf(b, 3)
+		comm := da.Mul(db).Sub(db.Mul(da))
+		return a.Commutes(b) == (comm.MaxAbs() < 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQubitwiseCommutes(t *testing.T) {
+	if !MustParse("XIZ").QubitwiseCommutes(MustParse("XZI")) {
+		t.Error("compatible strings rejected")
+	}
+	if MustParse("XX").QubitwiseCommutes(MustParse("ZZ")) {
+		t.Error("XX/ZZ accepted (they commute globally but not qubit-wise)")
+	}
+	if !Identity.QubitwiseCommutes(MustParse("XYZ")) {
+		t.Error("identity should QWC with anything")
+	}
+}
+
+func TestApplyToBasisMatchesDense(t *testing.T) {
+	for _, lbl := range []string{"X", "Y", "Z", "XY", "YZ", "ZXY", "YYI"} {
+		p := MustParse(lbl)
+		n := len(lbl)
+		d := denseOf(p, n)
+		for i := uint64(0); i < uint64(1)<<uint(n); i++ {
+			j, ph := p.ApplyToBasis(i)
+			// Column i of d should be ph at row j, 0 elsewhere.
+			for r := 0; r < d.Rows; r++ {
+				want := complex128(0)
+				if uint64(r) == j {
+					want = ph
+				}
+				if !core.AlmostEqualC(d.At(r, int(i)), want, 1e-12) {
+					t.Fatalf("%s: basis %d row %d: %v vs %v", lbl, i, r, d.At(r, int(i)), want)
+				}
+			}
+		}
+	}
+}

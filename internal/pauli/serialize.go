@@ -1,0 +1,126 @@
+package pauli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Text serialization for observables, one term per line:
+//
+//	# H2 Hamiltonian (4 qubits)
+//	-0.81054798 IIII
+//	 0.17218393 ZIII
+//	 (0.5+0.25i) XYZI
+//
+// The label's character i names the Pauli on qubit i. Blank lines and
+// '#' comments are ignored. This is the interchange format of the CLI
+// tools (`cmd/vqe -hamiltonian file`).
+
+// WriteOp serializes the operator over n qubits in canonical term order.
+func WriteOp(w io.Writer, op *Op, n int) error {
+	if op.MaxQubit() >= n {
+		return core.QubitError(op.MaxQubit(), n)
+	}
+	bw := bufio.NewWriter(w)
+	for _, t := range op.Terms() {
+		var coeff string
+		if imag(t.Coeff) == 0 {
+			coeff = strconv.FormatFloat(real(t.Coeff), 'g', 17, 64)
+		} else {
+			im := strconv.FormatFloat(imag(t.Coeff), 'g', 17, 64)
+			if imag(t.Coeff) >= 0 {
+				im = "+" + im
+			}
+			coeff = fmt.Sprintf("(%s%si)", strconv.FormatFloat(real(t.Coeff), 'g', 17, 64), im)
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s\n", coeff, t.P.Label(n)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// OpToString serializes to a string.
+func OpToString(op *Op, n int) string {
+	var sb strings.Builder
+	_ = WriteOp(&sb, op, n)
+	return sb.String()
+}
+
+// ReadOp parses the text format; n is inferred as the longest label length.
+func ReadOp(r io.Reader) (*Op, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	op := NewOp()
+	n := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, 0, fmt.Errorf("pauli: line %d: want \"coeff label\", got %q", lineNo, line)
+		}
+		coeff, err := parseCoeff(fields[0])
+		if err != nil {
+			return nil, 0, fmt.Errorf("pauli: line %d: %v", lineNo, err)
+		}
+		p, err := Parse(fields[1])
+		if err != nil {
+			return nil, 0, fmt.Errorf("pauli: line %d: %v", lineNo, err)
+		}
+		if len(fields[1]) > n {
+			n = len(fields[1])
+		}
+		op.Add(p, coeff)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if n == 0 {
+		return nil, 0, fmt.Errorf("pauli: %w: empty operator file", core.ErrInvalidArgument)
+	}
+	return op, n, nil
+}
+
+// ReadOpString parses from a string.
+func ReadOpString(src string) (*Op, int, error) {
+	return ReadOp(strings.NewReader(src))
+}
+
+// parseCoeff accepts "1.5", "-2e-3", or "(a+bi)".
+func parseCoeff(s string) (complex128, error) {
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, "i)") {
+		inner := s[1 : len(s)-2] // "a+b" with sign on b
+		// Find the split sign after the mantissa (skip a leading sign and
+		// exponent signs).
+		split := -1
+		for i := 1; i < len(inner); i++ {
+			if (inner[i] == '+' || inner[i] == '-') && inner[i-1] != 'e' && inner[i-1] != 'E' {
+				split = i
+			}
+		}
+		if split < 0 {
+			return 0, fmt.Errorf("bad complex literal %q", s)
+		}
+		re, err1 := strconv.ParseFloat(inner[:split], 64)
+		im, err2 := strconv.ParseFloat(inner[split:], 64)
+		if err1 != nil || err2 != nil {
+			return 0, fmt.Errorf("bad complex literal %q", s)
+		}
+		return complex(re, im), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad coefficient %q", s)
+	}
+	return complex(v, 0), nil
+}

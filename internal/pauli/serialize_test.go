@@ -1,0 +1,103 @@
+package pauli
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	op := NewOp().
+		Add(Identity, -0.8105).
+		Add(MustParse("ZIII"), 0.1721).
+		Add(MustParse("XYZI"), 0.5+0.25i).
+		Add(MustParse("IIXX"), -3e-7)
+	text := OpToString(op, 4)
+	back, n, err := ReadOpString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("inferred width %d", n)
+	}
+	if !back.Equal(op, 1e-15) {
+		t.Errorf("round trip changed operator:\n%s", text)
+	}
+}
+
+func TestReadOpCommentsAndBlanks(t *testing.T) {
+	src := `
+# header comment
+0.5 ZZ
+
+# another
+-0.25 XX
+`
+	op, n, err := ReadOpString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || op.NumTerms() != 2 {
+		t.Errorf("n=%d terms=%d", n, op.NumTerms())
+	}
+}
+
+func TestReadOpErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad fields":  "0.5\n",
+		"bad coeff":   "abc ZZ\n",
+		"bad label":   "0.5 ZQ\n",
+		"bad complex": "(1+2j) ZZ\n",
+	}
+	for name, src := range cases {
+		if _, _, err := ReadOpString(src); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestWriteOpWidthGuard(t *testing.T) {
+	op := NewOp().Add(MustParse("IIZ"), 1)
+	if err := WriteOp(&strings.Builder{}, op, 2); err == nil {
+		t.Error("narrow width accepted")
+	}
+}
+
+func TestParseCoeffForms(t *testing.T) {
+	cases := map[string]complex128{
+		"1.5":          1.5,
+		"-2e-3":        -0.002,
+		"(1+2i)":       1 + 2i,
+		"(-0.5-0.25i)": -0.5 - 0.25i,
+		"(1e-3+2e-4i)": complex(1e-3, 2e-4),
+	}
+	for s, want := range cases {
+		got, err := parseCoeff(s)
+		if err != nil {
+			t.Errorf("%q: %v", s, err)
+			continue
+		}
+		if !core.AlmostEqualC(got, want, 1e-15) {
+			t.Errorf("%q = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(x1, z1, x2, z2 uint8, cr, ci int16) bool {
+		op := NewOp().
+			Add(String{X: uint64(x1 & 15), Z: uint64(z1 & 15)}, complex(float64(cr)/100, float64(ci)/100)).
+			Add(String{X: uint64(x2 & 15), Z: uint64(z2 & 15)}, 0.5)
+		if op.NumTerms() == 0 {
+			return true
+		}
+		back, _, err := ReadOpString(OpToString(op, 4))
+		return err == nil && back.Equal(op, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

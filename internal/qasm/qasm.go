@@ -1,0 +1,214 @@
+// Package qasm reads and writes the QASM-lite circuit dialect used by the
+// command-line tools: one gate per line, lower-case mnemonics matching the
+// gate package, parenthesized parameters, and q[i] operands. It is a
+// deliberately small assembly format (not full OpenQASM) sufficient to
+// round-trip every circuit this library produces.
+//
+//	qreg q[4]
+//	h q[0]
+//	cx q[0], q[1]
+//	rx(0.5) q[2]
+//	barrier
+//	measure q[3]
+//
+// Lines starting with '#' or '//' are comments; blank lines are ignored.
+package qasm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+)
+
+// SyntaxError reports a parse failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("qasm: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...interface{}) *SyntaxError {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads a QASM-lite program.
+func Parse(r io.Reader) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var c *circuit.Circuit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if strings.HasPrefix(line, "qreg") {
+			if c != nil {
+				return nil, errf(lineNo, "duplicate qreg")
+			}
+			n, err := parseQubitRef(strings.TrimSpace(strings.TrimPrefix(line, "qreg")))
+			if err != nil {
+				return nil, errf(lineNo, "bad qreg: %v", err)
+			}
+			c = circuit.New(n)
+			continue
+		}
+		if c == nil {
+			return nil, errf(lineNo, "gate before qreg declaration")
+		}
+		g, err := parseGateLine(line, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		if err := safeAppend(c, g, lineNo); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, errf(0, "missing qreg declaration")
+	}
+	return c, nil
+}
+
+// safeAppend converts circuit validation panics into syntax errors.
+func safeAppend(c *circuit.Circuit, g gate.Gate, line int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errf(line, "%v", r)
+		}
+	}()
+	c.Append(g)
+	return nil
+}
+
+// ParseString parses from a string.
+func ParseString(src string) (*circuit.Circuit, error) {
+	return Parse(strings.NewReader(src))
+}
+
+// parseQubitRef parses "q[N]" and returns N.
+func parseQubitRef(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "q[") || !strings.HasSuffix(s, "]") {
+		return 0, fmt.Errorf("want q[N], got %q", s)
+	}
+	n, err := strconv.Atoi(s[2 : len(s)-1])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad index in %q", s)
+	}
+	return n, nil
+}
+
+// parseGateLine parses "name(params) q[a], q[b]".
+func parseGateLine(line string, lineNo int) (gate.Gate, error) {
+	var zero gate.Gate
+	head := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		head, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	name := head
+	var params []float64
+	if i := strings.IndexByte(head, '('); i >= 0 {
+		if !strings.HasSuffix(head, ")") {
+			return zero, errf(lineNo, "unclosed parameter list in %q", head)
+		}
+		name = head[:i]
+		for _, p := range strings.Split(head[i+1:len(head)-1], ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			v, err := parseParam(p)
+			if err != nil {
+				return zero, errf(lineNo, "bad parameter %q", p)
+			}
+			params = append(params, v)
+		}
+	}
+	kind, ok := gate.KindByName(name)
+	if !ok {
+		return zero, errf(lineNo, "unknown gate %q", name)
+	}
+	if kind == gate.Fused1Q || kind == gate.Fused2Q {
+		return zero, errf(lineNo, "fused gates cannot be parsed from text")
+	}
+	var qubits []int
+	if rest != "" {
+		for _, ref := range strings.Split(rest, ",") {
+			q, err := parseQubitRef(ref)
+			if err != nil {
+				return zero, errf(lineNo, "%v", err)
+			}
+			qubits = append(qubits, q)
+		}
+	}
+	if err := checkArity(kind, len(qubits), len(params)); err != nil {
+		return zero, errf(lineNo, "%v", err)
+	}
+	return gate.Gate{Kind: kind, Qubits: qubits, Params: params}, nil
+}
+
+// parseParam accepts floats plus the common symbolic forms pi, -pi, pi/2…
+func parseParam(s string) (float64, error) {
+	replaced := strings.ReplaceAll(strings.ToLower(s), "pi", "3.141592653589793")
+	if v, err := strconv.ParseFloat(replaced, 64); err == nil {
+		return v, nil
+	}
+	// Simple division form a/b.
+	if i := strings.IndexByte(replaced, '/'); i > 0 {
+		a, err1 := strconv.ParseFloat(strings.TrimSpace(replaced[:i]), 64)
+		b, err2 := strconv.ParseFloat(strings.TrimSpace(replaced[i+1:]), 64)
+		if err1 == nil && err2 == nil && b != 0 {
+			return a / b, nil
+		}
+	}
+	return 0, fmt.Errorf("unparseable %q", s)
+}
+
+// checkArity validates qubit/parameter counts per gate kind.
+func checkArity(k gate.Kind, nq, np int) error {
+	wantQ, wantP := 1, 0
+	switch k {
+	case gate.RX, gate.RY, gate.RZ, gate.P:
+		wantP = 1
+	case gate.U3:
+		wantP = 3
+	case gate.CX, gate.CY, gate.CZ, gate.CH, gate.SWAP, gate.ISWAP:
+		wantQ = 2
+	case gate.CP, gate.CRX, gate.CRY, gate.CRZ, gate.RXX, gate.RYY, gate.RZZ:
+		wantQ, wantP = 2, 1
+	case gate.Barrier:
+		wantQ = 0
+	}
+	if nq != wantQ {
+		return fmt.Errorf("%v wants %d qubit(s), got %d", k, wantQ, nq)
+	}
+	if np != wantP {
+		return fmt.Errorf("%v wants %d parameter(s), got %d", k, wantP, np)
+	}
+	return nil
+}
+
+// Write serializes a circuit (the inverse of Parse for non-fused
+// circuits).
+func Write(w io.Writer, c *circuit.Circuit) error {
+	_, err := io.WriteString(w, c.String())
+	return err
+}
+
+// WriteString serializes to a string.
+func WriteString(c *circuit.Circuit) string { return c.String() }

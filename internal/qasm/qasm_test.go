@@ -1,0 +1,232 @@
+package qasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gate"
+)
+
+func TestParseBasicProgram(t *testing.T) {
+	src := `
+# Bell pair
+qreg q[2]
+h q[0]
+cx q[0], q[1]
+measure q[0]
+measure q[1]
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 2 || len(c.Gates) != 4 {
+		t.Fatalf("shape: %d qubits, %d gates", c.NumQubits, len(c.Gates))
+	}
+	if c.Gates[0].Kind != gate.H || c.Gates[1].Kind != gate.CX {
+		t.Error("gates wrong")
+	}
+}
+
+func TestParseParameters(t *testing.T) {
+	c, err := ParseString("qreg q[1]\nrx(0.5) q[0]\nrz(-1.25e-1) q[0]\nu3(0.1,0.2,0.3) q[0]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Params[0] != 0.5 || c.Gates[1].Params[0] != -0.125 {
+		t.Error("params wrong")
+	}
+	if len(c.Gates[2].Params) != 3 {
+		t.Error("u3 params")
+	}
+}
+
+func TestParseSymbolicPi(t *testing.T) {
+	c, err := ParseString("qreg q[1]\nrx(pi) q[0]\nrz(pi/2) q[0]\nry(-pi/4) q[0]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Gates[0].Params[0]-math.Pi) > 1e-12 {
+		t.Error("pi")
+	}
+	if math.Abs(c.Gates[1].Params[0]-math.Pi/2) > 1e-12 {
+		t.Error("pi/2")
+	}
+	if math.Abs(c.Gates[2].Params[0]+math.Pi/4) > 1e-12 {
+		t.Error("-pi/4")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	c, err := ParseString("qreg q[1]\n// comment\n# another\n\nx q[0]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 {
+		t.Error("comments not skipped")
+	}
+}
+
+func TestParseBarrier(t *testing.T) {
+	c, err := ParseString("qreg q[2]\nh q[0]\nbarrier\nh q[1]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[1].Kind != gate.Barrier {
+		t.Error("barrier")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing qreg":    "h q[0]\n",
+		"no program":      "",
+		"duplicate qreg":  "qreg q[1]\nqreg q[2]\n",
+		"unknown gate":    "qreg q[1]\nfoo q[0]\n",
+		"bad qubit ref":   "qreg q[1]\nx qubit0\n",
+		"out of range":    "qreg q[1]\nx q[5]\n",
+		"wrong arity":     "qreg q[2]\ncx q[0]\n",
+		"missing param":   "qreg q[1]\nrx q[0]\n",
+		"extra param":     "qreg q[1]\nx(0.5) q[0]\n",
+		"bad param":       "qreg q[1]\nrx(abc) q[0]\n",
+		"unclosed params": "qreg q[1]\nrx(0.5 q[0]\n",
+		"duplicate qubit": "qreg q[2]\ncx q[1], q[1]\n",
+		"fused rejected":  "qreg q[1]\nfused1q q[0]\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: no error for %q", name, src)
+		}
+	}
+}
+
+func TestSyntaxErrorIncludesLine(t *testing.T) {
+	_, err := ParseString("qreg q[1]\nx q[0]\nbogus q[0]\n")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("line %d, want 3", se.Line)
+	}
+	if !strings.Contains(se.Error(), "line 3") {
+		t.Error("message missing line")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := circuit.New(3).
+		H(0).CX(0, 1).RZ(0.5, 2).RXX(-0.7, 0, 2).T(1).Barrier().
+		SWAP(0, 2).CP(1.25, 1, 2).Measure(0)
+	parsed, err := ParseString(WriteString(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Gates) != len(orig.Gates) {
+		t.Fatalf("gate count %d vs %d", len(parsed.Gates), len(orig.Gates))
+	}
+	for i := range orig.Gates {
+		a, b := orig.Gates[i], parsed.Gates[i]
+		if a.Kind != b.Kind || len(a.Qubits) != len(b.Qubits) {
+			t.Fatalf("gate %d differs: %v vs %v", i, a, b)
+		}
+		for j := range a.Params {
+			if math.Abs(a.Params[j]-b.Params[j]) > 1e-12 {
+				t.Fatalf("gate %d param %d: %v vs %v", i, j, a.Params[j], b.Params[j])
+			}
+		}
+	}
+}
+
+func TestRoundTripSemantics(t *testing.T) {
+	rng := core.NewRNG(4)
+	c := circuit.New(3)
+	for i := 0; i < 15; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.H(rng.Intn(3))
+		case 1:
+			c.RY(rng.Float64()*2-1, rng.Intn(3))
+		case 2:
+			a, b := rng.Intn(3), rng.Intn(3)
+			for b == a {
+				b = rng.Intn(3)
+			}
+			c.CX(a, b)
+		case 3:
+			c.T(rng.Intn(3))
+		}
+	}
+	parsed, err := ParseString(WriteString(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Unitary().EqualUpToPhase(c.Unitary(), 1e-10) {
+		t.Error("round-trip changed semantics")
+	}
+}
+
+func TestWriteToWriter(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, circuit.New(1).X(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x q[0]") {
+		t.Error("write output wrong")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: any builder-generated circuit survives serialize → parse
+	// with identical gate structure.
+	f := func(seed uint16) bool {
+		rng := core.NewRNG(uint64(seed) + 1)
+		c := circuit.New(4)
+		for i := 0; i < 12; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				c.H(rng.Intn(4))
+			case 1:
+				c.RZ(float64(rng.Intn(1000))/250-2, rng.Intn(4))
+			case 2:
+				c.T(rng.Intn(4))
+			case 3:
+				a, b := rng.Intn(4), rng.Intn(4)
+				for b == a {
+					b = rng.Intn(4)
+				}
+				c.CX(a, b)
+			case 4:
+				c.Barrier()
+			case 5:
+				a, b := rng.Intn(4), rng.Intn(4)
+				for b == a {
+					b = rng.Intn(4)
+				}
+				c.CP(float64(rng.Intn(628))/100, a, b)
+			}
+		}
+		parsed, err := ParseString(WriteString(c))
+		if err != nil || len(parsed.Gates) != len(c.Gates) {
+			return false
+		}
+		for i := range c.Gates {
+			if parsed.Gates[i].Kind != c.Gates[i].Kind {
+				return false
+			}
+			for j := range c.Gates[i].Params {
+				if math.Abs(parsed.Gates[i].Params[j]-c.Gates[i].Params[j]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

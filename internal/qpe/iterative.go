@@ -1,0 +1,80 @@
+package qpe
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/pauli"
+	"repro/internal/state"
+)
+
+// IterativeResult reports an iterative (single-ancilla) phase estimation.
+type IterativeResult struct {
+	Energy     float64
+	Phase      float64
+	Bits       []int // measured bits, least significant first
+	Resolution float64
+}
+
+// EstimateIterative runs Kitaev-style iterative QPE: one ancilla qubit
+// measured m times, extracting the phase bit-by-bit from least to most
+// significant with classical feedback rotations. Uses one extra qubit
+// instead of m ancillas, at the cost of mid-circuit measurement — the
+// qubit-frugal variant of the textbook algorithm.
+//
+// The system register must hold an eigenstate of e^{iHt} (phase kickback
+// leaves it invariant, so the same register is reused across rounds).
+func EstimateIterative(h *pauli.Op, sysAmps []complex128, sysQubits int, opts Options) (*IterativeResult, error) {
+	if opts.AncillaQubits == 0 {
+		opts.AncillaQubits = 6
+	}
+	if opts.Time == 0 {
+		opts.Time = autoTime(h)
+	}
+	if opts.TrotterSteps == 0 {
+		opts.TrotterSteps = 1
+	}
+	if h.MaxQubit() >= sysQubits {
+		return nil, core.QubitError(h.MaxQubit(), sysQubits)
+	}
+	if len(sysAmps) != core.Dim(sysQubits) {
+		return nil, core.ErrDimensionMismatch
+	}
+	m := opts.AncillaQubits
+	anc := sysQubits // single ancilla occupies the top qubit
+	total := sysQubits + 1
+
+	s := state.New(total, state.Options{Workers: opts.Workers, Seed: 0xEDC})
+	copy(s.Amplitudes()[:len(sysAmps)], sysAmps)
+
+	bits := make([]int, m)
+	phi := 0.0 // accumulated phase estimate in [0,1), built LSB-first
+	for k := m - 1; k >= 0; k-- {
+		round := circuit.New(total)
+		round.H(anc)
+		reps := 1 << uint(k)
+		AppendControlledEvolution(round, anc, h, opts.Time*float64(reps), opts.TrotterSteps*reps)
+		// Classical feedback: subtract the already-determined lower bits.
+		if phi != 0 {
+			round.P(-2*math.Pi*phi*float64(reps), anc)
+		}
+		round.H(anc)
+		s.Run(round)
+		bit := s.Measure(anc)
+		bits[m-1-k] = bit
+		// Round k determines fraction bit b_{k+1} of φ = 0.b₁b₂…b_m.
+		phi += float64(bit) / float64(uint64(1)<<uint(k+1))
+		// Reset the ancilla for the next round.
+		if bit == 1 {
+			s.ApplyGate(gate.New(gate.X, anc))
+		}
+	}
+	return &IterativeResult{
+		Energy:     phaseToEnergy(phi, opts.Time),
+		Phase:      phi,
+		Bits:       bits,
+		Resolution: 2 * math.Pi / (opts.Time * float64(int(1)<<uint(m))),
+	}, nil
+}

@@ -1,0 +1,281 @@
+// Package qpe implements textbook quantum phase estimation over
+// Trotterized Hamiltonian evolution — the second algorithm the paper's
+// workflow executes besides VQE. The system register holds an (approximate)
+// eigenstate; an ancilla register accumulates the phase of U = e^{iHt}
+// through controlled evolutions and an inverse QFT.
+package qpe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ansatz"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/pauli"
+	"repro/internal/state"
+)
+
+// Options configures a QPE run.
+type Options struct {
+	// AncillaQubits sets the phase resolution: 2π/(Time·2^A).
+	AncillaQubits int
+	// Time is the evolution time t in U = e^{iHt}. |E|·t must stay below π
+	// to avoid phase wrap-around; Auto-scaled when zero using the
+	// Hamiltonian 1-norm.
+	Time float64
+	// TrotterSteps per controlled power (default 1; exact when all terms
+	// commute).
+	TrotterSteps int
+	// Workers for the state engine.
+	Workers int
+}
+
+// Result reports the estimate.
+type Result struct {
+	Energy     float64 // from the most probable ancilla outcome
+	Phase      float64 // φ ∈ [0,1)
+	Confidence float64 // probability mass of that outcome
+	Resolution float64 // energy quantum 2π/(t·2^A)
+	// TopOutcomes lists the most probable (phase, probability) pairs.
+	TopOutcomes []Outcome
+}
+
+// Outcome is one ancilla measurement result.
+type Outcome struct {
+	Bits        uint64
+	Phase       float64
+	Energy      float64
+	Probability float64
+}
+
+// AppendControlledPauliExp appends a controlled exp(−i·θ/2·P) (control on
+// qubit ctrl, which must lie outside P's support): shared basis rotations,
+// CNOT staircase, controlled-RZ, unwind.
+func AppendControlledPauliExp(c *circuit.Circuit, ctrl int, theta float64, p pauli.String) {
+	sup := p.Support()
+	if len(sup) == 0 {
+		return
+	}
+	for _, q := range sup {
+		switch p.At(q) {
+		case 'X':
+			c.H(q)
+		case 'Y':
+			c.Sdg(q).H(q)
+		}
+	}
+	last := sup[len(sup)-1]
+	for i := 0; i+1 < len(sup); i++ {
+		c.CX(sup[i], sup[i+1])
+	}
+	c.CRZ(theta, ctrl, last)
+	for i := len(sup) - 2; i >= 0; i-- {
+		c.CX(sup[i], sup[i+1])
+	}
+	for _, q := range sup {
+		switch p.At(q) {
+		case 'X':
+			c.H(q)
+		case 'Y':
+			c.H(q).S(q)
+		}
+	}
+}
+
+// AppendControlledEvolution appends controlled-e^{iHt} (first-order
+// Trotter with the given steps). The identity component of H becomes a
+// phase gate on the control qubit.
+func AppendControlledEvolution(c *circuit.Circuit, ctrl int, h *pauli.Op, t float64, steps int) {
+	if steps < 1 {
+		steps = 1
+	}
+	dt := t / float64(steps)
+	terms := h.Terms()
+	for s := 0; s < steps; s++ {
+		for _, term := range terms {
+			alpha := real(term.Coeff) * dt // exp(i·alpha·P)
+			if term.P.IsIdentity() {
+				c.P(alpha, ctrl)
+				continue
+			}
+			AppendControlledPauliExp(c, ctrl, -2*alpha, term.P)
+		}
+	}
+}
+
+// AppendInverseQFT appends the inverse quantum Fourier transform on
+// qubits[0..m) where qubits[0] is the least-significant phase bit.
+func AppendInverseQFT(c *circuit.Circuit, qubits []int) {
+	m := len(qubits)
+	// Reverse the qubit order (QFT bit reversal).
+	for i := 0; i < m/2; i++ {
+		c.SWAP(qubits[i], qubits[m-1-i])
+	}
+	for j := 0; j < m; j++ {
+		for k := 0; k < j; k++ {
+			angle := -math.Pi / float64(int(1)<<uint(j-k))
+			c.CP(angle, qubits[k], qubits[j])
+		}
+		c.H(qubits[j])
+	}
+}
+
+// BuildCircuit assembles the full QPE circuit on sysQubits + A qubits:
+// ancillas occupy [sysQubits, sysQubits+A). The caller prepares the system
+// register beforehand.
+func BuildCircuit(h *pauli.Op, sysQubits int, opts Options) (*circuit.Circuit, error) {
+	if opts.AncillaQubits < 1 {
+		return nil, fmt.Errorf("%w: need ≥1 ancilla", core.ErrInvalidArgument)
+	}
+	if h.MaxQubit() >= sysQubits {
+		return nil, core.QubitError(h.MaxQubit(), sysQubits)
+	}
+	total := sysQubits + opts.AncillaQubits
+	c := circuit.New(total)
+	anc := make([]int, opts.AncillaQubits)
+	for i := range anc {
+		anc[i] = sysQubits + i
+	}
+	for _, a := range anc {
+		c.H(a)
+	}
+	// Ancilla k controls U^{2^k}.
+	for k, a := range anc {
+		reps := 1 << uint(k)
+		AppendControlledEvolution(c, a, h, opts.Time*float64(reps), opts.TrotterSteps*reps)
+	}
+	AppendInverseQFT(c, anc)
+	return c, nil
+}
+
+// autoTime picks t so that ‖H‖₁·t < π/2 (safe against wrap-around).
+func autoTime(h *pauli.Op) float64 {
+	norm := h.OneNorm()
+	if norm == 0 {
+		return 1
+	}
+	return math.Pi / (2 * norm)
+}
+
+// Estimate runs QPE with the system register prepared by prep (e.g. a
+// Hartree–Fock determinant or an optimized VQE ansatz) and returns the
+// energy decoded from the exact ancilla distribution.
+func Estimate(h *pauli.Op, prep *circuit.Circuit, sysQubits int, opts Options) (*Result, error) {
+	if opts.AncillaQubits == 0 {
+		opts.AncillaQubits = 6
+	}
+	if opts.Time == 0 {
+		opts.Time = autoTime(h)
+	}
+	if opts.TrotterSteps == 0 {
+		opts.TrotterSteps = 1
+	}
+	qc, err := BuildCircuit(h, sysQubits, opts)
+	if err != nil {
+		return nil, err
+	}
+	total := sysQubits + opts.AncillaQubits
+	s := state.New(total, state.Options{Workers: opts.Workers})
+	if prep != nil {
+		if prep.NumQubits > sysQubits {
+			return nil, core.ErrDimensionMismatch
+		}
+		s.Run(prep)
+	}
+	s.Run(qc)
+	return decode(s, sysQubits, opts)
+}
+
+// EstimateFromAmplitudes is Estimate with an explicit system-register
+// state (e.g. an FCI eigenvector) instead of a preparation circuit.
+func EstimateFromAmplitudes(h *pauli.Op, sysAmps []complex128, sysQubits int, opts Options) (*Result, error) {
+	if opts.AncillaQubits == 0 {
+		opts.AncillaQubits = 6
+	}
+	if opts.Time == 0 {
+		opts.Time = autoTime(h)
+	}
+	if opts.TrotterSteps == 0 {
+		opts.TrotterSteps = 1
+	}
+	if len(sysAmps) != core.Dim(sysQubits) {
+		return nil, core.ErrDimensionMismatch
+	}
+	qc, err := BuildCircuit(h, sysQubits, opts)
+	if err != nil {
+		return nil, err
+	}
+	total := sysQubits + opts.AncillaQubits
+	s := state.New(total, state.Options{Workers: opts.Workers})
+	// |anc=0⟩⊗|sys⟩: system amplitudes fill the low block, rest zero.
+	copy(s.Amplitudes()[:len(sysAmps)], sysAmps)
+	s.Run(qc)
+	return decode(s, sysQubits, opts)
+}
+
+// decode marginalizes the ancilla register and converts phases to
+// energies.
+func decode(s *state.State, sysQubits int, opts Options) (*Result, error) {
+	a := opts.AncillaQubits
+	probs := s.Probabilities()
+	marginal := make([]float64, 1<<uint(a))
+	for idx, p := range probs {
+		marginal[idx>>uint(sysQubits)] += p
+	}
+	outcomes := make([]Outcome, 0, len(marginal))
+	for bits, p := range marginal {
+		if p < 1e-12 {
+			continue
+		}
+		phase := float64(bits) / float64(int(1)<<uint(a))
+		outcomes = append(outcomes, Outcome{
+			Bits:        uint64(bits),
+			Phase:       phase,
+			Energy:      phaseToEnergy(phase, opts.Time),
+			Probability: p,
+		})
+	}
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i].Probability > outcomes[j].Probability })
+	if len(outcomes) == 0 {
+		return nil, core.ErrNotConverged
+	}
+	top := outcomes[0]
+	limit := len(outcomes)
+	if limit > 8 {
+		limit = 8
+	}
+	return &Result{
+		Energy:      top.Energy,
+		Phase:       top.Phase,
+		Confidence:  top.Probability,
+		Resolution:  2 * math.Pi / (opts.Time * float64(int(1)<<uint(a))),
+		TopOutcomes: outcomes[:limit],
+	}, nil
+}
+
+// phaseToEnergy inverts φ = E·t/2π (mod 1), mapping to the principal
+// branch E ∈ (−π/t, π/t].
+func phaseToEnergy(phase, t float64) float64 {
+	if phase > 0.5 {
+		phase -= 1
+	}
+	return 2 * math.Pi * phase / t
+}
+
+// HartreeFockPrep returns the determinant-preparation circuit used as the
+// standard QPE input state for chemistry problems.
+func HartreeFockPrep(sysQubits, electrons int) *circuit.Circuit {
+	c := circuit.New(sysQubits)
+	for q := 0; q < electrons; q++ {
+		c.X(q)
+	}
+	return c
+}
+
+// VQEPrep adapts an optimized ansatz as the QPE input state (the hybrid
+// workflow: VQE refines the state, QPE reads the eigenvalue).
+func VQEPrep(a ansatz.Ansatz, params []float64) *circuit.Circuit {
+	return a.Circuit(params)
+}

@@ -1,0 +1,182 @@
+package qpe
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+	"repro/internal/pauli"
+)
+
+func TestControlledPauliExpMatchesControlledMatrix(t *testing.T) {
+	// Controlled exp(−iθ/2·Z) on (ctrl=1, target=0) vs dense reference.
+	theta := 0.77
+	c := circuit.New(2)
+	AppendControlledPauliExp(c, 1, theta, pauli.MustParse("Z"))
+	got := c.Unitary()
+	u := linalg.Expm(pauli.NewOp().Add(pauli.MustParse("Z"), 1).ToDense(1).Scale(complex(0, -theta/2)))
+	want := linalg.Identity(4)
+	// Control = qubit 1 (high bit of the 2-qubit space).
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want.Set(2+i, 2+j, u.At(i, j))
+		}
+	}
+	if !got.EqualUpToPhase(want, 1e-10) {
+		t.Error("controlled Pauli exponential wrong")
+	}
+}
+
+func TestControlledEvolutionPhaseKickback(t *testing.T) {
+	// H = Z on one qubit; system in |0⟩ (eigenvalue +1). Controlled
+	// e^{iHt} must kick phase e^{it} onto |1⟩ component of the ancilla.
+	h := pauli.NewOp().Add(pauli.MustParse("Z"), 1)
+	tEvo := 0.9
+	c := circuit.New(2)
+	c.H(1) // ancilla superposition
+	AppendControlledEvolution(c, 1, h, tEvo, 1)
+	u := c.Unitary()
+	v := make([]complex128, 4)
+	v[0] = 1
+	out := u.MulVec(v)
+	// State: (|0⟩ + e^{it}|1⟩)/√2 ⊗ |0⟩.
+	wantPhase := complex(math.Cos(tEvo), math.Sin(tEvo))
+	ratio := out[2] / out[0]
+	if math.Abs(real(ratio)-real(wantPhase)) > 1e-9 || math.Abs(imag(ratio)-imag(wantPhase)) > 1e-9 {
+		t.Errorf("kickback phase %v, want %v", ratio, wantPhase)
+	}
+}
+
+func TestInverseQFTInvertsFourierState(t *testing.T) {
+	// Prepare the Fourier state of k via phase gates, then inverse QFT must
+	// yield |k⟩ exactly.
+	m := 3
+	for k := 0; k < 8; k++ {
+		c := circuit.New(m)
+		for j := 0; j < m; j++ {
+			c.H(j)
+			// Fourier state: phase 2π·k·2^j/2^m on qubit j.
+			c.P(2*math.Pi*float64(k)*float64(int(1)<<uint(j))/8, j)
+		}
+		AppendInverseQFT(c, []int{0, 1, 2})
+		u := c.Unitary()
+		v := make([]complex128, 8)
+		v[0] = 1
+		out := u.MulVec(v)
+		prob := real(out[k])*real(out[k]) + imag(out[k])*imag(out[k])
+		if math.Abs(prob-1) > 1e-9 {
+			t.Errorf("k=%d: P(|k⟩) = %v", k, prob)
+		}
+	}
+}
+
+func TestQPESingleQubitExactPhase(t *testing.T) {
+	// H = ω·Z with ω chosen so the ground phase is exactly representable
+	// on 4 ancillas: E = −ω on |1⟩. Pick t and ω with E·t/2π = −3/16.
+	omega := 0.75
+	tEvo := math.Pi / 2 // φ = −0.75·(π/2)/2π = −3/16 → wraps to 13/16
+	h := pauli.NewOp().Add(pauli.MustParse("Z"), complex(omega, 0))
+	prep := circuit.New(1).X(0) // eigenstate |1⟩, E = −0.75
+	res, err := Estimate(h, prep, 1, Options{AncillaQubits: 4, Time: tEvo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energy-(-omega)) > 1e-9 {
+		t.Errorf("E = %v, want %v", res.Energy, -omega)
+	}
+	if res.Confidence < 0.99 {
+		t.Errorf("confidence %v for exactly representable phase", res.Confidence)
+	}
+}
+
+func TestQPEPositiveEigenvalue(t *testing.T) {
+	h := pauli.NewOp().Add(pauli.MustParse("Z"), 0.75)
+	prep := circuit.New(1) // |0⟩, E = +0.75
+	res, err := Estimate(h, prep, 1, Options{AncillaQubits: 4, Time: math.Pi / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energy-0.75) > 1e-9 {
+		t.Errorf("E = %v, want 0.75", res.Energy)
+	}
+}
+
+func TestQPEResolutionScalesWithAncillas(t *testing.T) {
+	h := pauli.NewOp().Add(pauli.MustParse("Z"), 0.3)
+	var prev float64 = math.Inf(1)
+	for _, a := range []int{3, 5, 7} {
+		res, err := Estimate(h, nil, 1, Options{AncillaQubits: a, Time: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Resolution >= prev {
+			t.Errorf("resolution did not improve: %v", res.Resolution)
+		}
+		prev = res.Resolution
+	}
+}
+
+func TestQPEOnH2GroundState(t *testing.T) {
+	// Feed the FCI eigenvector into QPE; the estimate must match the FCI
+	// energy within one resolution quantum. All H2 Hamiltonian terms
+	// commute pairwise except a few — use several Trotter steps.
+	m := chem.H2()
+	h := chem.QubitHamiltonian(m)
+	fci, err := chem.FCI(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EstimateFromAmplitudes(h, fci.FullVector(), 4, Options{
+		AncillaQubits: 7,
+		Time:          0.8,
+		TrotterSteps:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energy-fci.Energy) > res.Resolution {
+		t.Errorf("QPE %v vs FCI %v (resolution %v)", res.Energy, fci.Energy, res.Resolution)
+	}
+	// A non-representable phase leaks into neighbouring bins; the top bin
+	// of an exact eigenstate still holds ≥ 4/π² ≈ 0.405 of the mass.
+	if res.Confidence < 0.4 {
+		t.Errorf("confidence %v too low for an exact eigenstate", res.Confidence)
+	}
+}
+
+func TestQPEOnHartreeFockFindsGroundDominantly(t *testing.T) {
+	// The HF determinant overlaps the H2 ground state strongly, so the
+	// most probable outcome should decode near the FCI energy.
+	m := chem.H2()
+	h := chem.QubitHamiltonian(m)
+	fci, _ := chem.FCI(m)
+	prep := HartreeFockPrep(4, 2)
+	res, err := Estimate(h, prep, 4, Options{AncillaQubits: 7, Time: 0.8, TrotterSteps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energy-fci.Energy) > 2*res.Resolution {
+		t.Errorf("QPE(HF) %v vs FCI %v", res.Energy, fci.Energy)
+	}
+}
+
+func TestBuildCircuitValidation(t *testing.T) {
+	h := pauli.NewOp().Add(pauli.MustParse("IIIIZ"), 1)
+	if _, err := BuildCircuit(h, 4, Options{AncillaQubits: 2, Time: 1}); err == nil {
+		t.Error("wide Hamiltonian accepted")
+	}
+	if _, err := BuildCircuit(pauli.NewOp(), 2, Options{AncillaQubits: 0, Time: 1}); err == nil {
+		t.Error("zero ancillas accepted")
+	}
+}
+
+func TestPhaseToEnergyBranch(t *testing.T) {
+	if e := phaseToEnergy(0.25, 1); math.Abs(e-math.Pi/2) > 1e-12 {
+		t.Error("positive branch")
+	}
+	if e := phaseToEnergy(0.75, 1); math.Abs(e+math.Pi/2) > 1e-12 {
+		t.Error("negative branch")
+	}
+}

@@ -1,0 +1,171 @@
+package state
+
+import (
+	"sort"
+	"sync"
+)
+
+// Tier identifies where a cached state's amplitudes live in the simulated
+// memory hierarchy. The paper (§4.1.4) caches the post-ansatz state in GPU
+// memory and "seamlessly transitions to CPU memory storage" when the state
+// exceeds device capacity; we reproduce that policy with an accounting
+// model over ordinary RAM.
+type Tier int
+
+const (
+	// TierDevice models fast accelerator memory.
+	TierDevice Tier = iota
+	// TierHost models system memory reached over the interconnect.
+	TierHost
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	if t == TierDevice {
+		return "device"
+	}
+	return "host"
+}
+
+// CacheStats records cache traffic for the ablation benchmarks.
+type CacheStats struct {
+	Puts        int
+	Hits        int
+	Misses      int
+	DeviceHits  int
+	HostHits    int
+	HostSpills  int    // states that had to be placed on the host tier
+	Evictions   int    // device-tier entries displaced to host
+	BytesStored uint64 // current total across both tiers
+}
+
+// Cache stores post-ansatz state snapshots keyed by an arbitrary string
+// (typically a hash of the ansatz parameters). Device capacity is a
+// simulated budget: entries beyond it live on the host tier. The zero
+// value is not usable; call NewCache.
+type Cache struct {
+	mu             sync.Mutex
+	deviceCapacity uint64 // bytes; 0 = unlimited device tier
+	deviceUsed     uint64
+	entries        map[string]*cacheEntry
+	stats          CacheStats
+}
+
+type cacheEntry struct {
+	amps []complex128
+	tier Tier
+	seq  int // insertion order for eviction policy
+}
+
+// NewCache creates a cache with the given simulated device capacity in
+// bytes (0 = unlimited).
+func NewCache(deviceCapacityBytes uint64) *Cache {
+	return &Cache{deviceCapacity: deviceCapacityBytes, entries: map[string]*cacheEntry{}}
+}
+
+// Put snapshots the state's amplitudes under key. If the snapshot fits in
+// the remaining device budget it is placed on the device tier; otherwise
+// the oldest device entries are displaced to host until it fits, or the
+// snapshot itself goes to host if it alone exceeds capacity.
+func (c *Cache) Put(key string, s *State) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	size := uint64(len(s.amps)) * BytesPerAmp
+	if old, ok := c.entries[key]; ok {
+		c.stats.BytesStored -= uint64(len(old.amps)) * BytesPerAmp
+		if old.tier == TierDevice {
+			c.deviceUsed -= uint64(len(old.amps)) * BytesPerAmp
+		}
+		delete(c.entries, key)
+	}
+	e := &cacheEntry{amps: s.AmplitudesCopy(), seq: c.stats.Puts}
+	c.stats.Puts++
+	c.stats.BytesStored += size
+	switch {
+	case c.deviceCapacity == 0 || size <= c.deviceCapacity:
+		// Evict oldest device entries until this one fits.
+		for c.deviceCapacity != 0 && c.deviceUsed+size > c.deviceCapacity {
+			c.evictOldestDevice()
+		}
+		e.tier = TierDevice
+		c.deviceUsed += size
+	default:
+		e.tier = TierHost
+		c.stats.HostSpills++
+	}
+	c.entries[key] = e
+}
+
+// evictOldestDevice moves the lowest-seq device entry to the host tier.
+// Caller holds the lock.
+func (c *Cache) evictOldestDevice() {
+	var keys []string
+	for k, e := range c.entries {
+		if e.tier == TierDevice {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sort.Slice(keys, func(i, j int) bool { return c.entries[keys[i]].seq < c.entries[keys[j]].seq })
+	e := c.entries[keys[0]]
+	e.tier = TierHost
+	c.deviceUsed -= uint64(len(e.amps)) * BytesPerAmp
+	c.stats.Evictions++
+}
+
+// Restore copies the cached snapshot into dst and returns the tier it was
+// served from. ok is false on a miss (dst untouched).
+func (c *Cache) Restore(key string, dst *State) (Tier, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return TierDevice, false
+	}
+	if len(e.amps) != len(dst.amps) {
+		c.stats.Misses++
+		return TierDevice, false
+	}
+	copy(dst.amps, e.amps)
+	c.stats.Hits++
+	if e.tier == TierDevice {
+		c.stats.DeviceHits++
+	} else {
+		c.stats.HostHits++
+	}
+	return e.tier, true
+}
+
+// Contains reports whether key is cached without touching stats.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Len returns the number of cached snapshots.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a copy of the traffic counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Clear drops all entries (stats are retained).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*cacheEntry{}
+	c.deviceUsed = 0
+	c.stats.BytesStored = 0
+}

@@ -1,0 +1,94 @@
+package state
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := New(4, Options{})
+	s.Run(circuit.New(4).H(0).CX(0, 1).RY(0.7, 2).CX(2, 3).T(1))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumQubits() != 4 {
+		t.Fatal("width wrong")
+	}
+	for i, a := range s.Amplitudes() {
+		if loaded.Amplitudes()[i] != a {
+			t.Fatalf("amplitude %d not bit-exact", i)
+		}
+	}
+}
+
+func TestSnapshotSize(t *testing.T) {
+	s := New(3, Options{})
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := 4 + 4 + 4 + 8*16 // magic + version + qubits + amplitudes
+	if buf.Len() != want {
+		t.Errorf("snapshot size %d, want %d", buf.Len(), want)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	s := New(2, Options{})
+	var buf bytes.Buffer
+	s.Save(&buf)
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("XXXX"), good[4:]...),
+		"truncated":   good[:len(good)-8],
+		"bad version": append(append([]byte("NWQS"), 9, 0, 0, 0), good[8:]...),
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data), Options{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsUnnormalized(t *testing.T) {
+	s := New(1, Options{})
+	s.Amplitudes()[0] = 2 // break the norm behind the API's back
+	var buf bytes.Buffer
+	s.Save(&buf)
+	if _, err := Load(&buf, Options{}); err == nil {
+		t.Error("unnormalized snapshot accepted")
+	}
+}
+
+func TestSnapshotAsCrossProcessCache(t *testing.T) {
+	// The workflow the format exists for: save a post-ansatz state, load
+	// it elsewhere, continue with measurement rotations.
+	prep := circuit.New(3).H(0).CX(0, 1).CX(1, 2)
+	s := New(3, Options{})
+	s.Run(prep)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Run(circuit.New(3).H(0)) // basis rotation on the restored state
+	s.Run(circuit.New(3).H(0))
+	for i := range s.Amplitudes() {
+		if !core.AlmostEqualC(restored.Amplitudes()[i], s.Amplitudes()[i], 1e-15) {
+			t.Fatal("restored state diverged")
+		}
+	}
+}

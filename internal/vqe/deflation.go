@@ -1,0 +1,107 @@
+package vqe
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/opt"
+	"repro/internal/pauli"
+	"repro/internal/state"
+)
+
+// DeflationOptions configures variational quantum deflation (VQD, Higgott–
+// Wang–Brierley): excited states are found by minimizing
+// ⟨H⟩ + β·Σᵢ |⟨ψᵢ|ψ(θ)⟩|² against the previously converged states.
+type DeflationOptions struct {
+	// NumStates is how many eigenstates to compute (≥ 1; 1 = plain VQE).
+	NumStates int
+	// Beta is the overlap penalty weight; it must exceed the spectral gap
+	// (default: 2·‖H‖₁, always sufficient).
+	Beta float64
+	// Workers for simulation.
+	Workers int
+	// Restarts per state from perturbed parameters (default 3) to escape
+	// the previous state's basin.
+	Restarts int
+	// Seed for restart perturbations.
+	Seed uint64
+	// LBFGS budget per optimization.
+	LBFGS opt.LBFGSOptions
+}
+
+// DeflationState is one converged eigenstate approximation.
+type DeflationState struct {
+	Index  int
+	Energy float64
+	Params []float64
+}
+
+// Deflation computes the lowest NumStates eigenvalues of h with the given
+// exponential ansatz. Each state minimizes the deflated objective over a
+// fresh parameter vector, warm-restarted a few times.
+func Deflation(h *pauli.Op, a Exponential, o DeflationOptions) ([]DeflationState, error) {
+	if o.NumStates < 1 {
+		return nil, fmt.Errorf("%w: NumStates %d", core.ErrInvalidArgument, o.NumStates)
+	}
+	if o.Beta == 0 {
+		o.Beta = 2 * h.OneNorm()
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 3
+	}
+	if o.LBFGS.MaxIter == 0 {
+		o.LBFGS.MaxIter = 300
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 0xDEF1
+	}
+	rng := core.NewRNG(seed)
+	n := a.NumQubits()
+	dim := a.NumParameters()
+
+	// Converged states are cached as raw amplitude vectors for the
+	// overlap penalties.
+	var found []DeflationState
+	var foundAmps [][]complex128
+
+	prepare := func(params []float64) *state.State {
+		s := state.New(n, state.Options{Workers: o.Workers})
+		s.Run(a.Circuit(params))
+		return s
+	}
+	objective := func(params []float64) float64 {
+		s := prepare(params)
+		e := pauli.Expectation(s, h, pauli.ExpectationOptions{Workers: o.Workers})
+		for _, prev := range foundAmps {
+			ov := linalg.VecDot(prev, s.Amplitudes())
+			e += o.Beta * (real(ov)*real(ov) + imag(ov)*imag(ov))
+		}
+		return e
+	}
+
+	for k := 0; k < o.NumStates; k++ {
+		bestF := math.Inf(1)
+		var bestX []float64
+		for r := 0; r < o.Restarts; r++ {
+			x0 := make([]float64, dim)
+			if r > 0 || k > 0 {
+				for i := range x0 {
+					x0[i] = 0.3 * rng.NormFloat64()
+				}
+			}
+			res := opt.LBFGS(objective, nil, x0, o.LBFGS)
+			if res.F < bestF {
+				bestF = res.F
+				bestX = res.X
+			}
+		}
+		s := prepare(bestX)
+		energy := pauli.Expectation(s, h, pauli.ExpectationOptions{Workers: o.Workers})
+		found = append(found, DeflationState{Index: k, Energy: energy, Params: bestX})
+		foundAmps = append(foundAmps, s.AmplitudesCopy())
+	}
+	return found, nil
+}

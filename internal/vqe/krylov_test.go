@@ -1,0 +1,120 @@
+package vqe
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+	"repro/internal/pauli"
+)
+
+func hfPrep(n, ne int) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 0; q < ne; q++ {
+		c.X(q)
+	}
+	return c
+}
+
+func TestKrylovH2ReachesFCI(t *testing.T) {
+	m := chem.H2()
+	h := chem.QubitHamiltonian(m)
+	fci, _ := chem.FCI(m)
+	res, err := KrylovDiagonalize(h, 4, hfPrep(4, 2), KrylovOptions{
+		Dimension: 4, Exact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energies[0]-fci.Energy) > 1e-6 {
+		t.Errorf("Krylov ground %v vs FCI %v", res.Energies[0], fci.Energy)
+	}
+}
+
+func TestKrylovTrotterizedCloseToExact(t *testing.T) {
+	m := chem.H2()
+	h := chem.QubitHamiltonian(m)
+	fci, _ := chem.FCI(m)
+	res, err := KrylovDiagonalize(h, 4, hfPrep(4, 2), KrylovOptions{
+		Dimension: 4, TrotterSteps: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energies[0]-fci.Energy) > 1e-3 {
+		t.Errorf("Trotterized Krylov %v vs FCI %v", res.Energies[0], fci.Energy)
+	}
+}
+
+func TestKrylovImprovesWithDimension(t *testing.T) {
+	m := chem.Synthetic(chem.SyntheticOptions{NumOrbitals: 3, NumElectrons: 2, Seed: 9})
+	h := chem.QubitHamiltonian(m)
+	prev := math.Inf(1)
+	for _, dim := range []int{1, 2, 4, 6} {
+		res, err := KrylovDiagonalize(h, 6, hfPrep(6, 2), KrylovOptions{Dimension: dim, Exact: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Energies[0] > prev+1e-9 {
+			t.Errorf("dim %d: energy rose %v → %v", dim, prev, res.Energies[0])
+		}
+		prev = res.Energies[0]
+	}
+	// Dimension 1 is just ⟨HF|H|HF⟩.
+	res1, _ := KrylovDiagonalize(h, 6, hfPrep(6, 2), KrylovOptions{Dimension: 1, Exact: true})
+	if math.Abs(res1.Energies[0]-chem.HartreeFockEnergy(m)) > 1e-8 {
+		t.Errorf("dim-1 Krylov %v vs HF %v", res1.Energies[0], chem.HartreeFockEnergy(m))
+	}
+}
+
+func TestKrylovExcitedStatesInSpectrum(t *testing.T) {
+	// Every Krylov eigenvalue must lie within the operator's spectral
+	// range (generalized Rayleigh–Ritz bounds).
+	m := chem.H2()
+	h := chem.QubitHamiltonian(m)
+	fullEig, err := linalg.EighJacobi(h.ToDense(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := fullEig.Values
+	res, err := KrylovDiagonalize(h, 4, hfPrep(4, 2), KrylovOptions{Dimension: 5, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := full[0], full[len(full)-1]
+	for _, e := range res.Energies {
+		if e < lo-1e-8 || e > hi+1e-8 {
+			t.Errorf("Ritz value %v outside spectrum [%v, %v]", e, lo, hi)
+		}
+	}
+}
+
+func TestKrylovHandlesLinearDependence(t *testing.T) {
+	// Evolving an exact eigenstate yields linearly dependent basis
+	// vectors; the overlap threshold must absorb them.
+	h := pauli.NewOp().Add(pauli.MustParse("ZZ"), 1).Add(pauli.Identity, 0.5)
+	// |00⟩ is an eigenstate; all evolved copies equal it up to phase.
+	res, err := KrylovDiagonalize(h, 2, nil, KrylovOptions{Dimension: 4, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EffectiveDimension >= 4 {
+		t.Errorf("linear dependence not detected: effective dim %d", res.EffectiveDimension)
+	}
+	if math.Abs(res.Energies[0]-1.5) > 1e-8 {
+		t.Errorf("eigenstate energy %v, want 1.5", res.Energies[0])
+	}
+}
+
+func TestKrylovValidation(t *testing.T) {
+	h := pauli.NewOp().Add(pauli.MustParse("Z"), 1)
+	if _, err := KrylovDiagonalize(h, 1, nil, KrylovOptions{Dimension: 0}); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	wide := pauli.NewOp().Add(pauli.MustParse("IZ"), 1)
+	if _, err := KrylovDiagonalize(wide, 1, nil, KrylovOptions{Dimension: 1}); err == nil {
+		t.Error("wide Hamiltonian accepted")
+	}
+}

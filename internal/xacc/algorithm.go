@@ -1,0 +1,167 @@
+package xacc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ansatz"
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/pauli"
+	"repro/internal/qpe"
+	"repro/internal/vqe"
+)
+
+// VQE is the framework-level algorithm object (paper §3.1): it owns the
+// observable, the ansatz, the backend, and the optimizer choice, and
+// executes the full quantum-classical loop.
+type VQE struct {
+	Observable  *pauli.Op
+	Ansatz      ansatz.Ansatz
+	Accelerator Accelerator
+	// Optimizer selects the classical routine: "nelder-mead" (default),
+	// "spsa", "adam", "lbfgs".
+	Optimizer string
+	// MaxIter bounds the optimizer (0 = routine default).
+	MaxIter int
+}
+
+// VQEResult is the algorithm outcome.
+type VQEResult struct {
+	Energy            float64
+	Params            []float64
+	EnergyEvaluations int
+	OptimizerResult   opt.Result
+}
+
+// Execute runs the loop from the given starting parameters (zeros if nil).
+func (v *VQE) Execute(x0 []float64) (*VQEResult, error) {
+	if v.Observable == nil || v.Ansatz == nil || v.Accelerator == nil {
+		return nil, fmt.Errorf("%w: VQE needs observable, ansatz, accelerator", core.ErrInvalidArgument)
+	}
+	if v.Observable.MaxQubit() >= v.Ansatz.NumQubits() {
+		return nil, core.QubitError(v.Observable.MaxQubit(), v.Ansatz.NumQubits())
+	}
+	if x0 == nil {
+		x0 = make([]float64, v.Ansatz.NumParameters())
+	}
+	if len(x0) != v.Ansatz.NumParameters() {
+		return nil, core.ErrDimensionMismatch
+	}
+	evals := 0
+	objective := func(x []float64) float64 {
+		evals++
+		e, err := v.Accelerator.Expectation(v.Ansatz.Circuit(x), v.Observable)
+		if err != nil {
+			panic(err) // surfaced below via recover
+		}
+		return e
+	}
+	var res opt.Result
+	var execErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok {
+					execErr = err
+					return
+				}
+				panic(r)
+			}
+		}()
+		switch v.Optimizer {
+		case "", "nelder-mead":
+			res = opt.NelderMead(objective, x0, opt.NelderMeadOptions{MaxIter: v.MaxIter})
+		case "spsa":
+			res = opt.SPSA(objective, x0, opt.SPSAOptions{MaxIter: v.MaxIter})
+		case "adam":
+			res = opt.Adam(objective, nil, x0, opt.AdamOptions{MaxIter: v.MaxIter})
+		case "lbfgs":
+			res = opt.LBFGS(objective, nil, x0, opt.LBFGSOptions{MaxIter: v.MaxIter})
+		default:
+			execErr = fmt.Errorf("%w: unknown optimizer %q", core.ErrInvalidArgument, v.Optimizer)
+		}
+	}()
+	if execErr != nil {
+		return nil, execErr
+	}
+	return &VQEResult{
+		Energy:            res.F,
+		Params:            res.X,
+		EnergyEvaluations: evals,
+		OptimizerResult:   res,
+	}, nil
+}
+
+// AdaptVQE is the framework front-end for the adaptive ansatz algorithm.
+type AdaptVQE struct {
+	Observable *pauli.Op
+	// NumQubits / NumElectrons define the pool and reference determinant.
+	NumQubits    int
+	NumElectrons int
+	// QubitPool switches to the single-Pauli pool (qubit-ADAPT).
+	QubitPool bool
+	// MaxIterations bounds the outer loop (default 30).
+	MaxIterations int
+	// Reference energy for the chemical-accuracy stop (NaN disables).
+	Reference float64
+}
+
+// Execute runs the adaptive loop on the simulator backends (Adapt-VQE
+// needs amplitude access for its gradient scan, so it does not take an
+// arbitrary Accelerator).
+func (a *AdaptVQE) Execute() (*vqe.AdaptResult, error) {
+	if a.Observable == nil {
+		return nil, fmt.Errorf("%w: AdaptVQE needs an observable", core.ErrInvalidArgument)
+	}
+	var pool *ansatz.Pool
+	var err error
+	if a.QubitPool {
+		pool, err = ansatz.NewQubitPool(a.NumQubits, a.NumElectrons)
+	} else {
+		pool, err = ansatz.NewPool(a.NumQubits, a.NumElectrons)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ref := a.Reference
+	if ref == 0 {
+		ref = math.NaN()
+	}
+	return vqe.Adapt(a.Observable, pool, a.NumQubits, a.NumElectrons, vqe.AdaptOptions{
+		MaxIterations: a.MaxIterations,
+		Reference:     ref,
+		EnergyTol:     core.ChemicalAccuracy,
+	})
+}
+
+// QPE is the framework front-end for phase estimation.
+type QPE struct {
+	Observable   *pauli.Op
+	NumQubits    int
+	NumElectrons int // Hartree–Fock preparation
+	Ancillas     int // default 7
+	TrotterSteps int // default 4
+	Time         float64
+}
+
+// Execute runs phase estimation with a Hartree–Fock input state.
+func (q *QPE) Execute() (*qpe.Result, error) {
+	if q.Observable == nil {
+		return nil, fmt.Errorf("%w: QPE needs an observable", core.ErrInvalidArgument)
+	}
+	anc := q.Ancillas
+	if anc == 0 {
+		anc = 7
+	}
+	steps := q.TrotterSteps
+	if steps == 0 {
+		steps = 4
+	}
+	prep := qpe.HartreeFockPrep(q.NumQubits, q.NumElectrons)
+	return qpe.Estimate(q.Observable, prep, q.NumQubits, qpe.Options{
+		AncillaQubits: anc,
+		Time:          q.Time,
+		TrotterSteps:  steps,
+	})
+}

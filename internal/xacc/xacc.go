@@ -1,0 +1,244 @@
+// Package xacc is the reproduction's stand-in for the XACC programming
+// framework (paper §3): a hardware-agnostic accelerator abstraction with a
+// plugin-style registry, plus algorithm front-ends (VQE, Adapt-VQE, QPE)
+// that compile an observable + ansatz into backend executions and drive
+// the classical optimization loop. NWQ-Sim's backends (single-node
+// state vector, multi-rank cluster, density matrix) register themselves
+// here exactly as simulators register with the real XACC.
+package xacc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/density"
+	"repro/internal/pauli"
+	"repro/internal/state"
+)
+
+// ExecutionResult carries what a backend produced for one circuit.
+type ExecutionResult struct {
+	// Counts histograms sampled outcomes (nil when shots == 0).
+	Counts map[uint64]int
+	// Probabilities is the exact outcome distribution when the backend
+	// can provide it (simulators can; hardware cannot).
+	Probabilities []float64
+}
+
+// Accelerator is the backend abstraction: anything that can run circuits
+// and evaluate observables.
+type Accelerator interface {
+	Name() string
+	NumQubitsLimit() int
+	// Execute runs a circuit from |0…0⟩ and returns measurement data.
+	Execute(c *circuit.Circuit, shots int) (*ExecutionResult, error)
+	// Expectation returns ⟨prep|obs|prep⟩ by whatever strategy the
+	// backend supports best (direct calculation for simulators).
+	Expectation(prep *circuit.Circuit, obs *pauli.Op) (float64, error)
+}
+
+// registry is the plugin table, mirroring XACC's service registry.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Accelerator{}
+)
+
+// RegisterAccelerator installs a named backend factory.
+func RegisterAccelerator(name string, factory func() Accelerator) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = factory
+}
+
+// GetAccelerator instantiates a registered backend.
+func GetAccelerator(name string) (Accelerator, error) {
+	regMu.RLock()
+	factory, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no accelerator %q (have %v)", core.ErrInvalidArgument, name, AcceleratorNames())
+	}
+	return factory(), nil
+}
+
+// AcceleratorNames lists registered backends, sorted.
+func AcceleratorNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterAccelerator("nwq-sv", func() Accelerator { return &SVAccelerator{Workers: 0} })
+	RegisterAccelerator("nwq-sv-serial", func() Accelerator { return &SVAccelerator{Workers: 1} })
+	RegisterAccelerator("nwq-cluster", func() Accelerator { return &ClusterAccelerator{Ranks: 4} })
+	RegisterAccelerator("nwq-dm", func() Accelerator { return &DMAccelerator{} })
+}
+
+// SVAccelerator is the single-node state-vector backend (NWQ-Sim's
+// CPU/GPU engine; goroutine-parallel here).
+type SVAccelerator struct {
+	Workers   int
+	Transpile bool
+	Seed      uint64
+}
+
+// Name implements Accelerator.
+func (a *SVAccelerator) Name() string { return "nwq-sv" }
+
+// NumQubitsLimit implements Accelerator (memory-bound).
+func (a *SVAccelerator) NumQubitsLimit() int { return 30 }
+
+// Execute implements Accelerator.
+func (a *SVAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult, error) {
+	run := c
+	if a.Transpile {
+		run = circuit.Transpile(c, circuit.DefaultTranspileOptions())
+	}
+	s := state.New(c.NumQubits, state.Options{Workers: a.Workers, Seed: a.Seed})
+	s.Run(run)
+	res := &ExecutionResult{Probabilities: s.Probabilities()}
+	if shots > 0 {
+		res.Counts = s.SampleCounts(shots)
+	}
+	return res, nil
+}
+
+// Expectation implements Accelerator with the direct method.
+func (a *SVAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
+	if obs.MaxQubit() >= prep.NumQubits {
+		return 0, core.QubitError(obs.MaxQubit(), prep.NumQubits)
+	}
+	run := prep
+	if a.Transpile {
+		run = circuit.Transpile(prep, circuit.DefaultTranspileOptions())
+	}
+	s := state.New(prep.NumQubits, state.Options{Workers: a.Workers, Seed: a.Seed})
+	s.Run(run)
+	return pauli.Expectation(s, obs, pauli.ExpectationOptions{Workers: a.Workers}), nil
+}
+
+// ClusterAccelerator is the simulated multi-node backend.
+type ClusterAccelerator struct {
+	Ranks int
+}
+
+// Name implements Accelerator.
+func (a *ClusterAccelerator) Name() string { return "nwq-cluster" }
+
+// NumQubitsLimit implements Accelerator.
+func (a *ClusterAccelerator) NumQubitsLimit() int { return 34 }
+
+// effectiveRanks clamps the configured rank count so that every rank
+// keeps at least two local qubits (small circuits run on fewer ranks).
+func (a *ClusterAccelerator) effectiveRanks(n int) int {
+	ranks := a.Ranks
+	if ranks < 1 {
+		ranks = 1
+	}
+	for ranks > 1 && ranks > 1<<uint(n-2) {
+		ranks /= 2
+	}
+	return ranks
+}
+
+// Execute implements Accelerator.
+func (a *ClusterAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult, error) {
+	cl, err := cluster.New(c.NumQubits, a.effectiveRanks(c.NumQubits))
+	if err != nil {
+		return nil, err
+	}
+	cl.Run(c)
+	s, err := cl.ToState()
+	if err != nil {
+		return nil, err
+	}
+	res := &ExecutionResult{Probabilities: s.Probabilities()}
+	if shots > 0 {
+		res.Counts = s.SampleCounts(shots)
+	}
+	return res, nil
+}
+
+// Expectation implements Accelerator.
+func (a *ClusterAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
+	cl, err := cluster.New(prep.NumQubits, a.effectiveRanks(prep.NumQubits))
+	if err != nil {
+		return 0, err
+	}
+	cl.Run(prep)
+	s, err := cl.ToState()
+	if err != nil {
+		return 0, err
+	}
+	return pauli.Expectation(s, obs, pauli.ExpectationOptions{}), nil
+}
+
+// DMAccelerator is the density-matrix backend with optional noise.
+type DMAccelerator struct {
+	Noise *density.NoiseModel
+}
+
+// Name implements Accelerator.
+func (a *DMAccelerator) Name() string { return "nwq-dm" }
+
+// NumQubitsLimit implements Accelerator (ρ is 4ⁿ).
+func (a *DMAccelerator) NumQubitsLimit() int { return 12 }
+
+// Execute implements Accelerator.
+func (a *DMAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult, error) {
+	m := density.New(c.NumQubits)
+	if err := m.Run(c, a.Noise); err != nil {
+		return nil, err
+	}
+	res := &ExecutionResult{Probabilities: m.Probabilities()}
+	if shots > 0 {
+		// Sample from the diagonal.
+		rng := core.NewRNG(0x5eed)
+		res.Counts = sampleFromProbs(res.Probabilities, shots, rng)
+	}
+	return res, nil
+}
+
+// Expectation implements Accelerator.
+func (a *DMAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
+	m := density.New(prep.NumQubits)
+	if err := m.Run(prep, a.Noise); err != nil {
+		return 0, err
+	}
+	return m.Expectation(obs), nil
+}
+
+func sampleFromProbs(probs []float64, shots int, rng *core.RNG) map[uint64]int {
+	cum := make([]float64, len(probs)+1)
+	for i, p := range probs {
+		cum[i+1] = cum[i] + p
+	}
+	out := map[uint64]int{}
+	for k := 0; k < shots; k++ {
+		r := rng.Float64() * cum[len(probs)]
+		lo, hi := 0, len(probs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] <= r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= len(probs) {
+			lo = len(probs) - 1
+		}
+		out[uint64(lo)]++
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package xacc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ansatz"
+	"repro/internal/chem"
+	"repro/internal/circuit"
+	"repro/internal/density"
+	"repro/internal/pauli"
+)
+
+func TestRegistryContainsBuiltins(t *testing.T) {
+	names := AcceleratorNames()
+	want := map[string]bool{"nwq-sv": false, "nwq-sv-serial": false, "nwq-cluster": false, "nwq-dm": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("builtin %q not registered", n)
+		}
+	}
+}
+
+func TestGetAcceleratorUnknown(t *testing.T) {
+	if _, err := GetAccelerator("hal9000"); err == nil {
+		t.Error("unknown accelerator resolved")
+	}
+}
+
+func TestRegisterCustomAccelerator(t *testing.T) {
+	RegisterAccelerator("test-custom", func() Accelerator { return &SVAccelerator{Workers: 1} })
+	a, err := GetAccelerator("test-custom")
+	if err != nil || a == nil {
+		t.Fatal(err)
+	}
+}
+
+func bellCircuit() *circuit.Circuit {
+	return circuit.New(2).H(0).CX(0, 1)
+}
+
+func TestAllBackendsAgreeOnBell(t *testing.T) {
+	obs := pauli.NewOp().Add(pauli.MustParse("ZZ"), 1)
+	for _, name := range []string{"nwq-sv", "nwq-sv-serial", "nwq-cluster", "nwq-dm"} {
+		a, err := GetAccelerator(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := a.Expectation(bellCircuit(), obs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(e-1) > 1e-9 {
+			t.Errorf("%s: ⟨ZZ⟩ = %v, want 1", name, e)
+		}
+		res, err := a.Execute(bellCircuit(), 0)
+		if err != nil {
+			t.Fatalf("%s execute: %v", name, err)
+		}
+		if math.Abs(res.Probabilities[0]-0.5) > 1e-9 || math.Abs(res.Probabilities[3]-0.5) > 1e-9 {
+			t.Errorf("%s: Bell probabilities wrong", name)
+		}
+	}
+}
+
+func TestExecuteWithShots(t *testing.T) {
+	a, _ := GetAccelerator("nwq-sv")
+	res, err := a.Execute(bellCircuit(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for outcome, c := range res.Counts {
+		if outcome == 1 || outcome == 2 {
+			t.Errorf("impossible outcome %d sampled", outcome)
+		}
+		total += c
+	}
+	if total != 5000 {
+		t.Errorf("shot total %d", total)
+	}
+}
+
+func TestDMAcceleratorWithNoise(t *testing.T) {
+	a := &DMAccelerator{Noise: density.DepolarizingModel(0.02, 0.05)}
+	obs := pauli.NewOp().Add(pauli.MustParse("ZZ"), 1)
+	e, err := a.Expectation(bellCircuit(), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise shrinks the correlator strictly below 1 but not catastrophically.
+	if e >= 1-1e-9 || e < 0.7 {
+		t.Errorf("noisy ⟨ZZ⟩ = %v", e)
+	}
+}
+
+func TestTranspilingBackendMatches(t *testing.T) {
+	plain := &SVAccelerator{}
+	fused := &SVAccelerator{Transpile: true}
+	obs := pauli.NewOp().Add(pauli.MustParse("XX"), 0.5).Add(pauli.MustParse("ZI"), -0.25)
+	c := circuit.New(2).H(0).T(0).CX(0, 1).RZ(0.3, 1).CX(0, 1)
+	e1, err1 := plain.Expectation(c, obs)
+	e2, err2 := fused.Expectation(c, obs)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if math.Abs(e1-e2) > 1e-10 {
+		t.Errorf("transpiled expectation %v vs %v", e2, e1)
+	}
+}
+
+func TestVQEAlgorithmH2(t *testing.T) {
+	m := chem.H2()
+	h := chem.QubitHamiltonian(m)
+	fci, _ := chem.FCI(m)
+	u, _ := ansatz.NewUCCSD(4, 2)
+	for _, optName := range []string{"nelder-mead", "lbfgs"} {
+		alg := &VQE{Observable: h, Ansatz: u, Accelerator: &SVAccelerator{}, Optimizer: optName, MaxIter: 2000}
+		res, err := alg.Execute(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", optName, err)
+		}
+		if math.Abs(res.Energy-fci.Energy) > 1e-4 {
+			t.Errorf("%s: E = %v vs FCI %v", optName, res.Energy, fci.Energy)
+		}
+		if res.EnergyEvaluations == 0 {
+			t.Error("no evaluations counted")
+		}
+	}
+}
+
+func TestVQEAlgorithmValidation(t *testing.T) {
+	u, _ := ansatz.NewUCCSD(4, 2)
+	if _, err := (&VQE{Ansatz: u}).Execute(nil); err == nil {
+		t.Error("missing observable accepted")
+	}
+	h := chem.QubitHamiltonian(chem.H2())
+	alg := &VQE{Observable: h, Ansatz: u, Accelerator: &SVAccelerator{}, Optimizer: "magic"}
+	if _, err := alg.Execute(nil); err == nil {
+		t.Error("unknown optimizer accepted")
+	}
+	if _, err := (&VQE{Observable: h, Ansatz: u, Accelerator: &SVAccelerator{}}).Execute([]float64{1}); err == nil {
+		t.Error("bad x0 length accepted")
+	}
+	wide := pauli.NewOp().Add(pauli.MustParse("IIIIIZ"), 1)
+	if _, err := (&VQE{Observable: wide, Ansatz: u, Accelerator: &SVAccelerator{}}).Execute(nil); err == nil {
+		t.Error("wide observable accepted")
+	}
+}
+
+func TestNumQubitsLimits(t *testing.T) {
+	for _, name := range AcceleratorNames() {
+		a, err := GetAccelerator(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumQubitsLimit() < 2 {
+			t.Errorf("%s: implausible qubit limit", name)
+		}
+	}
+}
+
+func TestAdaptVQEFrontEnd(t *testing.T) {
+	m := chem.H2()
+	fci, _ := chem.FCI(m)
+	alg := &AdaptVQE{
+		Observable:   chem.QubitHamiltonian(m),
+		NumQubits:    4,
+		NumElectrons: 2,
+		Reference:    fci.Energy,
+	}
+	res, err := alg.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || math.Abs(res.Energy-fci.Energy) > 1e-3 {
+		t.Errorf("adapt front-end: E %v vs FCI %v converged=%v", res.Energy, fci.Energy, res.Converged)
+	}
+	if _, err := (&AdaptVQE{}).Execute(); err == nil {
+		t.Error("missing observable accepted")
+	}
+}
+
+func TestQPEFrontEnd(t *testing.T) {
+	m := chem.H2()
+	fci, _ := chem.FCI(m)
+	alg := &QPE{
+		Observable:   chem.QubitHamiltonian(m),
+		NumQubits:    4,
+		NumElectrons: 2,
+		Time:         0.8,
+	}
+	res, err := alg.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energy-fci.Energy) > 2*res.Resolution {
+		t.Errorf("qpe front-end: %v vs FCI %v", res.Energy, fci.Energy)
+	}
+	if _, err := (&QPE{}).Execute(); err == nil {
+		t.Error("missing observable accepted")
+	}
+}
+
+func TestAcceleratorNames(t *testing.T) {
+	for _, name := range []string{"nwq-sv", "nwq-cluster", "nwq-dm"} {
+		a, err := GetAccelerator(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() == "" {
+			t.Errorf("%s: empty Name()", name)
+		}
+	}
+}
+
+func TestDMAcceleratorShots(t *testing.T) {
+	a := &DMAccelerator{Noise: density.DepolarizingModel(0.01, 0.02)}
+	res, err := a.Execute(bellCircuit(), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range res.Counts {
+		total += c
+	}
+	if total != 3000 {
+		t.Errorf("shot total %d", total)
+	}
+	// Noise leaks some probability into the odd-parity outcomes.
+	if res.Counts[0]+res.Counts[3] == 3000 {
+		t.Error("no noise visible in sampled counts")
+	}
+}
+
+func TestClusterAcceleratorSmallCircuitClamps(t *testing.T) {
+	// A 2-qubit circuit on a 4-rank accelerator must clamp ranks rather
+	// than fail.
+	a := &ClusterAccelerator{Ranks: 4}
+	res, err := a.Execute(bellCircuit(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counts) == 0 {
+		t.Error("no counts")
+	}
+}
