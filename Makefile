@@ -1,0 +1,29 @@
+GO ?= go
+
+# Packages exercising the concurrency-sensitive paths (worker pool, batched
+# expectation, VQE drivers) — the race target runs these under -race.
+RACE_PKGS = ./internal/state/... ./internal/pauli/... ./internal/vqe/...
+
+.PHONY: all build test vet race bench figures check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench BenchmarkBatchedExpectation -benchtime 1x -run ^$$ .
+
+figures:
+	$(GO) run ./cmd/benchfigs -fig all -fast
+
+check: build vet test race

@@ -287,6 +287,77 @@ func BenchmarkFusionWidth(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedExpectation compares per-term evaluation (one amplitude
+// sweep per Pauli string) against the batched X-mask-grouped engine (one
+// sweep per group) across term counts and qubit widths — the optimization
+// targeting the paper's Fig 1b regime where term count, not qubit count,
+// dominates energy-evaluation wall clock. Reported metrics: observable
+// size (terms), sweep count (xgroups), and the batched-vs-naive energy
+// deviation (must stay below 1e-10).
+func BenchmarkBatchedExpectation(b *testing.B) {
+	cases := []struct {
+		name   string
+		qubits int
+		orb    int
+	}{
+		{"qubits=16/terms~3k", 16, 8},
+		{"qubits=18/terms~5k", 18, 9},
+	}
+	for _, tc := range cases {
+		h := chem.QubitHamiltonian(chem.WaterLikeScaled(tc.orb))
+		s := state.New(tc.qubits, state.Options{})
+		prep := circuit.New(tc.qubits)
+		for q := 0; q < tc.orb; q++ {
+			prep.X(q)
+		}
+		for q := 0; q < tc.qubits; q++ {
+			prep.RY(0.07*float64(q+1), q)
+		}
+		for q := 0; q+1 < tc.qubits; q++ {
+			prep.CX(q, q+1)
+		}
+		s.Run(prep)
+		plan := pauli.NewPlan(h)
+		naive := pauli.ExpectationNaive(s, h, pauli.ExpectationOptions{Workers: 1})
+		batched := plan.Evaluate(s, pauli.ExpectationOptions{Workers: 1})
+		if math.Abs(naive-batched) > 1e-10 {
+			b.Fatalf("batched energy deviates from naive: %v vs %v", batched, naive)
+		}
+		for _, eng := range []string{"per-term", "batched"} {
+			b.Run(tc.name+"/"+eng, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if eng == "batched" {
+						plan.Evaluate(s, pauli.ExpectationOptions{Workers: 1})
+					} else {
+						pauli.ExpectationNaive(s, h, pauli.ExpectationOptions{Workers: 1})
+					}
+				}
+				b.ReportMetric(float64(h.NumTerms()), "terms")
+				b.ReportMetric(float64(plan.NumGroups()), "xgroups")
+				b.ReportMetric(math.Abs(naive-batched), "abs_deviation")
+			})
+		}
+	}
+}
+
+// BenchmarkBatchedExpectationParallel sweeps the worker-pool width of the
+// batched engine (padded per-chunk accumulator blocks) on the 16-qubit
+// molecular observable.
+func BenchmarkBatchedExpectationParallel(b *testing.B) {
+	h := chem.QubitHamiltonian(chem.WaterLikeScaled(8))
+	plan := pauli.NewPlan(h)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := state.New(16, state.Options{Workers: workers})
+			s.Run(uccsdCircuit(b, 16, 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan.Evaluate(s, pauli.ExpectationOptions{Workers: workers})
+			}
+		})
+	}
+}
+
 // BenchmarkExpectationWorkers sweeps the worker count of the direct
 // expectation reduction (paper §4.2.3 parallelization).
 func BenchmarkExpectationWorkers(b *testing.B) {

@@ -8,6 +8,7 @@
 //	benchfigs -fig 3         # caching vs non-caching gate count
 //	benchfigs -fig 4         # gate fusion table
 //	benchfigs -fig 5         # Adapt-VQE convergence
+//	benchfigs -fig expect    # batched vs per-term expectation speedup
 //	benchfigs -fig all       # everything
 //	benchfigs -fig all -fast # reduced sweeps for quick smoke runs
 package main
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 1c, 3, 4, 5, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 1c, 3, 4, 5, expect, all")
 	fast := flag.Bool("fast", false, "reduced sweeps (smoke mode)")
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 			fmt.Printf("# figure %s done in %.1fs\n\n", name, time.Since(start).Seconds())
 		}
 	}
-	known := map[string]bool{"1a": true, "1b": true, "1c": true, "3": true, "4": true, "5": true, "extras": true, "all": true}
+	known := map[string]bool{"1a": true, "1b": true, "1c": true, "3": true, "4": true, "5": true, "expect": true, "extras": true, "all": true}
 	if !known[*fig] {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -55,6 +56,7 @@ func main() {
 	run("3", fig3)
 	run("4", fig4)
 	run("5", fig5)
+	run("expect", figExpect)
 	run("extras", extras)
 }
 
@@ -171,6 +173,47 @@ func fig5(fast bool) {
 	}
 	fmt.Printf("# %s after %d iterations (final |ΔE| = %.3f mHa)\n",
 		status, len(res.History), 1000*math.Abs(res.Energy-fci.Energy))
+}
+
+// figExpect measures the batched multi-term expectation engine against the
+// naive per-term evaluator on downfolded H2O-like observables: same
+// energies, one amplitude sweep per X-mask group instead of one per term.
+func figExpect(fast bool) {
+	fmt.Println("# Expectation engine — batched X-mask grouping vs per-term sweeps (serial)")
+	fmt.Println("# one O(2^n) pass per X-mask group scores every term of the group at once")
+	fmt.Println("qubits\tterms\txgroups\tper_term_ms\tbatched_ms\tspeedup_x\tabs_dev")
+	widths := []int{12, 14, 16, 18}
+	if fast {
+		widths = []int{10, 12}
+	}
+	for _, n := range widths {
+		h := chem.QubitHamiltonian(chem.WaterLikeScaled(n / 2))
+		c := circuit.New(n)
+		for q := 0; q < n; q++ {
+			c.X(q)
+			c.RY(0.1*float64(q+1), q)
+		}
+		for q := 0; q+1 < n; q++ {
+			c.CX(q, q+1)
+		}
+		s := state.New(n, state.Options{Workers: 1})
+		s.Run(c)
+		serialOpts := pauli.ExpectationOptions{Workers: 1}
+
+		t0 := time.Now()
+		naive := pauli.ExpectationNaive(s, h, serialOpts)
+		perTerm := time.Since(t0)
+
+		plan := pauli.NewPlan(h)
+		t0 = time.Now()
+		batched := plan.Evaluate(s, serialOpts)
+		batchedT := time.Since(t0)
+
+		fmt.Printf("%d\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.1e\n",
+			n, plan.NumTerms(), plan.NumGroups(),
+			float64(perTerm.Microseconds())/1000, float64(batchedT.Microseconds())/1000,
+			perTerm.Seconds()/batchedT.Seconds(), math.Abs(naive-batched))
+	}
 }
 
 // extras prints the extension measurements: encoding locality, qubit

@@ -92,7 +92,10 @@ func runJob(j Job) (res Result) {
 	s.Run(j.Circuit)
 	switch {
 	case j.Observable != nil:
-		res.Expectation = pauli.Expectation(s, j.Observable, pauli.ExpectationOptions{})
+		// Workers 1, explicitly: parallelism comes from running many jobs
+		// at once, so each job's batched reduction must stay serial (an
+		// ExpectationOptions zero value now means GOMAXPROCS).
+		res.Expectation = pauli.Expectation(s, j.Observable, pauli.ExpectationOptions{Workers: 1})
 	case j.Shots > 0:
 		res.Counts = s.SampleCounts(j.Shots)
 	default:

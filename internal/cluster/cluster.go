@@ -37,6 +37,7 @@ type Cluster struct {
 	localN  int // local qubits per rank = n - rankLog
 	blocks  [][]complex128
 	workers int
+	pool    *state.Pool // persistent per-cluster rank pool (one goroutine per simulated rank)
 	stats   CommStats
 	statsMu sync.Mutex
 }
@@ -62,6 +63,11 @@ func New(n, numRanks int) (*Cluster, error) {
 		c.blocks[r] = make([]complex128, localDim)
 	}
 	c.blocks[0][0] = 1
+	if numRanks > 1 {
+		// One persistent goroutine per simulated rank, created once and
+		// reused by every gate instead of spawning per gate application.
+		c.pool = state.NewPool(numRanks)
+	}
 	return c, nil
 }
 
@@ -77,34 +83,41 @@ func (c *Cluster) Stats() CommStats { return c.stats }
 // isLocal reports whether qubit q lives inside each rank's block.
 func (c *Cluster) isLocal(q int) bool { return q < c.localN }
 
-// eachRank runs body(rank) concurrently over all ranks.
+// eachRank runs body(rank) concurrently over all ranks on the persistent
+// rank pool (inline for a single-rank cluster).
 func (c *Cluster) eachRank(body func(r int)) {
-	var wg sync.WaitGroup
-	for r := range c.blocks {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
+	if c.pool == nil {
+		for r := range c.blocks {
 			body(r)
-		}(r)
+		}
+		return
 	}
-	wg.Wait()
+	// One chunk per rank: Run with chunks == ranks yields exactly the
+	// ranges [r, r+1).
+	c.pool.Run(uint64(len(c.blocks)), len(c.blocks), func(_ int, lo, _ uint64) {
+		body(int(lo))
+	})
 }
 
 // eachRankPair runs body over all rank pairs differing in globalBit.
 func (c *Cluster) eachRankPair(globalBit int, body func(r0, r1 int)) {
-	var wg sync.WaitGroup
 	bit := 1 << uint(globalBit)
+	var pairs []int
 	for r := range c.blocks {
-		if r&bit != 0 {
-			continue
+		if r&bit == 0 {
+			pairs = append(pairs, r)
 		}
-		wg.Add(1)
-		go func(r0 int) {
-			defer wg.Done()
-			body(r0, r0|bit)
-		}(r)
 	}
-	wg.Wait()
+	if c.pool == nil || len(pairs) == 1 {
+		for _, r0 := range pairs {
+			body(r0, r0|bit)
+		}
+		return
+	}
+	c.pool.Run(uint64(len(pairs)), len(pairs), func(_ int, lo, _ uint64) {
+		r0 := pairs[lo]
+		body(r0, r0|bit)
+	})
 }
 
 func (c *Cluster) addComm(messages int, bytes uint64) {

@@ -2,8 +2,8 @@ package pauli
 
 import (
 	"math/bits"
+	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -29,65 +29,66 @@ func ExpectationString(s *state.State, p String) complex128 {
 	return acc
 }
 
-// expectationStringParallel chunks the amplitude loop over a worker pool
-// (paper §4.2.3 parallelizes the same reduction over GPU cores).
-func expectationStringParallel(amps []complex128, p String, workers int) complex128 {
-	n := uint64(len(amps))
-	if workers < 1 {
-		workers = 1
-	}
-	chunk := (n + uint64(workers) - 1) / uint64(workers)
-	partial := make([]complex128, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := uint64(w) * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w int, lo, hi uint64) {
-			defer wg.Done()
-			var acc complex128
-			for i := lo; i < hi; i++ {
-				ai := amps[i]
-				if ai == 0 {
-					continue
-				}
-				j, ph := p.ApplyToBasis(i)
-				aj := amps[j]
-				acc += complex(real(aj), -imag(aj)) * ph * ai
+// expectationStringParallel chunks the amplitude loop over the state's
+// persistent worker pool (paper §4.2.3 parallelizes the same reduction
+// over GPU cores). Each chunk accumulates locally and writes its partial
+// once into a cache-line-padded slot — workers never share a line.
+func expectationStringParallel(amps []complex128, p String, pool *state.Pool, chunks int) complex128 {
+	return pool.ReduceComplex(uint64(len(amps)), chunks, func(lo, hi uint64) complex128 {
+		var acc complex128
+		for i := lo; i < hi; i++ {
+			ai := amps[i]
+			if ai == 0 {
+				continue
 			}
-			partial[w] = acc
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	var acc complex128
-	for _, v := range partial {
-		acc += v
-	}
-	return acc
+			j, ph := p.ApplyToBasis(i)
+			aj := amps[j]
+			acc += complex(real(aj), -imag(aj)) * ph * ai
+		}
+		return acc
+	})
 }
 
 // ExpectationOptions tunes direct expectation evaluation.
 type ExpectationOptions struct {
-	Workers int // goroutines per term reduction; 0/1 = serial
+	// Workers is the reduction parallelism, matching state.Options
+	// semantics: 0 means GOMAXPROCS, 1 forces serial.
+	Workers int
+}
+
+// resolveWorkers applies the 0 = GOMAXPROCS default.
+func (o ExpectationOptions) resolveWorkers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
 }
 
 // Expectation computes ⟨ψ|H|ψ⟩ for a Pauli-sum observable using the
-// direct method. The result is real for Hermitian H; the real part is
-// returned.
+// direct method, batched by X mask: every group of terms sharing an index
+// permutation is scored during one pass over the amplitudes (see
+// batched.go). The result is real for Hermitian H; the real part is
+// returned. Callers that evaluate the same observable repeatedly should
+// build the Plan once with NewPlan and call Evaluate to amortize the
+// grouping.
 func Expectation(s *state.State, op *Op, opts ExpectationOptions) float64 {
 	checkWidth(s, op)
+	return NewPlan(op).Evaluate(s, opts)
+}
+
+// ExpectationNaive evaluates term by term, one full amplitude sweep per
+// Pauli string — the pre-batching engine, kept as the reference
+// implementation for property tests and the batched-vs-per-term
+// benchmarks.
+func ExpectationNaive(s *state.State, op *Op, opts ExpectationOptions) float64 {
+	checkWidth(s, op)
 	amps := s.Amplitudes()
+	pool, chunks := expectationPool(s, opts, len(amps))
 	total := 0.0
 	for p, c := range op.terms {
 		var e complex128
-		if opts.Workers > 1 && len(amps) >= 1<<12 {
-			e = expectationStringParallel(amps, p, opts.Workers)
+		if pool != nil {
+			e = expectationStringParallel(amps, p, pool, chunks)
 		} else {
 			e = ExpectationString(s, p)
 		}

@@ -16,7 +16,6 @@ import (
 	"math"
 	"math/cmplx"
 	"runtime"
-	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -56,6 +55,11 @@ type State struct {
 	opts   Options
 	rng    *core.RNG
 	nGates uint64 // applied-gate counter (paper's evaluation currency)
+	// pool is the persistent worker pool serving gate application,
+	// probability reductions and (via WorkerPool/EnsurePool) the batched
+	// expectation engine. Created once per State and shared with clones,
+	// so one pool outlives every gate and Pauli term of an evaluation.
+	pool *Pool
 }
 
 // New allocates the |0…0⟩ state on n qubits.
@@ -73,8 +77,43 @@ func New(n int, opts Options) *State {
 	}
 	s := &State{n: n, amps: make([]complex128, dim), opts: opts, rng: core.NewRNG(seed)}
 	s.amps[0] = 1
+	if opts.Workers > 1 && dim >= expectationParallelThreshold {
+		// Large enough that some caller (gates at ParallelThreshold, the
+		// expectation engine at its lower cutoff) will go parallel; start
+		// the persistent pool now rather than per call.
+		s.pool = NewPool(opts.Workers)
+	}
 	return s
 }
+
+// expectationParallelThreshold is the minimum amplitude count before
+// expectation-style reductions engage the pool — lower than the gate
+// ParallelThreshold default because a reduction touches every amplitude of
+// every term group, amortizing the handoff better than one gate does.
+const expectationParallelThreshold = 1 << 12
+
+// WorkerPool returns the state's persistent pool, or nil for states that
+// run serial (Workers ≤ 1 or too small to ever parallelize).
+func (s *State) WorkerPool() *Pool { return s.pool }
+
+// EnsurePool returns the state's pool, creating one of the given width
+// (0 = GOMAXPROCS) if the state does not have one yet — used by the
+// expectation engine when a caller requests parallel reduction on a state
+// whose own gate path is serial. An existing pool is returned unchanged
+// regardless of the requested width.
+func (s *State) EnsurePool(workers int) *Pool {
+	if s.pool == nil {
+		s.pool = NewPool(workers)
+	}
+	return s.pool
+}
+
+// Workers returns the resolved worker count (≥ 1).
+func (s *State) Workers() int { return s.opts.Workers }
+
+// ParallelThreshold returns the resolved minimum amplitude count for
+// engaging the worker pool on gate application.
+func (s *State) ParallelThreshold() int { return s.opts.ParallelThreshold }
 
 // FromAmplitudes builds a state from an explicit amplitude vector (copied);
 // the vector must have power-of-two length and unit norm.
@@ -118,9 +157,11 @@ func (s *State) GatesApplied() uint64 { return s.nGates }
 // ResetCounters zeroes the applied-gate counter.
 func (s *State) ResetCounters() { s.nGates = 0 }
 
-// Clone duplicates the state, including RNG position and counters.
+// Clone duplicates the state, including RNG position and counters. The
+// worker pool is shared, not duplicated: clones (scratch states, cache
+// restores) reuse the parent's persistent goroutines.
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amps: s.AmplitudesCopy(), opts: s.opts, rng: s.rng.Split(), nGates: s.nGates}
+	c := &State{n: s.n, amps: s.AmplitudesCopy(), opts: s.opts, rng: s.rng.Split(), nGates: s.nGates, pool: s.pool}
 	return c
 }
 
@@ -152,28 +193,25 @@ func (s *State) InnerProduct(o *State) complex128 {
 	return linalg.VecDot(s.amps, o.amps)
 }
 
-// parallelFor splits [0,total) into contiguous chunks across the worker
-// pool. It falls back to inline execution below the parallel threshold.
+// parallelFor splits [0,total) into contiguous chunks across the
+// persistent worker pool. It falls back to inline execution below the
+// parallel threshold or when the state runs serial.
 func (s *State) parallelFor(total uint64, body func(lo, hi uint64)) {
-	if int(total) < s.opts.ParallelThreshold || s.opts.Workers == 1 {
+	if int(total) < s.opts.ParallelThreshold || s.opts.Workers <= 1 || s.pool == nil {
 		body(0, total)
 		return
 	}
-	w := uint64(s.opts.Workers)
-	chunk := (total + w - 1) / w
-	var wg sync.WaitGroup
-	for lo := uint64(0); lo < total; lo += chunk {
-		hi := lo + chunk
-		if hi > total {
-			hi = total
-		}
-		wg.Add(1)
-		go func(lo, hi uint64) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+	s.pool.Run(total, s.opts.Workers, func(_ int, lo, hi uint64) { body(lo, hi) })
+}
+
+// parallelReduce sums body's per-chunk partials over [0,total), inline
+// below the reduction threshold (which is lower than the gate threshold —
+// see expectationParallelThreshold).
+func (s *State) parallelReduce(total uint64, body func(lo, hi uint64) float64) float64 {
+	if int(total) < expectationParallelThreshold || s.opts.Workers <= 1 || s.pool == nil {
+		return body(0, total)
 	}
-	wg.Wait()
+	return s.pool.ReduceFloat(total, s.opts.Workers, body)
 }
 
 // Apply1Q applies a 2×2 unitary to qubit q.
@@ -372,26 +410,36 @@ func (s *State) Run(c *circuit.Circuit) {
 	}
 }
 
-// Probability returns P(qubit q = 1).
+// Probability returns P(qubit q = 1). The reduction runs on the worker
+// pool above the parallel threshold (this is a hot loop on the
+// ExpectationViaRotation and sampling paths).
 func (s *State) Probability(q int) float64 {
 	if q < 0 || q >= s.n {
 		panic(core.QubitError(q, s.n))
 	}
-	p := 0.0
-	for rest := uint64(0); rest < uint64(len(s.amps)/2); rest++ {
-		i1 := core.InsertZeroBit(rest, q) | 1<<uint(q)
-		a := s.amps[i1]
-		p += real(a)*real(a) + imag(a)*imag(a)
-	}
-	return p
+	amps := s.amps
+	return s.parallelReduce(uint64(len(amps)/2), func(lo, hi uint64) float64 {
+		p := 0.0
+		for rest := lo; rest < hi; rest++ {
+			i1 := core.InsertZeroBit(rest, q) | 1<<uint(q)
+			a := amps[i1]
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+		return p
+	})
 }
 
-// Probabilities returns |ψ_i|² for every basis state (allocates).
+// Probabilities returns |ψ_i|² for every basis state (allocates). The fill
+// is chunked over the worker pool; chunks write disjoint ranges.
 func (s *State) Probabilities() []float64 {
-	out := make([]float64, len(s.amps))
-	for i, a := range s.amps {
-		out[i] = real(a)*real(a) + imag(a)*imag(a)
-	}
+	amps := s.amps
+	out := make([]float64, len(amps))
+	s.parallelFor(uint64(len(amps)), func(lo, hi uint64) {
+		for i := lo; i < hi; i++ {
+			a := amps[i]
+			out[i] = real(a)*real(a) + imag(a)*imag(a)
+		}
+	})
 	return out
 }
 

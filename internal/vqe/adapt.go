@@ -67,11 +67,12 @@ func Adapt(h *pauli.Op, pool *ansatz.Pool, n, ne int, o AdaptOptions) (*AdaptRes
 	params := []float64{}
 	result := &AdaptResult{Ansatz: adapt}
 
-	// Driver reused across iterations (Direct mode: the optimization-side
-	// cost model; caching applies to the measurement-path modes).
+	// Pool-scan simulator created once: every outer iteration resets it in
+	// place, so its persistent worker pool serves all gradient scans.
+	s := state.New(n, state.Options{Workers: o.Workers})
 	for iter := 1; iter <= o.MaxIterations; iter++ {
 		// Prepare current optimal state and scan the pool.
-		s := state.New(n, state.Options{Workers: o.Workers})
+		s.ResetZero()
 		s.Run(adapt.Circuit(params))
 		grads := PoolGradients(s, h, pool.Ops)
 		best, bestAbs := -1, 0.0

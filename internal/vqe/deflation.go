@@ -67,14 +67,19 @@ func Deflation(h *pauli.Op, a Exponential, o DeflationOptions) ([]DeflationState
 	var found []DeflationState
 	var foundAmps [][]complex128
 
+	// The batched plan and the simulator are built once: every objective
+	// evaluation across all states and restarts reuses the same X-mask
+	// grouping and the same persistent worker pool.
+	plan := pauli.NewPlan(h)
+	sim := state.New(n, state.Options{Workers: o.Workers})
 	prepare := func(params []float64) *state.State {
-		s := state.New(n, state.Options{Workers: o.Workers})
-		s.Run(a.Circuit(params))
-		return s
+		sim.ResetZero()
+		sim.Run(a.Circuit(params))
+		return sim
 	}
 	objective := func(params []float64) float64 {
 		s := prepare(params)
-		e := pauli.Expectation(s, h, pauli.ExpectationOptions{Workers: o.Workers})
+		e := plan.Evaluate(s, pauli.ExpectationOptions{Workers: o.Workers})
 		for _, prev := range foundAmps {
 			ov := linalg.VecDot(prev, s.Amplitudes())
 			e += o.Beta * (real(ov)*real(ov) + imag(ov)*imag(ov))
@@ -99,7 +104,7 @@ func Deflation(h *pauli.Op, a Exponential, o DeflationOptions) ([]DeflationState
 			}
 		}
 		s := prepare(bestX)
-		energy := pauli.Expectation(s, h, pauli.ExpectationOptions{Workers: o.Workers})
+		energy := plan.Evaluate(s, pauli.ExpectationOptions{Workers: o.Workers})
 		found = append(found, DeflationState{Index: k, Energy: energy, Params: bestX})
 		foundAmps = append(foundAmps, s.AmplitudesCopy())
 	}

@@ -36,9 +36,11 @@ func (d *Driver) adjointGradient(exp Exponential, params, g []float64) {
 		phi.Run(c)
 	}
 
-	// λ = H|φ⟩ (unnormalized; held as raw amplitudes).
+	// λ = H|φ⟩ (unnormalized; held as raw amplitudes). The driver's
+	// batched plan applies H with one scatter pass per X-mask group,
+	// parallelized over φ's worker pool.
 	lambda := make([]complex128, phi.Dim())
-	d.H.MatVec(lambda, phi.Amplitudes())
+	d.plan.MatVec(lambda, phi.Amplitudes(), phi.WorkerPool())
 	lamState := rawState(lambda, n, d.opts.Workers)
 
 	// Backward sweep: at step k (from last to first), φ and λ hold
@@ -69,7 +71,9 @@ func rawState(amps []complex128, n, workers int) *state.State {
 // step of Adapt-VQE.
 func PoolGradients(s *state.State, h *pauli.Op, poolOps []ansatz.Excitation) []float64 {
 	hPsi := make([]complex128, s.Dim())
-	h.MatVec(hPsi, s.Amplitudes())
+	// H is the many-term factor; apply it batched. The per-operator
+	// generators below have only a handful of terms each.
+	pauli.NewPlan(h).MatVec(hPsi, s.Amplitudes(), s.WorkerPool())
 	tmp := make([]complex128, s.Dim())
 	out := make([]float64, len(poolOps))
 	for k, ex := range poolOps {

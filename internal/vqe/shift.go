@@ -23,10 +23,15 @@ func ParameterShiftGradient(h *pauli.Op, a ansatz.Ansatz, params []float64, work
 	if !ShiftRuleApplies(a, params) {
 		panic("vqe: parameter-shift rule does not apply to this ansatz (parameters re-used across gates)")
 	}
+	// One batched plan and one simulator serve all 2·dim shifted
+	// evaluations; the state (and its worker pool) is reset, not
+	// reallocated, between them.
+	plan := pauli.NewPlan(h)
+	s := state.New(a.NumQubits(), state.Options{Workers: workers})
 	energy := func(x []float64) float64 {
-		s := state.New(a.NumQubits(), state.Options{Workers: workers})
+		s.ResetZero()
 		s.Run(a.Circuit(x))
-		return pauli.Expectation(s, h, pauli.ExpectationOptions{Workers: workers})
+		return plan.Evaluate(s, pauli.ExpectationOptions{Workers: workers})
 	}
 	g := make([]float64, len(params))
 	shifted := append([]float64(nil), params...)

@@ -113,7 +113,9 @@ func (a *SVAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult
 	return res, nil
 }
 
-// Expectation implements Accelerator with the direct method.
+// Expectation implements Accelerator with the direct method: the
+// observable is compiled into a batched X-mask plan and every term group
+// is scored in one pass over the final amplitudes.
 func (a *SVAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
 	if obs.MaxQubit() >= prep.NumQubits {
 		return 0, core.QubitError(obs.MaxQubit(), prep.NumQubits)
@@ -124,7 +126,7 @@ func (a *SVAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (float
 	}
 	s := state.New(prep.NumQubits, state.Options{Workers: a.Workers, Seed: a.Seed})
 	s.Run(run)
-	return pauli.Expectation(s, obs, pauli.ExpectationOptions{Workers: a.Workers}), nil
+	return pauli.NewPlan(obs).Evaluate(s, pauli.ExpectationOptions{Workers: a.Workers}), nil
 }
 
 // ClusterAccelerator is the simulated multi-node backend.
@@ -180,7 +182,9 @@ func (a *ClusterAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (
 	if err != nil {
 		return 0, err
 	}
-	return pauli.Expectation(s, obs, pauli.ExpectationOptions{}), nil
+	// Workers 0 resolves to GOMAXPROCS: the gathered state is read with
+	// the batched engine at full node parallelism.
+	return pauli.NewPlan(obs).Evaluate(s, pauli.ExpectationOptions{}), nil
 }
 
 // DMAccelerator is the density-matrix backend with optional noise.
