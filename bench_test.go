@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/ansatz"
 	"repro/internal/batch"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/noise"
 	"repro/internal/pauli"
 	"repro/internal/state"
+	"repro/internal/telemetry"
 	"repro/internal/trotter"
 	"repro/internal/vqe"
 )
@@ -338,6 +340,57 @@ func BenchmarkBatchedExpectation(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkTelemetryOverhead prices the telemetry instrumentation on the
+// 16-qubit batched expectation sweep: the same evaluation is timed with
+// recording disabled (the production fast path — one atomic load and a
+// branch per instrumented event) and enabled. The enabled_overhead_%
+// metric is the full recording cost; the disabled path is strictly
+// cheaper, which bounds the "telemetry off" tax well under the 2% budget.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	h := chem.QubitHamiltonian(chem.WaterLikeScaled(8)) // 16 qubits
+	s := state.New(16, state.Options{Workers: 1})
+	prep := circuit.New(16)
+	for q := 0; q < 8; q++ {
+		prep.X(q)
+	}
+	for q := 0; q < 16; q++ {
+		prep.RY(0.07*float64(q+1), q)
+	}
+	for q := 0; q+1 < 16; q++ {
+		prep.CX(q, q+1)
+	}
+	s.Run(prep)
+	plan := pauli.NewPlan(h)
+	opts := pauli.ExpectationOptions{Workers: 1}
+	sweeps := func(k int) time.Duration {
+		start := time.Now()
+		for i := 0; i < k; i++ {
+			plan.Evaluate(s, opts)
+		}
+		return time.Since(start)
+	}
+	sweeps(2) // warm caches before timing either mode
+
+	const perMode = 4
+	var disabled, enabled time.Duration
+	telemetry.Disable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		telemetry.Disable()
+		disabled += sweeps(perMode)
+		telemetry.Enable()
+		enabled += sweeps(perMode)
+	}
+	b.StopTimer()
+	telemetry.Disable()
+	telemetry.Reset()
+
+	total := perMode * b.N
+	b.ReportMetric(float64(disabled.Nanoseconds())/float64(total), "disabled_ns/sweep")
+	b.ReportMetric(float64(enabled.Nanoseconds())/float64(total), "enabled_ns/sweep")
+	b.ReportMetric(100*(float64(enabled)-float64(disabled))/float64(disabled), "enabled_overhead_%")
 }
 
 // BenchmarkBatchedExpectationParallel sweeps the worker-pool width of the

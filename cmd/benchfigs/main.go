@@ -20,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"repro/cmd/internal/runreport"
 	"repro/internal/ansatz"
 	"repro/internal/chem"
 	"repro/internal/circuit"
@@ -35,6 +36,9 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 1c, 3, 4, 5, expect, all")
 	fast := flag.Bool("fast", false, "reduced sweeps (smoke mode)")
+	failBelow := flag.Float64("fail-below", 0,
+		"exit non-zero if the expect figure's minimum batched-vs-per-term speedup falls below this factor (0 = no gate)")
+	obsFlags := runreport.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	run := func(name string, f func(bool)) {
@@ -50,6 +54,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	var err error
+	rep, err = runreport.Start("benchfigs", obsFlags)
+	if err != nil {
+		panic(err)
+	}
+
 	run("1a", fig1a)
 	run("1b", fig1b)
 	run("1c", fig1c)
@@ -58,7 +68,33 @@ func main() {
 	run("5", fig5)
 	run("expect", figExpect)
 	run("extras", extras)
+
+	if !math.IsInf(minSpeedup, 1) {
+		rep.Set("expect.min_speedup_x", minSpeedup)
+	}
+	if err := rep.Finish(); err != nil {
+		panic(err)
+	}
+	if *failBelow > 0 {
+		if math.IsInf(minSpeedup, 1) {
+			fmt.Fprintln(os.Stderr, "benchfigs: -fail-below set but the expect figure did not run")
+			os.Exit(1)
+		}
+		if minSpeedup < *failBelow {
+			fmt.Fprintf(os.Stderr, "benchfigs: batched expectation speedup %.2fx below required %.2fx\n",
+				minSpeedup, *failBelow)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchfigs: speedup gate passed (min %.2fx >= %.2fx)\n", minSpeedup, *failBelow)
+	}
 }
+
+// rep is the process run report; minSpeedup tracks the smallest
+// batched-vs-per-term speedup figExpect observed (the -fail-below gate).
+var (
+	rep        *runreport.Run
+	minSpeedup = math.Inf(1)
+)
 
 // sweep returns the qubit counts for the scaling figures.
 func sweep(fast bool) []int {
@@ -209,10 +245,16 @@ func figExpect(fast bool) {
 		batched := plan.Evaluate(s, serialOpts)
 		batchedT := time.Since(t0)
 
+		speedup := perTerm.Seconds() / batchedT.Seconds()
+		if speedup < minSpeedup {
+			minSpeedup = speedup
+		}
+		rep.SetQubits(n)
+		rep.SetTerms(plan.NumTerms())
 		fmt.Printf("%d\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.1e\n",
 			n, plan.NumTerms(), plan.NumGroups(),
 			float64(perTerm.Microseconds())/1000, float64(batchedT.Microseconds())/1000,
-			perTerm.Seconds()/batchedT.Seconds(), math.Abs(naive-batched))
+			speedup, math.Abs(naive-batched))
 	}
 }
 

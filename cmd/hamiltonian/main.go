@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/runreport"
 	"repro/internal/chem"
 	"repro/internal/core"
 	"repro/internal/fermion"
@@ -37,10 +38,19 @@ func main() {
 		scf       = flag.Bool("scf", false, "run RHF and emit the MO-basis observable (needed for site-basis models)")
 		info      = flag.String("info", "", "inspect an operator file instead of generating")
 	)
+	obsFlags := runreport.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	rep, err := runreport.Start("hamiltonian", obsFlags)
+	if err != nil {
+		fail(err)
+	}
 
 	if *info != "" {
 		inspect(*info)
+		if err := rep.Finish(); err != nil {
+			fail(err)
+		}
 		return
 	}
 
@@ -86,6 +96,11 @@ func main() {
 	fmt.Printf("# %s | %d qubits | %d terms | encoding=%s taper=%v downfold=%d\n",
 		m.Name, n, op.NumTerms(), *encoding, *taper, *downfold)
 	if err := pauli.WriteOp(os.Stdout, op, n); err != nil {
+		fail(err)
+	}
+	rep.SetQubits(n)
+	rep.SetTerms(op.NumTerms())
+	if err := rep.Finish(); err != nil {
 		fail(err)
 	}
 }

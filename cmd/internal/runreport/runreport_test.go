@@ -1,0 +1,90 @@
+package runreport
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestBuildDerivesPhasesAndPool(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-metrics"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Start("test", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		telemetry.Disable()
+		telemetry.Reset()
+	})
+	r.SetQubits(16)
+	r.SetQubits(12) // max wins
+	r.SetTerms(4957)
+	r.Set("speedup", 6.0)
+
+	telemetry.GetTimer("vqe.energy").Observe(1000)
+	telemetry.GetGauge("state.pool.workers").Set(4)
+	telemetry.GetCounter("state.pool.runs").Add(10)
+	telemetry.GetCounter("state.pool.chunks").Add(40)
+	telemetry.GetTimer("state.pool.busy").Observe(2500)
+
+	rep := r.build(telemetry.Capture())
+	if rep.Qubits != 16 || rep.Terms != 4957 {
+		t.Fatalf("qubits/terms = %d/%d", rep.Qubits, rep.Terms)
+	}
+	if rep.PhaseNs["vqe.energy"] != 1000 {
+		t.Fatalf("phase_ns = %v", rep.PhaseNs)
+	}
+	if rep.Pool == nil || rep.Pool.Workers != 4 || rep.Pool.Runs != 10 || rep.Pool.BusyNs != 2500 {
+		t.Fatalf("pool = %+v", rep.Pool)
+	}
+	if rep.Pool.Utilization <= 0 || rep.Pool.Utilization > 1 {
+		t.Fatalf("utilization = %v", rep.Pool.Utilization)
+	}
+	if rep.Extras["speedup"] != 6.0 {
+		t.Fatalf("extras = %v", rep.Extras)
+	}
+}
+
+func TestFinishWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-metrics", "-report", path}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Start("test", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		telemetry.Disable()
+		telemetry.Reset()
+	})
+	telemetry.GetCounter("state.gate.1q").Inc()
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Command != "test" || rep.WallNs <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Metrics.Counters["state.gate.1q"] != 1 {
+		t.Fatalf("metrics counters = %v", rep.Metrics.Counters)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/cmd/internal/runreport"
 	"repro/internal/circuit"
 	"repro/internal/density"
 	"repro/internal/qasm"
@@ -32,6 +33,7 @@ func main() {
 		top     = flag.Int("top", 16, "print at most this many outcomes")
 		stats   = flag.Bool("stats", false, "print circuit statistics and exit")
 	)
+	obsFlags := runreport.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: nwqsim [flags] <circuit.qasm | ->")
@@ -39,10 +41,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	rep, err := runreport.Start("nwqsim", obsFlags)
+	if err != nil {
+		fail(err)
+	}
+
 	c, err := load(flag.Arg(0))
 	if err != nil {
 		fail(err)
 	}
+	rep.SetQubits(c.NumQubits)
 	st := c.Stats()
 	fmt.Printf("circuit: %d qubits, %d gates (%d 1q, %d 2q), depth %d\n",
 		c.NumQubits, st.Total, st.OneQubit, st.TwoQubit, st.Depth)
@@ -55,6 +63,9 @@ func main() {
 		c = fused
 	}
 	if *stats {
+		if err := rep.Finish(); err != nil {
+			fail(err)
+		}
 		return
 	}
 
@@ -72,6 +83,9 @@ func main() {
 	fmt.Printf("executed in %v\n\n", time.Since(start).Round(time.Microsecond))
 
 	printDistribution(res, c.NumQubits, *shots, *top)
+	if err := rep.Finish(); err != nil {
+		fail(err)
+	}
 }
 
 func load(path string) (*circuit.Circuit, error) {

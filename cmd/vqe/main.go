@@ -15,6 +15,7 @@ import (
 	"math"
 	"os"
 
+	"repro/cmd/internal/runreport"
 	"repro/internal/ansatz"
 	"repro/internal/chem"
 	"repro/internal/core"
@@ -51,14 +52,23 @@ func main() {
 		layers    = flag.Int("layers", 2, "operator-file mode: HEA entangling layers")
 		scan      = flag.String("scan", "", "H2 dissociation scan \"start:stop:step\" in Å (warm-started VQE)")
 	)
+	obsFlags := runreport.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	var err error
+	rep, err = runreport.Start("vqe", obsFlags)
+	if err != nil {
+		fail(err)
+	}
 
 	if *hamFile != "" {
 		runOnOperatorFile(*hamFile, *layers, *workers)
+		finishReport()
 		return
 	}
 	if *scan != "" {
 		runScan(*scan)
+		finishReport()
 		return
 	}
 
@@ -84,6 +94,8 @@ func main() {
 		fmt.Printf("downfolded to %d active orbitals (%d qubits, %d σ amplitudes)\n", *downfold, n, res.SigmaTerms)
 	}
 	fmt.Printf("observable: %d Pauli terms on %d qubits (%s encoding)\n", h.NumTerms(), n, *encoding)
+	rep.SetQubits(n)
+	rep.SetTerms(h.NumTerms())
 	if *taper {
 		tr, err := chem.TaperedHamiltonian(m)
 		if err != nil {
@@ -111,6 +123,17 @@ func main() {
 		doAdapt(h, n, ne, fci.Energy, *workers)
 	default:
 		doVQE(h, enc, n, ne, *mode, *optimizer, *shots, *caching, *fusion, *workers, fci.Energy)
+	}
+	finishReport()
+}
+
+// rep is the process run report (set once in main before any workload
+// runs; helpers touch it from the same goroutine).
+var rep *runreport.Run
+
+func finishReport() {
+	if err := rep.Finish(); err != nil {
+		fail(err)
 	}
 }
 
@@ -271,6 +294,8 @@ func runOnOperatorFile(path string, layers, workers int) {
 		fail(err)
 	}
 	fmt.Printf("observable: %d Pauli terms on %d qubits (from %s)\n", h.NumTerms(), n, path)
+	rep.SetQubits(n)
+	rep.SetTerms(h.NumTerms())
 	exact, _, err := linalg.LanczosGround(pauli.OpMatVec{Op: h, N: n}, linalg.LanczosOptions{})
 	if err != nil {
 		fail(err)
@@ -321,6 +346,8 @@ func runScan(spec string) {
 			fail(err)
 		}
 		h := chem.QubitHamiltonian(m)
+		rep.SetQubits(4)
+		rep.SetTerms(h.NumTerms())
 		u, err := ansatz.NewUCCSD(4, 2)
 		if err != nil {
 			fail(err)

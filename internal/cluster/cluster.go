@@ -19,6 +19,19 @@ import (
 	"repro/internal/gate"
 	"repro/internal/linalg"
 	"repro/internal/state"
+	"repro/internal/telemetry"
+)
+
+// Communication instruments mirroring CommStats into the process-wide
+// telemetry scope, so run reports show simulated shard traffic (the
+// NVSHMEM/MPI byte volume the paper's multi-node scaling hinges on)
+// without threading a Cluster handle to the reporter.
+var (
+	mCommMessages = telemetry.GetCounter("cluster.comm.messages")
+	mCommBytes    = telemetry.GetCounter("cluster.comm.bytes")
+	mQubitSwaps   = telemetry.GetCounter("cluster.comm.swaps")
+	mLocalGates   = telemetry.GetCounter("cluster.gates.local")
+	mGlobalGates  = telemetry.GetCounter("cluster.gates.global")
 )
 
 // CommStats records simulated inter-rank traffic.
@@ -125,6 +138,8 @@ func (c *Cluster) addComm(messages int, bytes uint64) {
 	c.stats.Messages += messages
 	c.stats.BytesTransferred += bytes
 	c.statsMu.Unlock()
+	mCommMessages.Add(int64(messages))
+	mCommBytes.Add(int64(bytes))
 }
 
 // apply1QLocal applies a 2×2 matrix to a local qubit: embarrassingly
@@ -143,6 +158,7 @@ func (c *Cluster) apply1QLocal(u *linalg.Matrix, q int) {
 		}
 	})
 	c.stats.LocalGates++
+	mLocalGates.Inc()
 }
 
 // apply1QGlobal applies a 2×2 matrix to a global qubit: every rank pair
@@ -162,6 +178,7 @@ func (c *Cluster) apply1QGlobal(u *linalg.Matrix, q int) {
 		c.addComm(2, 2*blockBytes)
 	})
 	c.stats.GlobalGates++
+	mGlobalGates.Inc()
 }
 
 // swapLocalGlobal exchanges qubit roles: local qubit l ↔ global qubit g.
@@ -185,6 +202,7 @@ func (c *Cluster) swapLocalGlobal(l, g int) {
 	c.statsMu.Lock()
 	c.stats.QubitSwaps++
 	c.statsMu.Unlock()
+	mQubitSwaps.Inc()
 }
 
 // apply2QLocal applies a 4×4 matrix to two local qubits (a = high bit).
@@ -212,6 +230,7 @@ func (c *Cluster) apply2QLocal(u *linalg.Matrix, a, b int) {
 		}
 	})
 	c.stats.LocalGates++
+	mLocalGates.Inc()
 }
 
 // freeLocalQubits returns local qubits not in `used`, lowest first.
@@ -276,10 +295,12 @@ func (c *Cluster) ApplyGate(g gate.Gate) {
 				fi++
 			}
 			c.stats.GlobalGates++
+			mGlobalGates.Inc()
 		}
 		c.apply2QLocal(u, a, b)
 		if len(swaps) > 0 {
 			c.stats.LocalGates-- // counted as a global gate above
+			mLocalGates.Add(-1)
 		}
 		for i := len(swaps) - 1; i >= 0; i-- {
 			c.swapLocalGlobal(swaps[i][0], swaps[i][1])

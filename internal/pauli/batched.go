@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/state"
+	"repro/internal/telemetry"
 )
 
 // This file implements the batched multi-term expectation engine. The
@@ -59,6 +60,7 @@ type Plan struct {
 // NewPlan groups op's terms by X mask. The identity term needs no special
 // case: it lands in the diagonal group with Z mask 0.
 func NewPlan(op *Op) *Plan {
+	start := telemetry.Now()
 	pl := &Plan{maxQubit: op.MaxQubit(), nTerms: op.NumTerms()}
 	byX := map[uint64]int{}
 	for _, t := range op.Terms() { // canonical order → deterministic plan
@@ -82,6 +84,9 @@ func NewPlan(op *Op) *Plan {
 		g.cs = append(g.cs, cP)
 	}
 	sort.Slice(pl.groups, func(i, j int) bool { return pl.groups[i].x < pl.groups[j].x })
+	mPlanBuild.Since(start)
+	mPlanGroups.Set(int64(len(pl.groups)))
+	mPlanTerms.Set(int64(pl.nTerms))
 	return pl
 }
 
@@ -99,12 +104,14 @@ func (pl *Plan) Evaluate(s *state.State, opts ExpectationOptions) float64 {
 	if pl.maxQubit >= s.NumQubits() {
 		panic(core.QubitError(pl.maxQubit, s.NumQubits()))
 	}
+	start := telemetry.Now()
 	amps := s.Amplitudes()
 	pool, chunks := expectationPool(s, opts, len(amps))
 	total := 0.0
 	for gi := range pl.groups {
 		total += pl.groups[gi].eval(amps, pool, chunks)
 	}
+	mPlanEval.Since(start)
 	return total
 }
 
@@ -224,6 +231,8 @@ func padTo(n, unit int) int {
 // parallelizes safely; pool may be nil for serial execution. dst and src
 // must both have length 2ⁿ and must not alias.
 func (pl *Plan) MatVec(dst, src []complex128, pool *state.Pool) {
+	start := telemetry.Now()
+	defer mPlanMatVec.Since(start)
 	for i := range dst {
 		dst[i] = 0
 	}

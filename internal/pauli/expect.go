@@ -8,6 +8,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/state"
+	"repro/internal/telemetry"
 )
 
 // ExpectationString computes ⟨ψ|P|ψ⟩ for one Pauli string directly from
@@ -82,6 +83,8 @@ func Expectation(s *state.State, op *Op, opts ExpectationOptions) float64 {
 // benchmarks.
 func ExpectationNaive(s *state.State, op *Op, opts ExpectationOptions) float64 {
 	checkWidth(s, op)
+	start := telemetry.Now()
+	defer mNaiveEval.Since(start)
 	amps := s.Amplitudes()
 	pool, chunks := expectationPool(s, opts, len(amps))
 	total := 0.0

@@ -3,6 +3,8 @@ package state
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Pool is a persistent goroutine worker pool for chunked index-range work.
@@ -54,6 +56,7 @@ func NewPool(workers int) *Pool {
 		go poolWorker(p.jobs, p.quit)
 	}
 	runtime.SetFinalizer(p, (*Pool).Close)
+	mPoolWorkers.Set(int64(workers))
 	return p
 }
 
@@ -63,7 +66,10 @@ func poolWorker(jobs <-chan poolJob, quit <-chan struct{}) {
 		case <-quit:
 			return
 		case j := <-jobs:
+			start := telemetry.Now()
 			j.body(j.slot, j.lo, j.hi)
+			mPoolBusy.Since(start)
+			mPoolChunks.Inc()
 			j.wg.Done()
 		}
 	}
@@ -93,6 +99,7 @@ func (p *Pool) Run(total uint64, chunks int, body func(slot int, lo, hi uint64))
 	if chunks <= 0 {
 		chunks = p.workers
 	}
+	mPoolRuns.Inc()
 	chunk := (total + uint64(chunks) - 1) / uint64(chunks)
 	var wg sync.WaitGroup
 	slot := 0

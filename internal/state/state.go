@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gate"
 	"repro/internal/linalg"
+	"repro/internal/telemetry"
 )
 
 // BytesPerAmp is the memory cost of one complex128 amplitude.
@@ -198,6 +199,7 @@ func (s *State) InnerProduct(o *State) complex128 {
 // parallel threshold or when the state runs serial.
 func (s *State) parallelFor(total uint64, body func(lo, hi uint64)) {
 	if int(total) < s.opts.ParallelThreshold || s.opts.Workers <= 1 || s.pool == nil {
+		mPoolInline.Inc()
 		body(0, total)
 		return
 	}
@@ -209,6 +211,7 @@ func (s *State) parallelFor(total uint64, body func(lo, hi uint64)) {
 // see expectationParallelThreshold).
 func (s *State) parallelReduce(total uint64, body func(lo, hi uint64) float64) float64 {
 	if int(total) < expectationParallelThreshold || s.opts.Workers <= 1 || s.pool == nil {
+		mPoolInline.Inc()
 		return body(0, total)
 	}
 	return s.pool.ReduceFloat(total, s.opts.Workers, body)
@@ -233,6 +236,7 @@ func (s *State) Apply1Q(u *linalg.Matrix, q int) {
 		}
 	})
 	s.nGates++
+	mGate1Q.Inc()
 }
 
 // Apply2Q applies a 4×4 unitary to the ordered qubit pair (a,b) where a is
@@ -300,6 +304,7 @@ func (s *State) Apply2Q(u *linalg.Matrix, a, b int) {
 			}
 		})
 		s.nGates++
+		mGate2QSparse.Inc()
 		return
 	}
 	s.parallelFor(quarter, func(lo, hi uint64) {
@@ -318,6 +323,7 @@ func (s *State) Apply2Q(u *linalg.Matrix, a, b int) {
 		}
 	})
 	s.nGates++
+	mGate2QDense.Inc()
 }
 
 // applyCX is a fast path for the most common two-qubit gate.
@@ -333,6 +339,7 @@ func (s *State) applyCX(ctrl, tgt int) {
 		}
 	})
 	s.nGates++
+	mGateCX.Inc()
 }
 
 // applyCZ is a fast path: phase flip on |11⟩.
@@ -347,6 +354,7 @@ func (s *State) applyCZ(a, b int) {
 		}
 	})
 	s.nGates++
+	mGateCZ.Inc()
 }
 
 // applyRZ is a fast diagonal path.
@@ -364,6 +372,7 @@ func (s *State) applyRZ(theta float64, q int) {
 		}
 	})
 	s.nGates++
+	mGateRZ.Inc()
 }
 
 // ApplyGate dispatches a single gate. Measurement markers perform a
@@ -405,9 +414,11 @@ func (s *State) Run(c *circuit.Circuit) {
 	if c.NumQubits > s.n {
 		panic(core.ErrDimensionMismatch)
 	}
+	start := telemetry.Now()
 	for _, g := range c.Gates {
 		s.ApplyGate(g)
 	}
+	mCircuitRun.Since(start)
 }
 
 // Probability returns P(qubit q = 1). The reduction runs on the worker

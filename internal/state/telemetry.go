@@ -1,0 +1,29 @@
+package state
+
+import "repro/internal/telemetry"
+
+// Engine instruments, resolved once at init and mutated lock-free on the
+// hot paths. All are no-ops until telemetry.Enable (the cmd binaries'
+// -metrics flag); the disabled check is one atomic load per event.
+var (
+	// Gate-kernel dispatch counters: which kernel served each apply. The
+	// 2q split distinguishes the sparse fused-staircase kernel (≤ 8
+	// nonzeros, the gate-fusion payoff path) from the dense 4×4 kernel.
+	mGate1Q       = telemetry.GetCounter("state.gate.1q")
+	mGateCX       = telemetry.GetCounter("state.gate.cx")
+	mGateCZ       = telemetry.GetCounter("state.gate.cz")
+	mGateRZ       = telemetry.GetCounter("state.gate.rz")
+	mGate2QSparse = telemetry.GetCounter("state.gate.2q_sparse")
+	mGate2QDense  = telemetry.GetCounter("state.gate.2q_dense")
+	mCircuitRun   = telemetry.GetTimer("state.circuit.run")
+
+	// Worker-pool counters: dispatched parallel runs, chunk tasks fed to
+	// workers, inline (below-threshold or serial) fallbacks, and the
+	// cumulative busy time across workers — utilization is busy time
+	// divided by wall time × pool width.
+	mPoolRuns    = telemetry.GetCounter("state.pool.runs")
+	mPoolChunks  = telemetry.GetCounter("state.pool.chunks")
+	mPoolInline  = telemetry.GetCounter("state.pool.inline")
+	mPoolBusy    = telemetry.GetTimer("state.pool.busy")
+	mPoolWorkers = telemetry.GetGauge("state.pool.workers")
+)

@@ -1,0 +1,73 @@
+package state
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryGateAndPoolCounters runs a parallel circuit with telemetry
+// enabled and checks the engine instruments advance. It doubles as the
+// race-detector exercise for concurrent Scope use from pool workers
+// (RACE_PKGS includes this package): every worker records busy time and
+// chunk counts into the shared Default scope while the main goroutine
+// snapshots it.
+func TestTelemetryGateAndPoolCounters(t *testing.T) {
+	telemetry.Enable()
+	t.Cleanup(func() {
+		telemetry.Disable()
+		telemetry.Reset()
+	})
+	telemetry.Reset()
+
+	const n = 13 // above expectationParallelThreshold so the pool engages
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+		c.RZ(0.1, q)
+	}
+	for q := 0; q+1 < n; q++ {
+		c.CX(q, q+1)
+	}
+	s := New(n, Options{Workers: 4, ParallelThreshold: 1 << 10})
+	s.Run(c)
+	_ = s.Probability(0) // pooled reduction
+	snap := telemetry.Capture()
+
+	if got := snap.Counters["state.gate.1q"]; got != int64(n) {
+		t.Fatalf("state.gate.1q = %d, want %d", got, n)
+	}
+	if got := snap.Counters["state.gate.rz"]; got != int64(n) {
+		t.Fatalf("state.gate.rz = %d, want %d", got, n)
+	}
+	if got := snap.Counters["state.gate.cx"]; got != int64(n-1) {
+		t.Fatalf("state.gate.cx = %d, want %d", got, n-1)
+	}
+	if snap.Counters["state.pool.runs"] == 0 || snap.Counters["state.pool.chunks"] == 0 {
+		t.Fatalf("pool counters did not advance: %+v", snap.Counters)
+	}
+	if snap.Gauges["state.pool.workers"] != 4 {
+		t.Fatalf("state.pool.workers = %d, want 4", snap.Gauges["state.pool.workers"])
+	}
+	run, ok := snap.Timers["state.circuit.run"]
+	if !ok || run.Count != 1 || run.TotalNs <= 0 {
+		t.Fatalf("state.circuit.run timer = %+v", run)
+	}
+	if busy := snap.Timers["state.pool.busy"]; busy.Count != snap.Counters["state.pool.chunks"] {
+		t.Fatalf("busy samples %d != chunks %d", busy.Count, snap.Counters["state.pool.chunks"])
+	}
+}
+
+// TestTelemetryDisabledNoRecording confirms the engine records nothing on
+// the disabled fast path.
+func TestTelemetryDisabledNoRecording(t *testing.T) {
+	telemetry.Reset() // defensive: earlier enabled tests leave residue only if Reset is broken
+	s := New(4, Options{Workers: 1})
+	c := circuit.New(4).H(0).CX(0, 1)
+	s.Run(c)
+	snap := telemetry.Capture()
+	if len(snap.Counters) != 0 || len(snap.Timers) != 0 {
+		t.Fatalf("disabled telemetry recorded: %+v", snap)
+	}
+}

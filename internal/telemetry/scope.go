@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"sync"
+)
+
+// A Scope is a named registry of instruments. Instruments are created on
+// first lookup and live for the scope's lifetime, so hot paths resolve
+// their instruments once (package-level vars) and mutate lock-free
+// afterwards. All methods are safe for concurrent use.
+type Scope struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+	rings    map[string]*Ring
+}
+
+// NewScope returns an empty registry.
+func NewScope() *Scope {
+	return &Scope{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+		rings:    map[string]*Ring{},
+	}
+}
+
+// Default is the process-wide scope used by the engine's built-in
+// instrumentation and reported by the cmd binaries' -metrics flag.
+var Default = NewScope()
+
+// Counter returns the named counter, creating it on first use.
+func (s *Scope) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (s *Scope) Gauge(name string) *Gauge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (s *Scope) Timer(name string) *Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.timers[name]
+	if !ok {
+		t = &Timer{name: name}
+		s.timers[name] = t
+	}
+	return t
+}
+
+// Ring returns the named ring, creating it with the given window capacity
+// on first use (capacity ≤ 0 means 256; an existing ring keeps its
+// original capacity).
+func (s *Scope) Ring(name string, capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rings[name]
+	if !ok {
+		r = &Ring{name: name, buf: make([]float64, capacity)}
+		s.rings[name] = r
+	}
+	return r
+}
+
+// Reset zeroes every instrument in the scope without invalidating the
+// handles held by instrumented packages — the run-boundary operation
+// behind per-run reports.
+func (s *Scope) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.counters {
+		c.reset()
+	}
+	for _, g := range s.gauges {
+		g.reset()
+	}
+	for _, t := range s.timers {
+		t.reset()
+	}
+	for _, r := range s.rings {
+		r.reset()
+	}
+}
+
+// Package-level shorthands binding to the Default scope.
+
+// GetCounter returns a counter in the Default scope.
+func GetCounter(name string) *Counter { return Default.Counter(name) }
+
+// GetGauge returns a gauge in the Default scope.
+func GetGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// GetTimer returns a timer in the Default scope.
+func GetTimer(name string) *Timer { return Default.Timer(name) }
+
+// GetRing returns a ring in the Default scope.
+func GetRing(name string, capacity int) *Ring { return Default.Ring(name, capacity) }
+
+// Reset zeroes every instrument in the Default scope.
+func Reset() { Default.Reset() }

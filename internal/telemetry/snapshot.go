@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TimerStat is a point-in-time timer summary.
+type TimerStat struct {
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"total_ns"`
+	AvgNs   int64 `json:"avg_ns"`
+	MinNs   int64 `json:"min_ns"`
+	MaxNs   int64 `json:"max_ns"`
+}
+
+// RingStat summarizes a ring's retained window. Count is the lifetime
+// observation total; the order statistics cover the last Window values.
+type RingStat struct {
+	Count  int64   `json:"count"`
+	Window int     `json:"window"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+}
+
+// Snapshot is a consistent-enough copy of a scope's instruments (each
+// instrument is read atomically; the set is not globally fenced, which is
+// fine for reporting). Zero-valued instruments are omitted so reports
+// show only what the run exercised.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]int64     `json:"gauges,omitempty"`
+	Timers   map[string]TimerStat `json:"timers,omitempty"`
+	Rings    map[string]RingStat  `json:"rings,omitempty"`
+}
+
+// Snapshot captures the scope's current instrument values.
+func (s *Scope) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Timers:   map[string]TimerStat{},
+		Rings:    map[string]RingStat{},
+	}
+	for name, c := range s.counters {
+		if v := c.Value(); v != 0 {
+			snap.Counters[name] = v
+		}
+	}
+	for name, g := range s.gauges {
+		if v := g.Value(); v != 0 {
+			snap.Gauges[name] = v
+		}
+	}
+	for name, t := range s.timers {
+		if st := t.Stat(); st.Count != 0 {
+			snap.Timers[name] = st
+		}
+	}
+	for name, r := range s.rings {
+		if st := r.Stat(); st.Count != 0 {
+			snap.Rings[name] = st
+		}
+	}
+	return snap
+}
+
+// Capture snapshots the Default scope.
+func Capture() Snapshot { return Default.Snapshot() }
+
+// WriteJSON writes the snapshot as indented JSON.
+func (sn Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sn)
+}
+
+// WriteText writes a human-readable, name-sorted report.
+func (sn Snapshot) WriteText(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	if len(sn.Counters) > 0 {
+		p("counters:\n")
+		for _, name := range sortedKeys(sn.Counters) {
+			p("  %-36s %12d\n", name, sn.Counters[name])
+		}
+	}
+	if len(sn.Gauges) > 0 {
+		p("gauges:\n")
+		for _, name := range sortedKeys(sn.Gauges) {
+			p("  %-36s %12d\n", name, sn.Gauges[name])
+		}
+	}
+	if len(sn.Timers) > 0 {
+		p("timers:\n")
+		for _, name := range sortedKeys(sn.Timers) {
+			t := sn.Timers[name]
+			p("  %-36s n=%-8d total=%-12s avg=%-10s min=%-10s max=%s\n",
+				name, t.Count, fmtNs(t.TotalNs), fmtNs(t.AvgNs), fmtNs(t.MinNs), fmtNs(t.MaxNs))
+		}
+	}
+	if len(sn.Rings) > 0 {
+		p("rings:\n")
+		for _, name := range sortedKeys(sn.Rings) {
+			r := sn.Rings[name]
+			p("  %-36s n=%-8d window=%-5d mean=%-12.4g p50=%-12.4g p90=%-12.4g p99=%.4g\n",
+				name, r.Count, r.Window, r.Mean, r.P50, r.P90, r.P99)
+		}
+	}
+	return err
+}
+
+// sortedKeys returns a map's keys in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtNs renders nanoseconds with an adaptive unit.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3gµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// enable turns recording on for one test and restores the disabled
+// default afterwards.
+func enable(t *testing.T) {
+	t.Helper()
+	Enable()
+	t.Cleanup(Disable)
+}
+
+func TestDisabledByDefault(t *testing.T) {
+	if Enabled() || !Disabled() {
+		t.Fatal("telemetry should start disabled")
+	}
+	s := NewScope()
+	c := s.Counter("c")
+	g := s.Gauge("g")
+	tm := s.Timer("t")
+	r := s.Ring("r", 4)
+	c.Inc()
+	g.Set(9)
+	tm.Observe(100)
+	r.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || tm.Stat().Count != 0 || r.Stat().Count != 0 {
+		t.Fatalf("disabled instruments must not record: c=%d g=%d t=%+v r=%+v",
+			c.Value(), g.Value(), tm.Stat(), r.Stat())
+	}
+	if Now() != 0 {
+		t.Fatal("Now must return the 0 sentinel while disabled")
+	}
+	tm.Since(0) // must be a no-op, not a bogus sample
+	if tm.Stat().Count != 0 {
+		t.Fatal("Since(0) recorded a sample")
+	}
+}
+
+func TestCounterGaugeEnabled(t *testing.T) {
+	enable(t)
+	s := NewScope()
+	c := s.Counter("pool.chunks")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if c.Name() != "pool.chunks" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	g := s.Gauge("pool.workers")
+	g.Set(8)
+	g.Set(3)
+	if g.Value() != 3 || g.Name() != "pool.workers" {
+		t.Fatalf("gauge = %d %q", g.Value(), g.Name())
+	}
+}
+
+func TestTimerStats(t *testing.T) {
+	enable(t)
+	s := NewScope()
+	tm := s.Timer("phase")
+	for _, ns := range []int64{300, 100, 200} {
+		tm.Observe(ns)
+	}
+	st := tm.Stat()
+	if st.Count != 3 || st.TotalNs != 600 || st.AvgNs != 200 || st.MinNs != 100 || st.MaxNs != 300 {
+		t.Fatalf("stat = %+v", st)
+	}
+}
+
+func TestTimerSince(t *testing.T) {
+	enable(t)
+	s := NewScope()
+	tm := s.Timer("wall")
+	start := Now()
+	if start == 0 {
+		t.Fatal("Now returned 0 while enabled")
+	}
+	time.Sleep(time.Millisecond)
+	tm.Since(start)
+	st := tm.Stat()
+	if st.Count != 1 || st.TotalNs < int64(time.Millisecond)/2 {
+		t.Fatalf("stat = %+v", st)
+	}
+}
+
+func TestRingWindowAndQuantiles(t *testing.T) {
+	enable(t)
+	s := NewScope()
+	r := s.Ring("lat", 4)
+	// Partially filled window.
+	r.Observe(3)
+	r.Observe(1)
+	st := r.Stat()
+	if st.Count != 2 || st.Window != 2 || st.Min != 1 || st.Max != 3 || st.Mean != 2 {
+		t.Fatalf("partial stat = %+v", st)
+	}
+	// Overflow: the window keeps the last 4 observations {2,4,5,6}.
+	for _, v := range []float64{2, 4, 5, 6} {
+		r.Observe(v)
+	}
+	st = r.Stat()
+	if st.Count != 6 || st.Window != 4 || st.Min != 2 || st.Max != 6 {
+		t.Fatalf("wrapped stat = %+v", st)
+	}
+	if st.P50 < 4 || st.P50 > 5 || st.P99 != 6 {
+		t.Fatalf("quantiles = %+v", st)
+	}
+}
+
+func TestScopeGetOrCreate(t *testing.T) {
+	s := NewScope()
+	if s.Counter("x") != s.Counter("x") {
+		t.Fatal("same name must return the same counter")
+	}
+	if s.Timer("x") == nil || s.Gauge("x") == nil {
+		t.Fatal("kinds are namespaced independently")
+	}
+	r := s.Ring("x", 2)
+	if s.Ring("x", 99) != r {
+		t.Fatal("existing ring must be returned unchanged")
+	}
+	if got := len(r.buf); got != 2 {
+		t.Fatalf("ring kept capacity %d, want 2", got)
+	}
+	if def := s.Ring("d", 0); len(def.buf) != 256 {
+		t.Fatalf("default ring capacity = %d, want 256", len(def.buf))
+	}
+}
+
+func TestDefaultScopeHelpers(t *testing.T) {
+	enable(t)
+	c := GetCounter("test.helper.counter")
+	c.Inc()
+	GetGauge("test.helper.gauge").Set(2)
+	GetTimer("test.helper.timer").Observe(50)
+	GetRing("test.helper.ring", 8).Observe(1)
+	snap := Capture()
+	if snap.Counters["test.helper.counter"] != 1 {
+		t.Fatalf("default snapshot missing counter: %+v", snap.Counters)
+	}
+	Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset did not zero the default scope")
+	}
+}
+
+func TestResetKeepsHandles(t *testing.T) {
+	enable(t)
+	s := NewScope()
+	c := s.Counter("c")
+	tm := s.Timer("t")
+	g := s.Gauge("g")
+	r := s.Ring("r", 4)
+	c.Add(3)
+	tm.Observe(10)
+	g.Set(5)
+	r.Observe(1)
+	s.Reset()
+	if c.Value() != 0 || tm.Stat().Count != 0 || g.Value() != 0 || r.Stat().Count != 0 {
+		t.Fatal("Reset left residue")
+	}
+	// Old handles keep working after reset.
+	c.Inc()
+	if c.Value() != 1 || s.Counter("c") != c {
+		t.Fatal("handle invalidated by Reset")
+	}
+}
+
+func TestSnapshotOmitsZeroInstruments(t *testing.T) {
+	enable(t)
+	s := NewScope()
+	s.Counter("zero")
+	s.Counter("hot").Add(2)
+	s.Timer("idle")
+	snap := s.Snapshot()
+	if _, ok := snap.Counters["zero"]; ok {
+		t.Fatal("zero counter should be omitted")
+	}
+	if snap.Counters["hot"] != 2 {
+		t.Fatalf("snapshot = %+v", snap.Counters)
+	}
+	if len(snap.Timers) != 0 {
+		t.Fatalf("idle timer should be omitted: %+v", snap.Timers)
+	}
+}
+
+func TestWriteTextAndJSON(t *testing.T) {
+	enable(t)
+	s := NewScope()
+	s.Counter("state.gate.1q").Add(7)
+	s.Gauge("pool.workers").Set(4)
+	s.Timer("vqe.energy").Observe(1500)
+	s.Ring("vqe.energy.ns", 8).Observe(1500)
+	snap := s.Snapshot()
+
+	var text bytes.Buffer
+	if err := snap.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"state.gate.1q", "pool.workers", "vqe.energy", "1.5µs"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text output missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := snap.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["state.gate.1q"] != 7 || back.Timers["vqe.energy"].TotalNs != 1500 {
+		t.Fatalf("JSON round-trip = %+v", back)
+	}
+}
+
+func TestFmtNs(t *testing.T) {
+	cases := map[int64]string{
+		12:            "12ns",
+		1500:          "1.5µs",
+		2_500_000:     "2.5ms",
+		3_000_000_000: "3s",
+	}
+	for ns, want := range cases {
+		if got := fmtNs(ns); got != want {
+			t.Fatalf("fmtNs(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}
+
+// TestConcurrentScopeUse hammers one scope from many goroutines — the
+// pool-worker usage pattern — and is exercised under -race via RACE_PKGS.
+func TestConcurrentScopeUse(t *testing.T) {
+	enable(t)
+	s := NewScope()
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.Counter("shared.counter")
+			tm := s.Timer("shared.timer")
+			r := s.Ring("shared.ring", 64)
+			g := s.Gauge("shared.gauge")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				tm.Observe(int64(i%97) + 1)
+				r.Observe(float64(i))
+				g.Set(int64(w))
+				if i%512 == 0 {
+					_ = s.Snapshot() // readers race with writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Counter("shared.counter").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	st := s.Timer("shared.timer").Stat()
+	if st.Count != workers*iters || st.MinNs != 1 || st.MaxNs != 97 {
+		t.Fatalf("timer stat = %+v", st)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/pauli"
 	"repro/internal/state"
+	"repro/internal/telemetry"
 )
 
 // AdaptOptions configures the Adapt-VQE outer loop (paper §5.3).
@@ -71,6 +72,7 @@ func Adapt(h *pauli.Op, pool *ansatz.Pool, n, ne int, o AdaptOptions) (*AdaptRes
 	// place, so its persistent worker pool serves all gradient scans.
 	s := state.New(n, state.Options{Workers: o.Workers})
 	for iter := 1; iter <= o.MaxIterations; iter++ {
+		iterStart := telemetry.Now()
 		// Prepare current optimal state and scan the pool.
 		s.ResetZero()
 		s.Run(adapt.Circuit(params))
@@ -124,6 +126,7 @@ func Adapt(h *pauli.Op, pool *ansatz.Pool, n, ne int, o AdaptOptions) (*AdaptRes
 			entry.ErrorVsRef = math.Abs(res.Energy - o.Reference)
 		}
 		result.History = append(result.History, entry)
+		mAdaptIter.Since(iterStart)
 
 		if o.EnergyTol > 0 && !math.IsNaN(o.Reference) && entry.ErrorVsRef < o.EnergyTol {
 			result.Converged = true

@@ -9,6 +9,7 @@ package vqe
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/ansatz"
 	"repro/internal/circuit"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/pauli"
 	"repro/internal/state"
+	"repro/internal/telemetry"
 )
 
 // EnergyMode selects how ⟨H⟩ is evaluated per parameter set.
@@ -175,6 +177,7 @@ func (d *Driver) CacheStats() state.CacheStats { return d.cache.Stats() }
 
 // prepareAnsatz runs U(θ) from |0…0⟩ on d.sim.
 func (d *Driver) prepareAnsatz(params []float64) {
+	start := telemetry.Now()
 	c := d.Ansatz.Circuit(params)
 	if d.opts.Transpile {
 		c = circuit.Transpile(c, circuit.DefaultTranspileOptions())
@@ -182,6 +185,7 @@ func (d *Driver) prepareAnsatz(params []float64) {
 	d.sim.ResetZero()
 	d.sim.Run(c)
 	d.stats.AnsatzExecutions++
+	mPhasePrepare.Since(start)
 }
 
 // paramKey builds the cache key for a parameter vector.
@@ -192,18 +196,29 @@ func paramKey(params []float64) string {
 // Energy evaluates ⟨H⟩ at params according to the configured mode and
 // caching policy.
 func (d *Driver) Energy(params []float64) float64 {
+	start := telemetry.Now()
 	d.stats.EnergyEvaluations++
+	var e float64
 	switch d.opts.Mode {
 	case Direct:
 		// One ansatz execution; expectation read directly from the
 		// amplitudes through the batched engine (the X-mask grouping is
 		// built once per driver, amortized over every evaluation).
 		d.prepareAnsatz(params)
-		return d.plan.Evaluate(d.sim, pauli.ExpectationOptions{Workers: d.opts.Workers})
+		readStart := telemetry.Now()
+		e = d.plan.Evaluate(d.sim, pauli.ExpectationOptions{Workers: d.opts.Workers})
+		mPhaseExpect.Since(readStart)
 	case Rotated, Sampled:
-		return d.energyViaGroups(params)
+		e = d.energyViaGroups(params)
+	default:
+		panic(fmt.Sprintf("vqe: unknown mode %v", d.opts.Mode))
 	}
-	panic(fmt.Sprintf("vqe: unknown mode %v", d.opts.Mode))
+	if start != 0 {
+		elapsed := time.Now().UnixNano() - start
+		mEnergyEval.Observe(elapsed)
+		mEnergyRecent.Observe(float64(elapsed))
+	}
+	return e
 }
 
 // energyViaGroups walks the measurement groups, re-preparing or restoring
@@ -220,19 +235,23 @@ func (d *Driver) energyViaGroups(params []float64) float64 {
 	total := real(d.H.Coeff(pauli.Identity))
 	for i, mb := range d.groups {
 		if d.opts.Caching {
+			restoreStart := telemetry.Now()
 			if _, ok := d.cache.Restore(key, d.scratch); !ok {
 				panic("vqe: cache lost the post-ansatz state")
 			}
 			d.stats.CacheRestores++
+			mPhaseRestore.Since(restoreStart)
 		} else {
 			// Traditional workflow: re-prepare the ansatz for every basis.
 			d.prepareAnsatzInto(d.scratch, params)
 		}
+		readStart := telemetry.Now()
 		d.scratch.Run(mb.Rotation)
 		if d.opts.AdaptiveShots && d.opts.Mode == Sampled && d.shotPlan == nil {
 			d.recordGroupSD(i)
 		}
 		total += d.readGroup(mb, d.groupShots(i))
+		mPhaseExpect.Since(readStart)
 	}
 	if d.opts.AdaptiveShots && d.opts.Mode == Sampled && d.shotPlan == nil {
 		d.buildShotPlan()
@@ -305,6 +324,7 @@ func (d *Driver) groupShots(i int) int {
 
 // prepareAnsatzInto runs U(θ) on an arbitrary state instance.
 func (d *Driver) prepareAnsatzInto(s *state.State, params []float64) {
+	start := telemetry.Now()
 	c := d.Ansatz.Circuit(params)
 	if d.opts.Transpile {
 		c = circuit.Transpile(c, circuit.DefaultTranspileOptions())
@@ -312,6 +332,7 @@ func (d *Driver) prepareAnsatzInto(s *state.State, params []float64) {
 	s.ResetZero()
 	s.Run(c)
 	d.stats.AnsatzExecutions++
+	mPhasePrepare.Since(start)
 }
 
 // readGroup extracts the group's weighted expectation from the rotated
@@ -408,7 +429,9 @@ type Result struct {
 // Minimize runs the classical optimization loop from x0 using Nelder–Mead
 // (the derivative-free default suited to all three energy modes).
 func (d *Driver) Minimize(x0 []float64, o opt.NelderMeadOptions) Result {
+	start := telemetry.Now()
 	res := opt.NelderMead(d.Energy, x0, o)
+	mPhaseOptimize.Since(start)
 	return Result{Energy: res.F, Params: res.X, Optimizer: res, Stats: d.Stats(), CacheStats: d.CacheStats()}
 }
 
@@ -420,8 +443,12 @@ func (d *Driver) MinimizeLBFGS(x0 []float64, o opt.LBFGSOptions) (Result, error)
 		return Result{}, fmt.Errorf("%w: ansatz does not expose exponential structure", core.ErrInvalidArgument)
 	}
 	grad := func(x, g []float64) {
+		gradStart := telemetry.Now()
 		d.adjointGradient(exp, x, g)
+		mPhaseGradient.Since(gradStart)
 	}
+	start := telemetry.Now()
 	res := opt.LBFGS(d.Energy, grad, x0, o)
+	mPhaseOptimize.Since(start)
 	return Result{Energy: res.F, Params: res.X, Optimizer: res, Stats: d.Stats(), CacheStats: d.CacheStats()}, nil
 }

@@ -9,8 +9,13 @@ import (
 	"repro/internal/opt"
 	"repro/internal/pauli"
 	"repro/internal/qpe"
+	"repro/internal/telemetry"
 	"repro/internal/vqe"
 )
+
+// mObjective times one optimizer objective evaluation (ansatz compile +
+// backend expectation) — the per-iteration cost of the framework loop.
+var mObjective = telemetry.GetTimer("xacc.vqe.objective")
 
 // VQE is the framework-level algorithm object (paper §3.1): it owns the
 // observable, the ansatz, the backend, and the optimizer choice, and
@@ -50,6 +55,7 @@ func (v *VQE) Execute(x0 []float64) (*VQEResult, error) {
 	}
 	evals := 0
 	objective := func(x []float64) float64 {
+		defer mObjective.Since(telemetry.Now())
 		evals++
 		e, err := v.Accelerator.Expectation(v.Ansatz.Circuit(x), v.Observable)
 		if err != nil {

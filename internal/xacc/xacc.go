@@ -18,6 +18,16 @@ import (
 	"repro/internal/density"
 	"repro/internal/pauli"
 	"repro/internal/state"
+	"repro/internal/telemetry"
+)
+
+// Backend instruments shared by every registered accelerator: one timer
+// per Accelerator entry point, so a run report shows how much wall clock
+// went to circuit execution versus expectation evaluation regardless of
+// which backend served it.
+var (
+	mExecute     = telemetry.GetTimer("xacc.execute")
+	mExpectation = telemetry.GetTimer("xacc.expectation")
 )
 
 // ExecutionResult carries what a backend produced for one circuit.
@@ -100,6 +110,7 @@ func (a *SVAccelerator) NumQubitsLimit() int { return 30 }
 
 // Execute implements Accelerator.
 func (a *SVAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult, error) {
+	defer mExecute.Since(telemetry.Now())
 	run := c
 	if a.Transpile {
 		run = circuit.Transpile(c, circuit.DefaultTranspileOptions())
@@ -117,6 +128,7 @@ func (a *SVAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult
 // observable is compiled into a batched X-mask plan and every term group
 // is scored in one pass over the final amplitudes.
 func (a *SVAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
+	defer mExpectation.Since(telemetry.Now())
 	if obs.MaxQubit() >= prep.NumQubits {
 		return 0, core.QubitError(obs.MaxQubit(), prep.NumQubits)
 	}
@@ -155,6 +167,7 @@ func (a *ClusterAccelerator) effectiveRanks(n int) int {
 
 // Execute implements Accelerator.
 func (a *ClusterAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult, error) {
+	defer mExecute.Since(telemetry.Now())
 	cl, err := cluster.New(c.NumQubits, a.effectiveRanks(c.NumQubits))
 	if err != nil {
 		return nil, err
@@ -173,6 +186,7 @@ func (a *ClusterAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionR
 
 // Expectation implements Accelerator.
 func (a *ClusterAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
+	defer mExpectation.Since(telemetry.Now())
 	cl, err := cluster.New(prep.NumQubits, a.effectiveRanks(prep.NumQubits))
 	if err != nil {
 		return 0, err
@@ -200,6 +214,7 @@ func (a *DMAccelerator) NumQubitsLimit() int { return 12 }
 
 // Execute implements Accelerator.
 func (a *DMAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult, error) {
+	defer mExecute.Since(telemetry.Now())
 	m := density.New(c.NumQubits)
 	if err := m.Run(c, a.Noise); err != nil {
 		return nil, err
@@ -215,6 +230,7 @@ func (a *DMAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult
 
 // Expectation implements Accelerator.
 func (a *DMAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
+	defer mExpectation.Since(telemetry.Now())
 	m := density.New(prep.NumQubits)
 	if err := m.Run(prep, a.Noise); err != nil {
 		return 0, err
