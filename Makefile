@@ -1,18 +1,17 @@
 GO ?= go
 
-# Packages exercising the concurrency-sensitive paths (worker pool, batched
-# expectation, VQE drivers, telemetry instruments shared across workers) —
-# the race target runs these under -race.
-RACE_PKGS = ./internal/state/... ./internal/pauli/... ./internal/vqe/... ./internal/telemetry/...
-
 # staticcheck is fetched on demand so the repo keeps zero dependencies; the
 # version is pinned so local and CI lint agree.
 STATICCHECK_VERSION = 2025.1
 
+# govulncheck is pinned for the same reason; it needs network access, so
+# the vuln target degrades to a warning when offline (hard failure in CI).
+GOVULNCHECK_VERSION = v1.1.4
+
 # Coverage floor for the telemetry package (CI enforces the same number).
 TELEMETRY_COVER_MIN = 60
 
-.PHONY: all build test vet lint race bench bench-smoke cover figures check ci
+.PHONY: all build test vet vqelint lint vuln race bench bench-smoke cover figures check ci
 
 all: check
 
@@ -25,10 +24,17 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint runs go vet plus staticcheck. Fetching staticcheck needs network
-# access; without it (air-gapped dev boxes) the target degrades to a
-# warning locally but stays a hard failure in CI.
-lint: vet
+# vqelint runs the repo's own analyzer suite (internal/analysis) over the
+# whole module through the go vet driver, so _test.go files are checked
+# too. Self-contained: builds from this module, no network needed.
+vqelint:
+	$(GO) build -o bin/vqelint ./cmd/vqelint
+	$(GO) vet -vettool=$$(pwd)/bin/vqelint ./...
+
+# lint runs go vet, the vqelint suite, and staticcheck. Fetching
+# staticcheck needs network access; without it (air-gapped dev boxes) the
+# target degrades to a warning locally but stays a hard failure in CI.
+lint: vet vqelint
 	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; then \
 		echo "staticcheck: ok"; \
 	elif [ -n "$$CI" ]; then \
@@ -37,8 +43,19 @@ lint: vet
 		echo "staticcheck unavailable or failed (offline?) — skipping locally" >&2; \
 	fi
 
+# vuln scans the module against the Go vulnerability database. Needs
+# network access; degrades to a warning offline, hard failure in CI.
+vuln:
+	@if $(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...; then \
+		echo "govulncheck: ok"; \
+	elif [ -n "$$CI" ]; then \
+		echo "govulncheck failed" >&2; exit 1; \
+	else \
+		echo "govulncheck unavailable or failed (offline?) — skipping locally" >&2; \
+	fi
+
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench BenchmarkBatchedExpectation -benchtime 1x -run ^$$ .
@@ -64,6 +81,6 @@ figures:
 
 check: build vet test race bench figures
 
-# ci mirrors the GitHub Actions workflow jobs (test, lint, coverage,
-# bench-smoke) so `make ci` locally means green CI.
-ci: build lint test race cover bench-smoke
+# ci mirrors the GitHub Actions workflow jobs (test, lint, vqelint, vuln,
+# coverage, bench-smoke) so `make ci` locally means green CI.
+ci: build lint vuln test race cover bench-smoke

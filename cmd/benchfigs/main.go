@@ -57,7 +57,7 @@ func main() {
 	var err error
 	rep, err = runreport.Start("benchfigs", obsFlags)
 	if err != nil {
-		panic(err)
+		fail(err)
 	}
 
 	run("1a", fig1a)
@@ -73,7 +73,7 @@ func main() {
 		rep.Set("expect.min_speedup_x", minSpeedup)
 	}
 	if err := rep.Finish(); err != nil {
-		panic(err)
+		fail(err)
 	}
 	if *failBelow > 0 {
 		if math.IsInf(minSpeedup, 1) {
@@ -107,7 +107,7 @@ func sweep(fast bool) []int {
 func uccsdGates(qubits int) (params, gates int) {
 	u, err := ansatz.NewUCCSD(qubits, 8)
 	if err != nil {
-		panic(err)
+		fail(err)
 	}
 	c := u.Circuit(make([]float64, u.NumParameters()))
 	return u.NumParameters(), c.GateCount()
@@ -163,7 +163,7 @@ func fig4(bool) {
 	for _, n := range []int{4, 6, 8} {
 		u, err := ansatz.NewUCCSD(n, n/2)
 		if err != nil {
-			panic(err)
+			fail(err)
 		}
 		c := u.Circuit(make([]float64, u.NumParameters()))
 		f := circuit.Fuse(c, 2)
@@ -179,12 +179,12 @@ func fig5(fast bool) {
 	h := chem.QubitHamiltonian(m)
 	fci, err := chem.FCI(m)
 	if err != nil {
-		panic(err)
+		fail(err)
 	}
 	fmt.Printf("# FCI reference energy: %.8f   HF energy: %.8f\n", fci.Energy, chem.HartreeFockEnergy(m))
 	pool, err := ansatz.NewPool(12, 8)
 	if err != nil {
-		panic(err)
+		fail(err)
 	}
 	maxIter := 25
 	if fast {
@@ -196,7 +196,7 @@ func fig5(fast bool) {
 		EnergyTol:     core.ChemicalAccuracy,
 	})
 	if err != nil {
-		panic(err)
+		fail(err)
 	}
 	fmt.Println("iteration\toperator\tenergy\tdelta_E_Ha\tdepth\tgates")
 	for _, it := range res.History {
@@ -260,7 +260,7 @@ func figExpect(fast bool) {
 
 // extras prints the extension measurements: encoding locality, qubit
 // tapering, and Krylov-vs-VQE convergence.
-func extras(fast bool) {
+func extras(bool) {
 	fmt.Println("# Extras A — fermion-to-qubit encoding locality (H2O-like, 16 qubits)")
 	fmt.Println("encoding\tterms\tavg_weight\tmax_weight")
 	fh := chem.FermionicHamiltonian(chem.WaterLikeScaled(8))
@@ -274,11 +274,11 @@ func extras(fast bool) {
 	} {
 		enc, err := mk.make(16)
 		if err != nil {
-			panic(err)
+			fail(err)
 		}
 		q, err := enc.Transform(fh)
 		if err != nil {
-			panic(err)
+			fail(err)
 		}
 		fmt.Printf("%s\t%d\t%.2f\t%d\n", mk.name, q.NumTerms(), fermion.AverageWeight(q), fermion.MaxWeight(q))
 	}
@@ -288,15 +288,15 @@ func extras(fast bool) {
 	for _, m := range []*chem.MolecularData{chem.H2(), chem.Synthetic(chem.SyntheticOptions{NumOrbitals: 3, NumElectrons: 2, Seed: 8})} {
 		res, err := chem.TaperedHamiltonian(m)
 		if err != nil {
-			panic(err)
+			fail(err)
 		}
 		fci, err := chem.FCI(m)
 		if err != nil {
-			panic(err)
+			fail(err)
 		}
 		e, _, err := linalg.LanczosGround(pauli.OpMatVec{Op: res.Tapered, N: res.NumQubits}, linalg.LanczosOptions{})
 		if err != nil {
-			panic(err)
+			fail(err)
 		}
 		fmt.Printf("%s\t%d\t%d\t%v\n", m.Name, m.NumSpinOrbitals(), res.NumQubits, e <= fci.Energy+1e-8)
 	}
@@ -307,15 +307,19 @@ func extras(fast bool) {
 	h := chem.QubitHamiltonian(m)
 	fci, err := chem.FCI(m)
 	if err != nil {
-		panic(err)
+		fail(err)
 	}
 	prep := qpe.HartreeFockPrep(4, 2)
 	for _, dim := range []int{1, 2, 3, 4} {
 		res, err := vqe.KrylovDiagonalize(h, 4, prep, vqe.KrylovOptions{Dimension: dim, Exact: true})
 		if err != nil {
-			panic(err)
+			fail(err)
 		}
 		fmt.Printf("%d\t%.8f\t%.2e\n", dim, res.Energies[0], math.Abs(res.Energies[0]-fci.Energy))
 	}
-	_ = fast
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchfigs:", err)
+	os.Exit(1)
 }

@@ -108,7 +108,7 @@ func main() {
 func buildMolecule(kind string, distance float64, sites int, t, u float64, orbitals, electrons int, seed uint64) (*chem.MolecularData, error) {
 	switch kind {
 	case "h2":
-		if distance != 0.7414 {
+		if !core.AlmostEqual(distance, 0.7414, 1e-12) {
 			return chem.H2AtDistance(distance)
 		}
 		return chem.H2(), nil

@@ -171,9 +171,10 @@ func (r *Run) Finish() error {
 // testability).
 func (r *Run) build(snap telemetry.Snapshot) Report {
 	rep := Report{
-		Command:    r.command,
-		Args:       os.Args[1:],
-		GoVersion:  runtime.Version(),
+		Command:   r.command,
+		Args:      os.Args[1:],
+		GoVersion: runtime.Version(),
+		//vqelint:ignore workerssemantics reporting the process setting, not resolving a worker count
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Qubits:     r.qubits,
 		Terms:      r.terms,

@@ -1,0 +1,281 @@
+// Command vqelint runs the project's static-analysis suite (see
+// internal/analysis): hotpathalloc, workerssemantics, timerpair,
+// panicdiscipline, and floatcompare — the machine-checked form of the
+// invariants the engine's performance claims rest on.
+//
+// Standalone over package patterns:
+//
+//	go run ./cmd/vqelint ./...
+//	go run ./cmd/vqelint -fix ./internal/...   # apply suggested fixes
+//	go run ./cmd/vqelint -only hotpathalloc,timerpair ./internal/state/
+//
+// As a go vet tool (the form CI uses, so vet's caching and test-file
+// coverage apply):
+//
+//	go build -o bin/vqelint ./cmd/vqelint
+//	go vet -vettool=bin/vqelint ./...
+//
+// Exit status: 0 clean, 1 internal error, 2 findings reported.
+package main
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	// `go vet -vettool` handshakes: version/cache fingerprint and flag
+	// discovery happen before any cfg is passed.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V=") {
+		fmt.Println("vqelint version 1.0.0")
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+
+	var (
+		fix  = flag.Bool("fix", false, "apply suggested fixes to the source files")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list the suite's analyzers and exit")
+		js   = flag.Bool("json", false, "emit diagnostics as JSON")
+	)
+	flag.Parse()
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fatal(err)
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetTool(args[0], analyzers))
+	}
+	os.Exit(runStandalone(args, analyzers, *fix, *js))
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analysis.Suite(), nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a := analysis.ByName(strings.TrimSpace(name))
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// runStandalone loads packages by pattern with the loader and analyzes
+// them in place.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, fix, js bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader("")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	exit := 0
+	var all []jsonDiag
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		if len(diags) == 0 {
+			continue
+		}
+		exit = 2
+		if fix {
+			fixed, err := applyFixes(pkg, diags)
+			if err != nil {
+				fatal(err)
+			}
+			diags = fixed
+			if len(diags) == 0 {
+				exit = 0
+			}
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if js {
+				all = append(all, jsonDiag{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Category, Message: d.Message,
+				})
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, d.Category, d.Message)
+			}
+		}
+	}
+	if js {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fatal(err)
+		}
+	}
+	return exit
+}
+
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// applyFixes rewrites the package's files with every suggested fix and
+// returns the diagnostics that had no fix (still outstanding).
+func applyFixes(pkg *analysis.Package, diags []analysis.Diagnostic) ([]analysis.Diagnostic, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	var remaining []analysis.Diagnostic
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			remaining = append(remaining, d)
+			continue
+		}
+		for _, te := range d.SuggestedFixes[0].TextEdits {
+			p0, p1 := pkg.Fset.Position(te.Pos), pkg.Fset.Position(te.End)
+			if p0.Filename != p1.Filename {
+				return nil, fmt.Errorf("fix spans files: %s vs %s", p0.Filename, p1.Filename)
+			}
+			perFile[p0.Filename] = append(perFile[p0.Filename], edit{p0.Offset, p1.Offset, te.NewText})
+		}
+	}
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		prev := len(src) + 1
+		for _, e := range edits {
+			if e.end > prev || e.end > len(src) || e.start > e.end {
+				return nil, fmt.Errorf("overlapping or out-of-range fixes in %s", file)
+			}
+			src = append(src[:e.start], append(append([]byte{}, e.text...), src[e.end:]...)...)
+			prev = e.start
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "vqelint: fixed %d site(s) in %s\n", len(edits), file)
+	}
+	return remaining, nil
+}
+
+// vetConfig is the JSON unit-checking protocol the go command speaks to
+// -vettool binaries: one invocation per package, files and export-data
+// locations supplied, facts exchanged through the Vetx files (this suite
+// is fact-free, so an empty gob is written).
+type vetConfig struct {
+	ID           string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetTool(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing vet config %s: %v", cfgPath, err))
+	}
+	if cfg.VetxOutput != "" {
+		if err := writeEmptyVetx(cfg.VetxOutput); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // downstream packages only need our (empty) facts
+	}
+
+	loader := analysis.NewLoader(cfg.Dir)
+	loader.SetExportResolver(func(path string) string {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		return cfg.PackageFile[path]
+	})
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	pkg, err := loader.LoadFiles(cfg.ImportPath, cfg.Dir, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatal(err)
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Category, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeEmptyVetx satisfies the protocol's facts output: the go command
+// requires the file to exist after the tool runs.
+func writeEmptyVetx(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	// An empty gob stream is a valid "no facts" payload for any reader.
+	_ = gob.NewEncoder(f)
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vqelint:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Ignore directives let call sites suppress a finding that is understood
+// and intentional (e.g. an exact-zero sparsity skip in a hot loop):
+//
+//	//vqelint:ignore floatcompare exact-zero skip is intentional
+//
+// The directive applies to findings of the named analyzers (comma
+// separated, or "all") on the directive's own line and on the next line,
+// so it works both as a trailing comment and as a line above the
+// offending statement. A reason after the analyzer list is encouraged
+// but not enforced.
+const ignorePrefix = "//vqelint:ignore"
+
+// hotpathDirective marks a function whose body must stay allocation-free;
+// it is recognized by the hotpathalloc analyzer in a func's doc comment or
+// on the line immediately above a function literal.
+const hotpathDirective = "//vqesim:hotpath"
+
+type ignoreSet struct {
+	// byLine maps file base + line to the analyzer names suppressed there.
+	byLine map[string]map[string]bool
+}
+
+func lineKey(fset *token.FileSet, pos token.Pos) (string, int) {
+	p := fset.Position(pos)
+	return p.Filename, p.Line
+}
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	ig := &ignoreSet{byLine: map[string]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				file, line := lineKey(fset, c.Pos())
+				for _, ln := range []int{line, line + 1} {
+					key := ignoreKey(file, ln)
+					m := ig.byLine[key]
+					if m == nil {
+						m = map[string]bool{}
+						ig.byLine[key] = m
+					}
+					for _, n := range names {
+						m[strings.TrimSpace(n)] = true
+					}
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func ignoreKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+func (ig *ignoreSet) ignored(fset *token.FileSet, d Diagnostic) bool {
+	file, line := lineKey(fset, d.Pos)
+	m := ig.byLine[ignoreKey(file, line)]
+	if m == nil {
+		return false
+	}
+	return m[d.Category] || m["all"]
+}

@@ -1,0 +1,102 @@
+package analysis_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestGolden runs every analyzer over its fixture package and checks
+// the diagnostics against the fixture's `// want` comments. The
+// hotpathalloc fixture doubles as the negative guarantee: annotated
+// functions that do allocate are flagged.
+func TestGolden(t *testing.T) {
+	for _, a := range analysis.Suite() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			analysistest.Run(t, a, filepath.Join("testdata", "src", a.Name))
+		})
+	}
+}
+
+// TestSuiteNames pins the suite composition and the ByName lookup.
+func TestSuiteNames(t *testing.T) {
+	want := []string{"hotpathalloc", "workerssemantics", "timerpair", "panicdiscipline", "floatcompare"}
+	suite := analysis.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, name := range want {
+		if suite[i].Name != name {
+			t.Errorf("suite[%d] = %s, want %s", i, suite[i].Name, name)
+		}
+		if analysis.ByName(name) != suite[i] {
+			t.Errorf("ByName(%q) did not return the suite analyzer", name)
+		}
+	}
+	if analysis.ByName("nonesuch") != nil {
+		t.Error("ByName(nonesuch) should be nil")
+	}
+}
+
+// TestSuggestedFixes verifies that the analyzers advertised as
+// -fix-capable actually attach machine-applicable edits, so
+// `vqelint -fix` has something to apply.
+func TestSuggestedFixes(t *testing.T) {
+	loader := analysis.NewLoader("")
+	cases := []struct {
+		analyzer string
+		fixture  string
+		// wantEdit is a substring that must appear in some suggested
+		// fix's replacement text.
+		wantEdit string
+	}{
+		{"panicdiscipline", "panicdiscipline", `"panicdiscipline: negative dimension"`},
+		{"floatcompare", "floatcompare", "real(z)*real(z)+imag(z)*imag(z)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.fixture)
+			files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+			if err != nil || len(files) == 0 {
+				t.Fatalf("globbing fixture %s: %v", dir, err)
+			}
+			pkg, err := loader.LoadFiles("repro/internal/"+tc.fixture, dir, files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := analysis.Run(pkg, []*analysis.Analyzer{analysis.ByName(tc.analyzer)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var edits []string
+			for _, d := range diags {
+				for _, fix := range d.SuggestedFixes {
+					for _, te := range fix.TextEdits {
+						if te.Pos == token.NoPos || te.End < te.Pos {
+							t.Errorf("fix %q has an invalid edit range", fix.Message)
+						}
+						edits = append(edits, string(te.NewText))
+					}
+				}
+			}
+			if len(edits) == 0 {
+				t.Fatalf("%s reported no suggested fixes on its fixture", tc.analyzer)
+			}
+			found := false
+			for _, e := range edits {
+				if strings.Contains(e, tc.wantEdit) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no suggested edit contains %q; edits: %q", tc.wantEdit, edits)
+			}
+		})
+	}
+}

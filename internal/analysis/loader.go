@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package bundles one type-checked package for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds non-fatal type-checking problems (analysis
+	// proceeds on best-effort type information, like go vet).
+	TypeErrors []error
+}
+
+// A Loader resolves and type-checks packages without any dependency
+// beyond the go tool itself: package metadata comes from `go list -json`
+// and imported types from compiler export data located with
+// `go list -export` (built into the local build cache on demand), so the
+// loader works offline.
+type Loader struct {
+	// Dir is the working directory for go tool invocations (any
+	// directory inside the target module). Empty means the process cwd.
+	Dir string
+
+	fset *token.FileSet
+	imp  types.Importer
+
+	mu      sync.Mutex
+	exports map[string]string // import path → export data file
+
+	// resolver, when set, maps an import path to its export data file
+	// without consulting the go tool — the vet driver injects the
+	// mapping the go command hands it.
+	resolver func(path string) string
+}
+
+// SetExportResolver installs an export-data resolver consulted before
+// the go tool fallback.
+func (l *Loader) SetExportResolver(f func(path string) string) { l.resolver = f }
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookupExport)
+	return l
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// goList runs `go list` with the given arguments and returns stdout.
+func (l *Loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.Dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(args, " "), err, strings.TrimSpace(errb.String()))
+	}
+	return out.Bytes(), nil
+}
+
+// primeExports batch-resolves export data for the packages matching
+// patterns and all their dependencies in a single go invocation.
+func (l *Loader) primeExports(patterns []string) error {
+	args := append([]string{"-e", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}"}, patterns...)
+	out, err := l.goList(args...)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		path, file, ok := strings.Cut(sc.Text(), "\t")
+		if ok && file != "" {
+			l.exports[path] = file
+		}
+	}
+	return sc.Err()
+}
+
+// lookupExport opens the export data for one import path, resolving it
+// lazily when the priming pass did not cover it.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file := l.exports[path]
+	l.mu.Unlock()
+	if file == "" && l.resolver != nil {
+		file = l.resolver(path)
+	}
+	if file == "" {
+		out, err := l.goList("-export", "-f", "{{.Export}}", path)
+		if err != nil {
+			return nil, err
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		l.mu.Lock()
+		l.exports[path] = file
+		l.mu.Unlock()
+	}
+	return os.Open(file)
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	CgoFiles   []string
+}
+
+// Load lists, parses, and type-checks the packages matching the given
+// `go list` patterns (e.g. "./...").
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	if err := l.primeExports(patterns); err != nil {
+		return nil, err
+	}
+	out, err := l.goList(append([]string{"-json=ImportPath,Dir,Standard,GoFiles,CgoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, 0, len(lp.GoFiles)+len(lp.CgoFiles))
+		for _, f := range append(append([]string{}, lp.GoFiles...), lp.CgoFiles...) {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := l.check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// LoadFiles parses and type-checks an explicit file list as one package —
+// the entry point used by the `go vet -vettool` driver (which receives
+// the file list from the go command) and by the analysistest harness
+// (which loads fixture directories outside the module proper).
+func (l *Loader) LoadFiles(importPath, dir string, files []string) (*Package, error) {
+	return l.check(importPath, dir, files)
+}
+
+// check parses and type-checks one package.
+func (l *Loader) check(importPath, dir string, files []string) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg := &Package{ImportPath: importPath, Dir: dir, Fset: l.fset, Files: asts, Info: info}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(strings.TrimSuffix(importPath, ".test"), l.fset, asts, info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,24 @@
+package analysis
+
+// Suite returns the project's analyzers in reporting order. cmd/vqelint
+// runs all of them by default; individual analyzers can be selected with
+// its -only flag.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		HotPathAlloc,
+		WorkersSemantics,
+		TimerPair,
+		PanicDiscipline,
+		FloatCompare,
+	}
+}
+
+// ByName returns the named analyzer from the suite, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Package floatcompare is the golden fixture for the floatcompare
+// analyzer.
+package floatcompare
+
+import "math/cmplx"
+
+const tol = 1e-12
+
+func exactEquality(a, b float64, z, w complex128) bool {
+	if a == b { // want `floating-point == comparison is exact`
+		return true
+	}
+	if z != w { // want `complex != comparison is exact`
+		return false
+	}
+	return a != b // want `floating-point != comparison is exact`
+}
+
+// sparsityGuards compare against the exact constant zero: the engine's
+// sanctioned skip pattern. No diagnostics.
+func sparsityGuards(amps []complex128, p float64) float64 {
+	var total float64
+	for _, a := range amps {
+		if a == 0 {
+			continue
+		}
+		total += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if p != 0.0 {
+		total /= p
+	}
+	return total
+}
+
+func intComparisonsFine(i, j int) bool { return i == j }
+
+func absSquared(z complex128) float64 {
+	return cmplx.Abs(z) * cmplx.Abs(z) // want `two square roots`
+}
+
+type matrix struct{ data []complex128 }
+
+func (m matrix) At(i, j int) complex128 { return m.data[i*2+j] }
+
+func absSquaredCall(m matrix, i, j int) float64 {
+	// Argument has a call: diagnostic but no autofix (not side-effect free).
+	return cmplx.Abs(m.At(i, j)) * cmplx.Abs(m.At(i, j)) // want `two square roots`
+}
+
+func absTimesDifferent(z, w complex128) float64 {
+	return cmplx.Abs(z) * cmplx.Abs(w) // different args: a norm product, fine
+}
+
+func toleranceCompare(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < tol
+}

@@ -1,0 +1,102 @@
+// Package hotpathalloc is the golden fixture for the hotpathalloc
+// analyzer: annotated functions that allocate MUST be flagged (the
+// negative guarantee), clean kernels and unannotated functions must not.
+package hotpathalloc
+
+// pool mimics the internal/state worker pool's submitter surface.
+type pool struct{}
+
+func (p *pool) Run(n int, body func(lo, hi int)) {
+	body(0, n)
+}
+
+type sink interface{ add(v float64) }
+
+type acc struct{ total float64 }
+
+func (a *acc) add(v float64) { a.total += v }
+
+// sweepClean is the model kernel: index arithmetic and in-place writes
+// only. It must produce no diagnostics.
+//
+//vqesim:hotpath
+func sweepClean(amps []complex128, scale complex128) {
+	if len(amps) == 0 {
+		panic("hotpathalloc: empty amplitude slice")
+	}
+	for i := range amps {
+		amps[i] *= scale
+	}
+}
+
+// sweepPooled hands its chunk body straight to the pool: the one
+// sanctioned closure. The body itself is still checked (the append
+// inside must be flagged).
+//
+//vqesim:hotpath
+func sweepPooled(p *pool, amps []complex128) {
+	p.Run(len(amps), func(lo, hi int) {
+		var buf []int
+		for i := lo; i < hi; i++ {
+			amps[i] *= 2
+			buf = append(buf, i) // want `append may grow and allocate`
+		}
+		_ = buf
+	})
+}
+
+// allocEverywhere is the negative fixture: an annotated function that
+// allocates in every way the analyzer knows about.
+//
+//vqesim:hotpath
+func allocEverywhere(amps []complex128, s sink, label string) {
+	buf := make([]float64, len(amps)) // want `make allocates`
+	lit := []int{1, 2, 3}             // want `slice literal allocates`
+	m := map[int]int{}                // want `map literal allocates`
+	ptr := &acc{}                     // want `&composite literal escapes`
+	n := new(acc)                     // want `new allocates`
+	f := func() {}                    // want `closure allocates and captures`
+	go sweepClean(amps, 1)            // want `go statement spawns a goroutine`
+	defer sweepClean(amps, 1)         // want `defer allocates a frame record`
+	s.add(acc{}.total)
+	s2 := label + "x"  // want `string concatenation allocates`
+	b := []byte(label) // want `string conversion copies and allocates`
+	var boxed sink = s
+	boxed.add(1)
+	_, _, _, _, _, _, _, _ = buf, lit, m, ptr, n, f, s2, b
+}
+
+// boxes passes a concrete non-pointer value to an interface parameter.
+//
+//vqesim:hotpath
+func boxes(s sink) {
+	v := acc{}
+	consume(v) // want `boxes the value`
+	consume(s) // interface-to-interface: no box, no diagnostic
+	consume(&v)
+}
+
+func consume(x interface{}) { _ = x }
+
+// unannotated allocates freely and must stay silent.
+func unannotated() []int {
+	return append([]int{}, 1, 2, 3)
+}
+
+//vqesim:hotpath // want `misplaced //vqesim:hotpath`
+
+var afterMisplaced = 0
+
+// litKernel shows the FuncLit annotation form: the directive on the
+// line immediately above a literal claims it.
+func litKernel(amps []complex128) func() {
+	//vqesim:hotpath
+	body := func() {
+		tmp := make([]int, 4) // want `make allocates`
+		_ = tmp
+		for i := range amps {
+			amps[i] += 1
+		}
+	}
+	return body
+}

@@ -1,0 +1,64 @@
+// Package panicdiscipline is the golden fixture for the panicdiscipline
+// analyzer (loaded under the synthetic import path
+// repro/internal/panicdiscipline, so the internal-package contract
+// applies; the required prefix is "panicdiscipline: ").
+package panicdiscipline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func compliant(q, n int, err error) {
+	panic("panicdiscipline: negative dimension")
+}
+
+func compliantSentinel() {
+	panic(core.ErrInvalidArgument)
+}
+
+func compliantWrapped(n int) {
+	panic(fmt.Errorf("panicdiscipline: %d qubits: %w", n, core.ErrDimensionMismatch))
+}
+
+func compliantWrappedForeignPrefix(n int) {
+	// %w-wrapping a core sentinel carries the attribution even without
+	// the local prefix.
+	panic(fmt.Errorf("need %d qubits: %w", n, core.ErrDimensionMismatch))
+}
+
+func compliantCoreCall(q, n int) {
+	panic(core.QubitError(q, n))
+}
+
+func compliantSprintf(n int) {
+	panic(fmt.Sprintf("panicdiscipline: bad order %d", n))
+}
+
+func barePlainString() {
+	panic("negative dimension") // want `lacks the "panicdiscipline: " package prefix`
+}
+
+func bareError(err error) {
+	panic(err) // want `panic with a bare error value`
+}
+
+func unprefixedErrorf(n int) {
+	panic(fmt.Errorf("bad order %d", n)) // want `lacks the "panicdiscipline: " package prefix and wraps no core sentinel`
+}
+
+func unprefixedSprintf(n int) {
+	panic(fmt.Sprintf("bad order %d", n)) // want `lacks the "panicdiscipline: " package prefix and wraps no core sentinel`
+}
+
+func foreignErrorWrap(n int) {
+	panic(fmt.Errorf("bad order %d: %w", n, errFixture)) // want `lacks the "panicdiscipline: " package prefix and wraps no core sentinel`
+}
+
+func nonErrorValue(n int) {
+	panic(n) // want `panic argument must be a core sentinel error`
+}
+
+var errFixture = errors.New("fixture")

@@ -1,0 +1,73 @@
+// Package timerpair is the golden fixture for the timerpair analyzer.
+package timerpair
+
+import (
+	"repro/internal/telemetry"
+)
+
+var mPhase = telemetry.GetTimer("fixture.phase")
+
+func discarded() {
+	telemetry.Now()     // want `telemetry.Now result discarded`
+	_ = telemetry.Now() // want `telemetry.Now result discarded`
+}
+
+func neverObserved() int {
+	var start int64
+	_ = start               // pre-assignment use keeps the compiler quiet
+	start = telemetry.Now() // want `timer started with telemetry.Now but never observed`
+	return 0
+}
+
+func earlyReturn(fail bool) error {
+	start := telemetry.Now()
+	if fail {
+		return errFixture // want `return between telemetry.Now and Timer.Since skips the observation`
+	}
+	mPhase.Since(start)
+	return nil
+}
+
+func deferredOK(fail bool) error {
+	start := telemetry.Now()
+	defer mPhase.Since(start)
+	if fail {
+		return errFixture // deferred Since runs on every path: no diagnostic
+	}
+	return nil
+}
+
+func deferredClosureOK(fail bool) error {
+	start := telemetry.Now()
+	defer func() {
+		mPhase.Since(start)
+	}()
+	if fail {
+		return errFixture
+	}
+	return nil
+}
+
+func inlineOK() {
+	start := telemetry.Now()
+	work()
+	mPhase.Since(start)
+}
+
+// manualElapsed consumes the timestamp outside Since: trusted as
+// deliberate handling (mirrors vqe.Energy's disabled-telemetry guard).
+func manualElapsed() int64 {
+	start := telemetry.Now()
+	if start != 0 {
+		return telemetry.Now() - start
+	}
+	return 0
+}
+
+func work() {}
+
+type fixtureError struct{}
+
+func (fixtureError) Error() string { return "fixture" }
+
+var errFixture error = fixtureError{}

@@ -1,0 +1,45 @@
+// Package workerssemantics is the golden fixture for the
+// workerssemantics analyzer. The fixture's synthetic import path is
+// repro/internal/workerssemantics — outside internal/state, so the
+// convention applies.
+package workerssemantics
+
+import "runtime"
+
+// Options mirrors the engine option structs carrying a Workers field
+// with the 0=GOMAXPROCS / 1=serial convention.
+type Options struct {
+	Workers int
+	Depth   int
+}
+
+func deriveDefault() int {
+	n := runtime.GOMAXPROCS(0) // want `resolve worker counts through internal/state`
+	if n < 1 {
+		n = runtime.NumCPU() // want `resolve worker counts through internal/state`
+	}
+	return n
+}
+
+func misreadsSentinel(o Options) bool {
+	if o.Workers > 1 { // want `misreads the 0=GOMAXPROCS sentinel`
+		return true
+	}
+	return o.Workers == 0 // want `misreads the 0=GOMAXPROCS sentinel`
+}
+
+func fineUses(o Options) int {
+	// Comparing a non-Workers field with a literal is fine.
+	if o.Depth > 1 {
+		return o.Depth
+	}
+	// Passing Workers through untouched is the sanctioned pattern.
+	return configure(o.Workers)
+}
+
+func configure(workers int) int { return workers }
+
+func suppressed(o Options) bool {
+	//vqelint:ignore workerssemantics reporting only, not resolving
+	return o.Workers != 1
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TimerPair enforces the telemetry timer protocol: a timestamp taken
+// with telemetry.Now must be observed by a Timer.Since (directly, via a
+// tracked variable, or through a defer) on every path out of the
+// function. The protocol exists because Now returns the 0 sentinel when
+// telemetry is disabled and Since knows to skip it — a started-but-never
+// -stopped timer silently undercounts a phase, which is exactly the kind
+// of accounting drift the PR 2 telemetry work was built to prevent.
+//
+// Checked shapes:
+//
+//   - `telemetry.Now()` whose result is discarded (statement or blank
+//     assign): flagged — the call is either dead or a missing pairing;
+//   - `start := telemetry.Now()` where start never reaches a .Since
+//     call and is never used otherwise: flagged;
+//   - a paired, non-deferred Since with a `return` between start and
+//     stop: flagged — the early return skips the observation; use
+//     `defer t.Since(start)` (or `defer t.Since(telemetry.Now())`).
+//
+// A start that is consumed by anything other than Since (e.g. compared
+// against 0 for a manual elapsed computation) is assumed to be handled
+// deliberately and is not tracked further.
+var TimerPair = &Analyzer{
+	Name: "timerpair",
+	Doc:  "flag telemetry.Now timestamps that are discarded or can miss their Timer.Since on early-return paths",
+	Run:  runTimerPair,
+}
+
+func runTimerPair(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkTimerBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type timerStart struct {
+	obj      types.Object // the timestamp variable
+	assign   ast.Node     // the assignment statement
+	sinces   []*ast.CallExpr
+	deferred bool
+	otherUse bool
+}
+
+func checkTimerBody(pass *Pass, body *ast.BlockStmt) {
+	starts := map[types.Object]*timerStart{}
+
+	// Pass 1: find Now() calls and classify their results. Nested
+	// function literals get their own checkTimerBody invocation from the
+	// file walk, so skip them here to keep ownership per-function.
+	inspectShallow(body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok && isTelemetryNow(pass, call) {
+				pass.ReportRangef(call, "telemetry.Now result discarded: pair it with a Timer.Since or drop the call")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isTelemetryNow(pass, call) || i >= len(x.Lhs) {
+					continue
+				}
+				id, ok := x.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if id.Name == "_" {
+					pass.ReportRangef(call, "telemetry.Now result discarded: pair it with a Timer.Since or drop the call")
+					continue
+				}
+				if obj := pass.ObjectOf(id); obj != nil {
+					starts[obj] = &timerStart{obj: obj, assign: x}
+				}
+			}
+		}
+	})
+	if len(starts) == 0 {
+		return
+	}
+
+	// Pass 2: classify every use of each tracked timestamp, including
+	// uses inside nested literals (a deferred closure may hold the
+	// Since). Since calls directly under a defer, or inside a deferred
+	// closure, count as deferred.
+	var visit func(n ast.Node, inDefer bool)
+	visit = func(n ast.Node, inDefer bool) {
+		switch x := n.(type) {
+		case nil:
+			return
+		case *ast.DeferStmt:
+			visit(x.Call, true)
+			return
+		case *ast.CallExpr:
+			if ts := sinceTarget(pass, x, starts); ts != nil {
+				ts.sinces = append(ts.sinces, x)
+				if inDefer {
+					ts.deferred = true
+				}
+				// Don't also count the argument as an "other use".
+				visit(x.Fun, inDefer)
+				return
+			}
+		case *ast.Ident:
+			if obj := pass.ObjectOf(x); obj != nil {
+				if ts, ok := starts[obj]; ok && x.Pos() > ts.assign.End() {
+					ts.otherUse = true
+				}
+			}
+			return
+		}
+		for _, child := range childNodes(n) {
+			visit(child, inDefer)
+		}
+	}
+	visit(body, false)
+
+	for _, ts := range starts {
+		switch {
+		case ts.otherUse:
+			// Manual handling (e.g. `if start != 0 { ... }`); trusted.
+		case len(ts.sinces) == 0:
+			pass.Reportf(ts.assign.Pos(), "timer started with telemetry.Now but never observed: add a %s.Since or defer", "Timer")
+		case !ts.deferred:
+			// All Sinces are inline: any return between start and the
+			// last Since can skip the observation.
+			last := ts.sinces[len(ts.sinces)-1]
+			reportEarlyReturns(pass, body, ts.assign.End(), last.Pos())
+		}
+	}
+}
+
+// inspectShallow walks n but does not descend into function literals.
+func inspectShallow(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		if c != nil {
+			f(c)
+		}
+		return true
+	})
+}
+
+// isTelemetryNow reports whether call is telemetry.Now().
+func isTelemetryNow(pass *Pass, call *ast.CallExpr) bool {
+	return isPkgFunc(pass.Info, call, "internal/telemetry", "Now")
+}
+
+// sinceTarget returns the tracked start passed to a Timer.Since call, or
+// nil if call is not a Since over a tracked variable.
+func sinceTarget(pass *Pass, call *ast.CallExpr, starts map[types.Object]*timerStart) *timerStart {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Since" || len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	return starts[obj]
+}
+
+// reportEarlyReturns flags return statements positioned between a timer
+// start and its (non-deferred) Since, excluding returns inside nested
+// function literals.
+func reportEarlyReturns(pass *Pass, body *ast.BlockStmt, after, before token.Pos) {
+	inspectShallow(body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= after || ret.Pos() >= before {
+			return
+		}
+		pass.ReportRangef(ret, "return between telemetry.Now and Timer.Since skips the observation; use defer t.Since(start)")
+	})
+}
+
+// childNodes returns the direct AST children of n.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WorkersSemantics enforces the Workers convention established in PR 1:
+// a Workers field of 0 means GOMAXPROCS and 1 means serial, and the
+// 0→GOMAXPROCS resolution happens in exactly one place — internal/state
+// (state.New, state.NewPool, state.ResolveWorkers).
+//
+// Two mistakes recur when the convention is enforced only by review:
+//
+//  1. a package calls runtime.GOMAXPROCS (or runtime.NumCPU) itself to
+//     re-derive the default, drifting from the engine's resolution; and
+//  2. a caller compares a raw Workers field against a literal
+//     (`opts.Workers > 1`), misreading the 0 sentinel as "serial" when
+//     it actually means "all cores".
+//
+// Both are flagged outside internal/state. Sites with a genuine reason
+// (e.g. a run report recording the process's GOMAXPROCS) carry a
+// //vqelint:ignore directive.
+var WorkersSemantics = &Analyzer{
+	Name: "workerssemantics",
+	Doc: "flag runtime.GOMAXPROCS/NumCPU calls and raw Workers-field comparisons " +
+		"outside internal/state (Workers: 0=GOMAXPROCS, 1=serial, resolved by state)",
+	Run: runWorkersSemantics,
+}
+
+func runWorkersSemantics(pass *Pass) error {
+	if pkgPathMatches(strings.TrimSuffix(pass.Pkg.Path(), ".test"), "internal/state") ||
+		strings.HasSuffix(pass.Pkg.Path(), "internal/state") {
+		return nil // the one place allowed to resolve the sentinel
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue // tests may assert raw Workers values directly
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if isPkgFunc(pass.Info, x, "runtime", "GOMAXPROCS") {
+					pass.ReportRangef(x, "resolve worker counts through internal/state (state.ResolveWorkers); "+
+						"calling runtime.GOMAXPROCS here duplicates the Workers=0 default")
+				}
+				if isPkgFunc(pass.Info, x, "runtime", "NumCPU") {
+					pass.ReportRangef(x, "resolve worker counts through internal/state (state.ResolveWorkers); "+
+						"calling runtime.NumCPU here duplicates the Workers=0 default")
+				}
+			case *ast.BinaryExpr:
+				if !isComparison(x.Op) {
+					return true
+				}
+				field, lit := workersFieldAndLiteral(pass, x.X, x.Y)
+				if field == nil {
+					field, lit = workersFieldAndLiteral(pass, x.Y, x.X)
+				}
+				if field != nil {
+					pass.ReportRangef(x, "comparing the raw Workers field with %s misreads the 0=GOMAXPROCS sentinel; "+
+						"pass it through to state/pauli options or normalize with state.ResolveWorkers first", lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// workersFieldAndLiteral reports whether a is a struct field named
+// Workers and b an integer literal; it returns the field expression and
+// the literal's source form.
+func workersFieldAndLiteral(pass *Pass, a, b ast.Expr) (ast.Expr, string) {
+	sel, ok := ast.Unparen(a).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Workers" {
+		return nil, ""
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return nil, ""
+	}
+	blit, ok := ast.Unparen(b).(*ast.BasicLit)
+	if !ok || blit.Kind != token.INT {
+		return nil, ""
+	}
+	return sel, blit.Value
+}

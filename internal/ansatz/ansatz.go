@@ -101,7 +101,7 @@ func newExcitation(label string, t *fermion.Op, enc *fermion.Encoding) (Excitati
 		var err error
 		jw, err = enc.Transform(a)
 		if err != nil {
-			panic(err)
+			panic(fmt.Errorf("ansatz: fermionic encoding failed: %w", err))
 		}
 	}
 	terms := jw.Terms()
@@ -110,7 +110,7 @@ func newExcitation(label string, t *fermion.Op, enc *fermion.Encoding) (Excitati
 	}
 	for _, tt := range terms {
 		if math.Abs(real(tt.Coeff)) > 1e-10 {
-			panic(fmt.Sprintf("ansatz: generator %s not anti-Hermitian under JW", label))
+			panic(fmt.Errorf("%w: generator %s not anti-Hermitian under JW", core.ErrInvalidArgument, label))
 		}
 	}
 	return Excitation{Label: label, Fermionic: a, Paulis: terms}, true

@@ -10,6 +10,7 @@ import (
 	"math/cmplx"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/linalg"
 )
 
@@ -220,11 +221,11 @@ func (g Gate) Matrix2() *linalg.Matrix {
 		})
 	case Fused1Q:
 		if g.Matrix == nil || g.Matrix.Rows != 2 {
-			panic("gate: fused1q without 2x2 matrix")
+			panic(fmt.Errorf("%w: fused1q without 2x2 matrix", core.ErrInvalidArgument))
 		}
 		return g.Matrix.Clone()
 	}
-	panic(fmt.Sprintf("gate: Matrix2 on %v", g.Kind))
+	panic(fmt.Errorf("%w: Matrix2 on %v", core.ErrInvalidArgument, g.Kind))
 }
 
 // Matrix4 returns the 4×4 unitary of a two-qubit gate in the basis
@@ -303,11 +304,11 @@ func (g Gate) Matrix4() *linalg.Matrix {
 		})
 	case Fused2Q:
 		if g.Matrix == nil || g.Matrix.Rows != 4 {
-			panic("gate: fused2q without 4x4 matrix")
+			panic(fmt.Errorf("%w: fused2q without 4x4 matrix", core.ErrInvalidArgument))
 		}
 		return g.Matrix.Clone()
 	}
-	panic(fmt.Sprintf("gate: Matrix4 on %v", g.Kind))
+	panic(fmt.Errorf("%w: Matrix4 on %v", core.ErrInvalidArgument, g.Kind))
 }
 
 // Inverse returns a gate implementing the adjoint unitary.
@@ -343,5 +344,5 @@ func (g Gate) Inverse() Gate {
 	case Fused1Q, Fused2Q:
 		return Gate{Kind: g.Kind, Qubits: append([]int(nil), g.Qubits...), Matrix: g.Matrix.Adjoint()}
 	}
-	panic(fmt.Sprintf("gate: Inverse on %v", g.Kind))
+	panic(fmt.Errorf("%w: Inverse on %v", core.ErrInvalidArgument, g.Kind))
 }

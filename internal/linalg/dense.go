@@ -23,7 +23,7 @@ type Matrix struct {
 // NewMatrix returns a zero matrix of the given shape.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
-		panic("linalg: negative dimension")
+		panic(fmt.Errorf("%w: negative matrix dimension", core.ErrInvalidArgument))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
 }
@@ -32,7 +32,7 @@ func NewMatrix(rows, cols int) *Matrix {
 // len(data) != rows*cols.
 func MatrixFrom(rows, cols int, data []complex128) *Matrix {
 	if len(data) != rows*cols {
-		panic("linalg: data length mismatch")
+		panic(fmt.Errorf("%w: data length does not match matrix shape", core.ErrDimensionMismatch))
 	}
 	d := make([]complex128, len(data))
 	copy(d, data)
@@ -298,6 +298,8 @@ func Expm(m *Matrix) *Matrix {
 }
 
 // VecDot returns ⟨a|b⟩ = Σ conj(a_i)·b_i.
+//
+//vqesim:hotpath
 func VecDot(a, b []complex128) complex128 {
 	if len(a) != len(b) {
 		panic(core.ErrDimensionMismatch)
@@ -310,6 +312,8 @@ func VecDot(a, b []complex128) complex128 {
 }
 
 // VecNorm returns the Euclidean norm of v.
+//
+//vqesim:hotpath
 func VecNorm(v []complex128) float64 {
 	s := 0.0
 	for _, x := range v {
@@ -319,6 +323,8 @@ func VecNorm(v []complex128) float64 {
 }
 
 // VecScale multiplies v in place by c and returns it.
+//
+//vqesim:hotpath
 func VecScale(v []complex128, c complex128) []complex128 {
 	for i := range v {
 		v[i] *= c
@@ -327,6 +333,8 @@ func VecScale(v []complex128, c complex128) []complex128 {
 }
 
 // VecAXPY performs y += a·x in place and returns y.
+//
+//vqesim:hotpath
 func VecAXPY(a complex128, x, y []complex128) []complex128 {
 	if len(x) != len(y) {
 		panic(core.ErrDimensionMismatch)

@@ -34,7 +34,8 @@ func EighJacobi(h *Matrix) (*EigenResult, error) {
 		s := 0.0
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				s += cmplx.Abs(a.At(i, j)) * cmplx.Abs(a.At(i, j))
+				x := a.At(i, j)
+				s += real(x)*real(x) + imag(x)*imag(x)
 			}
 		}
 		return math.Sqrt(s)

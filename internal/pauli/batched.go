@@ -156,6 +156,8 @@ func (g *xGroup) eval(amps []complex128, pool *state.Pool, chunks int) float64 {
 // [lo, hi). For the diagonal group the index range is the amplitudes
 // themselves; for off-diagonal groups it enumerates the half-space with
 // qubit q clear and scores both members of each (i, i⊕x) pair at once.
+//
+//vqesim:hotpath
 func (g *xGroup) sweep(amps []complex128, lo, hi uint64, accRe, accIm []float64) {
 	if g.x == 0 {
 		zs := g.zsRe
@@ -245,6 +247,7 @@ func (pl *Plan) MatVec(dst, src []complex128, pool *state.Pool) {
 	}
 	for gi := range pl.groups {
 		g := &pl.groups[gi]
+		//vqesim:hotpath
 		sweep := func(lo, hi uint64) {
 			zs, cs, x := g.zs, g.cs, g.x
 			for i := lo; i < hi; i++ {

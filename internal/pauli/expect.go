@@ -2,7 +2,6 @@ package pauli
 
 import (
 	"math/bits"
-	"runtime"
 	"sort"
 
 	"repro/internal/circuit"
@@ -15,6 +14,8 @@ import (
 // the amplitudes (the paper's deterministic method, §4.2.2): the nested
 // double sum collapses to a single pass because P maps each basis state to
 // exactly one basis state.
+//
+//vqesim:hotpath
 func ExpectationString(s *state.State, p String) complex128 {
 	amps := s.Amplitudes()
 	var acc complex128
@@ -34,6 +35,8 @@ func ExpectationString(s *state.State, p String) complex128 {
 // persistent worker pool (paper §4.2.3 parallelizes the same reduction
 // over GPU cores). Each chunk accumulates locally and writes its partial
 // once into a cache-line-padded slot — workers never share a line.
+//
+//vqesim:hotpath
 func expectationStringParallel(amps []complex128, p String, pool *state.Pool, chunks int) complex128 {
 	return pool.ReduceComplex(uint64(len(amps)), chunks, func(lo, hi uint64) complex128 {
 		var acc complex128
@@ -57,12 +60,10 @@ type ExpectationOptions struct {
 	Workers int
 }
 
-// resolveWorkers applies the 0 = GOMAXPROCS default.
+// resolveWorkers applies the 0 = GOMAXPROCS default through the
+// engine's single resolution point.
 func (o ExpectationOptions) resolveWorkers() int {
-	if o.Workers <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return o.Workers
+	return state.ResolveWorkers(o.Workers)
 }
 
 // Expectation computes ⟨ψ|H|ψ⟩ for a Pauli-sum observable using the

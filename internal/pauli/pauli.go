@@ -68,7 +68,7 @@ func Parse(label string) (String, error) {
 func MustParse(label string) String {
 	s, err := Parse(label)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("pauli: parsing %q: %w", label, err))
 	}
 	return s
 }

@@ -48,9 +48,7 @@ const (
 // the finalizer reclaims the goroutines; callers that want deterministic
 // shutdown can Close explicitly.
 func NewPool(workers int) *Pool {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = ResolveWorkers(workers)
 	p := &Pool{workers: workers, jobs: make(chan poolJob), quit: make(chan struct{})}
 	for w := 0; w < workers; w++ {
 		go poolWorker(p.jobs, p.quit)
@@ -60,6 +58,9 @@ func NewPool(workers int) *Pool {
 	return p
 }
 
+// poolWorker is the per-goroutine job loop.
+//
+//vqesim:hotpath
 func poolWorker(jobs <-chan poolJob, quit <-chan struct{}) {
 	for {
 		select {
@@ -92,6 +93,8 @@ func (p *Pool) Close() {
 // slot is the chunk index (0 ≤ slot < chunks, dense from 0) and is stable
 // per range, so callers can hand every chunk a private accumulator block.
 // chunks ≤ 0 means the pool width.
+//
+//vqesim:hotpath
 func (p *Pool) Run(total uint64, chunks int, body func(slot int, lo, hi uint64)) {
 	if total == 0 {
 		return

@@ -63,12 +63,22 @@ type State struct {
 	pool *Pool
 }
 
+// ResolveWorkers normalizes a Workers option value to an actual worker
+// count: 0 (or negative) means GOMAXPROCS, anything positive is returned
+// unchanged. This is the single place the 0=GOMAXPROCS sentinel is
+// resolved — other packages pass Workers through untouched or call this
+// (enforced by the workerssemantics analyzer, cmd/vqelint).
+func ResolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
 // New allocates the |0…0⟩ state on n qubits.
 func New(n int, opts Options) *State {
 	dim := core.Dim(n)
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
+	opts.Workers = ResolveWorkers(opts.Workers)
 	if opts.ParallelThreshold <= 0 {
 		opts.ParallelThreshold = 1 << 14
 	}
@@ -218,6 +228,8 @@ func (s *State) parallelReduce(total uint64, body func(lo, hi uint64) float64) f
 }
 
 // Apply1Q applies a 2×2 unitary to qubit q.
+//
+//vqesim:hotpath
 func (s *State) Apply1Q(u *linalg.Matrix, q int) {
 	if q < 0 || q >= s.n {
 		panic(core.QubitError(q, s.n))
@@ -241,6 +253,8 @@ func (s *State) Apply1Q(u *linalg.Matrix, q int) {
 
 // Apply2Q applies a 4×4 unitary to the ordered qubit pair (a,b) where a is
 // the high-order bit of the gate's local index.
+//
+//vqesim:hotpath
 func (s *State) Apply2Q(u *linalg.Matrix, a, b int) {
 	if a < 0 || a >= s.n {
 		panic(core.QubitError(a, s.n))
@@ -278,11 +292,15 @@ func (s *State) Apply2Q(u *linalg.Matrix, a, b int) {
 			r, c int
 			v    complex128
 		}
-		var entries []nzEntry
+		// Fixed-size buffer: nnz ≤ 8 here, so the entry list never
+		// allocates (the kernel below is //vqesim:hotpath-checked).
+		var entries [8]nzEntry
+		ne := 0
 		for i := 0; i < 4; i++ {
 			for j := 0; j < 4; j++ {
 				if m[i][j] != 0 {
-					entries = append(entries, nzEntry{i, j, m[i][j]})
+					entries[ne] = nzEntry{i, j, m[i][j]}
+					ne++
 				}
 			}
 		}
@@ -297,7 +315,7 @@ func (s *State) Apply2Q(u *linalg.Matrix, a, b int) {
 				idx[3] = idx[1] | 1<<uint(a)
 				in[0], in[1], in[2], in[3] = amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]
 				out[0], out[1], out[2], out[3] = 0, 0, 0, 0
-				for _, e := range entries {
+				for _, e := range entries[:ne] {
 					out[e.r] += e.v * in[e.c]
 				}
 				amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]] = out[0], out[1], out[2], out[3]
@@ -327,6 +345,8 @@ func (s *State) Apply2Q(u *linalg.Matrix, a, b int) {
 }
 
 // applyCX is a fast path for the most common two-qubit gate.
+//
+//vqesim:hotpath
 func (s *State) applyCX(ctrl, tgt int) {
 	amps := s.amps
 	quarter := uint64(len(amps) / 4)
@@ -343,6 +363,8 @@ func (s *State) applyCX(ctrl, tgt int) {
 }
 
 // applyCZ is a fast path: phase flip on |11⟩.
+//
+//vqesim:hotpath
 func (s *State) applyCZ(a, b int) {
 	amps := s.amps
 	quarter := uint64(len(amps) / 4)
@@ -358,6 +380,8 @@ func (s *State) applyCZ(a, b int) {
 }
 
 // applyRZ is a fast diagonal path.
+//
+//vqesim:hotpath
 func (s *State) applyRZ(theta float64, q int) {
 	em := cmplx.Exp(complex(0, -theta/2))
 	ep := cmplx.Exp(complex(0, theta/2))
@@ -424,6 +448,8 @@ func (s *State) Run(c *circuit.Circuit) {
 // Probability returns P(qubit q = 1). The reduction runs on the worker
 // pool above the parallel threshold (this is a hot loop on the
 // ExpectationViaRotation and sampling paths).
+//
+//vqesim:hotpath
 func (s *State) Probability(q int) float64 {
 	if q < 0 || q >= s.n {
 		panic(core.QubitError(q, s.n))
@@ -474,6 +500,9 @@ func (s *State) ResetQubit(q int) {
 	}
 }
 
+// collapse projects qubit q onto outcome and renormalizes in place.
+//
+//vqesim:hotpath
 func (s *State) collapse(q, outcome int, p1 float64) {
 	pKeep := p1
 	if outcome == 0 {

@@ -72,64 +72,74 @@ func Adapt(h *pauli.Op, pool *ansatz.Pool, n, ne int, o AdaptOptions) (*AdaptRes
 	// place, so its persistent worker pool serves all gradient scans.
 	s := state.New(n, state.Options{Workers: o.Workers})
 	for iter := 1; iter <= o.MaxIterations; iter++ {
-		iterStart := telemetry.Now()
-		// Prepare current optimal state and scan the pool.
-		s.ResetZero()
-		s.Run(adapt.Circuit(params))
-		grads := PoolGradients(s, h, pool.Ops)
-		best, bestAbs := -1, 0.0
-		for k, g := range grads {
-			if a := math.Abs(g); a > bestAbs {
-				best, bestAbs = k, a
+		done, err := func() (bool, error) {
+			// Deferred so every exit — convergence, inner-optimizer error,
+			// or a full iteration — observes the timer.
+			defer mAdaptIter.Since(telemetry.Now())
+			// Prepare current optimal state and scan the pool.
+			s.ResetZero()
+			s.Run(adapt.Circuit(params))
+			grads := PoolGradients(s, h, pool.Ops)
+			best, bestAbs := -1, 0.0
+			for k, g := range grads {
+				if a := math.Abs(g); a > bestAbs {
+					best, bestAbs = k, a
+				}
 			}
-		}
-		if best < 0 || bestAbs < o.GradientTol {
-			result.Converged = true
-			break
-		}
-		adapt.Grow(pool.Ops[best])
-		params = append(params, 0)
+			if best < 0 || bestAbs < o.GradientTol {
+				result.Converged = true
+				return true, nil
+			}
+			adapt.Grow(pool.Ops[best])
+			params = append(params, 0)
 
-		drv, err := New(h, adapt, Options{Mode: Direct, Workers: o.Workers})
+			drv, err := New(h, adapt, Options{Mode: Direct, Workers: o.Workers})
+			if err != nil {
+				return false, err
+			}
+			lb := o.LBFGS
+			if lb.MaxIter == 0 {
+				lb.MaxIter = 200
+			}
+			res, err := drv.MinimizeLBFGS(params, lb)
+			if err != nil {
+				return false, err
+			}
+			params = res.Params
+			result.Energy = res.Energy
+			result.Params = params
+			result.TotalStats.EnergyEvaluations += res.Stats.EnergyEvaluations
+			result.TotalStats.AnsatzExecutions += res.Stats.AnsatzExecutions
+			result.TotalStats.GatesApplied += res.Stats.GatesApplied
+			result.TotalStats.CacheRestores += res.Stats.CacheRestores
+
+			c := adapt.Circuit(params)
+			st := c.Stats()
+			entry := AdaptIteration{
+				Iteration:    iter,
+				Operator:     pool.Ops[best].Label,
+				MaxGradient:  bestAbs,
+				Energy:       res.Energy,
+				ErrorVsRef:   math.NaN(),
+				Parameters:   len(params),
+				CircuitDepth: st.Depth,
+				GateCount:    st.Total,
+			}
+			if !math.IsNaN(o.Reference) {
+				entry.ErrorVsRef = math.Abs(res.Energy - o.Reference)
+			}
+			result.History = append(result.History, entry)
+
+			if o.EnergyTol > 0 && !math.IsNaN(o.Reference) && entry.ErrorVsRef < o.EnergyTol {
+				result.Converged = true
+				return true, nil
+			}
+			return false, nil
+		}()
 		if err != nil {
 			return nil, err
 		}
-		lb := o.LBFGS
-		if lb.MaxIter == 0 {
-			lb.MaxIter = 200
-		}
-		res, err := drv.MinimizeLBFGS(params, lb)
-		if err != nil {
-			return nil, err
-		}
-		params = res.Params
-		result.Energy = res.Energy
-		result.Params = params
-		result.TotalStats.EnergyEvaluations += res.Stats.EnergyEvaluations
-		result.TotalStats.AnsatzExecutions += res.Stats.AnsatzExecutions
-		result.TotalStats.GatesApplied += res.Stats.GatesApplied
-		result.TotalStats.CacheRestores += res.Stats.CacheRestores
-
-		c := adapt.Circuit(params)
-		st := c.Stats()
-		entry := AdaptIteration{
-			Iteration:    iter,
-			Operator:     pool.Ops[best].Label,
-			MaxGradient:  bestAbs,
-			Energy:       res.Energy,
-			ErrorVsRef:   math.NaN(),
-			Parameters:   len(params),
-			CircuitDepth: st.Depth,
-			GateCount:    st.Total,
-		}
-		if !math.IsNaN(o.Reference) {
-			entry.ErrorVsRef = math.Abs(res.Energy - o.Reference)
-		}
-		result.History = append(result.History, entry)
-		mAdaptIter.Since(iterStart)
-
-		if o.EnergyTol > 0 && !math.IsNaN(o.Reference) && entry.ErrorVsRef < o.EnergyTol {
-			result.Converged = true
+		if done {
 			break
 		}
 	}

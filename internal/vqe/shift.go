@@ -1,10 +1,12 @@
 package vqe
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/ansatz"
 	"repro/internal/circuit"
+	"repro/internal/core"
 	"repro/internal/gate"
 	"repro/internal/pauli"
 	"repro/internal/state"
@@ -21,7 +23,7 @@ import (
 // its place beside the simulator-only adjoint sweep.
 func ParameterShiftGradient(h *pauli.Op, a ansatz.Ansatz, params []float64, workers int) []float64 {
 	if !ShiftRuleApplies(a, params) {
-		panic("vqe: parameter-shift rule does not apply to this ansatz (parameters re-used across gates)")
+		panic(fmt.Errorf("%w: parameter-shift rule does not apply to this ansatz (parameters re-used across gates)", core.ErrInvalidArgument))
 	}
 	// One batched plan and one simulator serve all 2·dim shifted
 	// evaluations; the state (and its worker pool) is reset, not
@@ -88,6 +90,7 @@ func diffCount(a, b *circuit.Circuit) int {
 			return -1
 		}
 		for j := range ga.Params {
+			//vqelint:ignore floatcompare exact bitwise inequality detects "parameter changed" for shift reuse
 			if ga.Params[j] != gb.Params[j] {
 				n++
 				break

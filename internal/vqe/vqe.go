@@ -211,7 +211,7 @@ func (d *Driver) Energy(params []float64) float64 {
 	case Rotated, Sampled:
 		e = d.energyViaGroups(params)
 	default:
-		panic(fmt.Sprintf("vqe: unknown mode %v", d.opts.Mode))
+		panic(fmt.Errorf("%w: unknown energy mode %v", core.ErrInvalidArgument, d.opts.Mode))
 	}
 	if start != 0 {
 		elapsed := time.Now().UnixNano() - start
@@ -360,7 +360,7 @@ func (d *Driver) readGroup(mb pauli.MeasurementBasis, shots int) float64 {
 	case Sampled:
 		dist, err := d.sampleDistribution(shots)
 		if err != nil {
-			panic(err)
+			panic(fmt.Errorf("vqe: sampling measurement distribution: %w", err))
 		}
 		for i, t := range mb.Terms {
 			if t.P.IsIdentity() {

@@ -59,7 +59,9 @@ func (v *VQE) Execute(x0 []float64) (*VQEResult, error) {
 		evals++
 		e, err := v.Accelerator.Expectation(v.Ansatz.Circuit(x), v.Observable)
 		if err != nil {
-			panic(err) // surfaced below via recover
+			// Surfaced below via recover; wrapped so a panic that escapes
+			// anyway is attributable.
+			panic(fmt.Errorf("xacc: accelerator expectation: %w", err))
 		}
 		return e
 	}
@@ -72,6 +74,7 @@ func (v *VQE) Execute(x0 []float64) (*VQEResult, error) {
 					execErr = err
 					return
 				}
+				//vqelint:ignore panicdiscipline re-raising a foreign panic value unchanged
 				panic(r)
 			}
 		}()
