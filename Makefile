@@ -11,7 +11,7 @@ GOVULNCHECK_VERSION = v1.1.4
 # Coverage floor for the telemetry package (CI enforces the same number).
 TELEMETRY_COVER_MIN = 60
 
-.PHONY: all build test vet vqelint lint vuln race bench bench-smoke cover figures check ci
+.PHONY: all build test vet vqelint lint vuln race bench bench-smoke chaos cover figures check ci
 
 all: check
 
@@ -57,6 +57,15 @@ vuln:
 race:
 	$(GO) test -race ./...
 
+# chaos is the resilience smoke: the fault drills (seeded injectors behind
+# every cluster transfer), the crash/resume equivalence properties, and the
+# watchdog recovery paths, all under the race detector with a tight
+# deadline so a hung retry loop fails fast instead of stalling CI.
+chaos:
+	$(GO) test -race -timeout 5m \
+		-run 'FaultDrill|Watchdog|CrashResume|Fallback|Walltime|Deadline|Checkpoint|StatsRace' \
+		./internal/cluster/ ./internal/resilience/ ./internal/vqe/ ./internal/xacc/
+
 bench:
 	$(GO) test -bench BenchmarkBatchedExpectation -benchtime 1x -run ^$$ .
 
@@ -82,5 +91,5 @@ figures:
 check: build vet test race bench figures
 
 # ci mirrors the GitHub Actions workflow jobs (test, lint, vqelint, vuln,
-# coverage, bench-smoke) so `make ci` locally means green CI.
-ci: build lint vuln test race cover bench-smoke
+# coverage, bench-smoke, chaos-smoke) so `make ci` locally means green CI.
+ci: build lint vuln test race cover bench-smoke chaos

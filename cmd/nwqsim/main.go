@@ -6,10 +6,12 @@
 //	nwqsim -backend nwq-cluster -ranks 4 circuit.qasm
 //	nwqsim -shots 4096 -fuse circuit.qasm
 //	nwqsim -noise 0.01 circuit.qasm          # density-matrix with noise
+//	nwqsim -backend nwq-cluster -fault-drop 0.05 -metrics circuit.qasm
 //	echo 'qreg q[2]\nh q[0]\ncx q[0], q[1]' | nwqsim -
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,8 +20,10 @@ import (
 
 	"repro/cmd/internal/runreport"
 	"repro/internal/circuit"
+	"repro/internal/cluster"
 	"repro/internal/density"
 	"repro/internal/qasm"
+	"repro/internal/resilience"
 	"repro/internal/xacc"
 )
 
@@ -32,6 +36,15 @@ func main() {
 		noise   = flag.Float64("noise", 0, "depolarizing error rate (switches to density-matrix backend)")
 		top     = flag.Int("top", 16, "print at most this many outcomes")
 		stats   = flag.Bool("stats", false, "print circuit statistics and exit")
+
+		// Fault-drill flags (cluster backend): seeded injector behind every
+		// pairwise block exchange, countered by checksums + retry.
+		faultSeed    = flag.Uint64("fault-seed", 42, "cluster: fault injector seed")
+		faultDrop    = flag.Float64("fault-drop", 0, "cluster: per-transfer drop probability")
+		faultCorrupt = flag.Float64("fault-corrupt", 0, "cluster: per-transfer corruption probability (checksum-caught)")
+		faultStall   = flag.Float64("fault-stall", 0, "cluster: per-transfer transient-stall probability")
+		faultSilent  = flag.Float64("fault-silent", 0, "cluster: post-checksum silent-corruption probability (watchdog-caught)")
+		faultMax     = flag.Int("fault-max", 0, "cluster: cap on injected faults (0 = unlimited)")
 	)
 	obsFlags := runreport.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -69,20 +82,41 @@ func main() {
 		return
 	}
 
-	acc, err := pick(*backend, *ranks, *noise)
+	res := cluster.Options{}
+	if *faultDrop > 0 || *faultCorrupt > 0 || *faultStall > 0 || *faultSilent > 0 {
+		res.Fault = resilience.NewFaultInjector(resilience.FaultConfig{
+			Seed:        *faultSeed,
+			DropProb:    *faultDrop,
+			CorruptProb: *faultCorrupt,
+			StallProb:   *faultStall,
+			SilentProb:  *faultSilent,
+			MaxFaults:   *faultMax,
+		})
+		if *faultSilent > 0 {
+			// Silent corruption sails past the checksums; only the
+			// norm-drift watchdog catches it.
+			res.NormCheckEvery = 8
+		}
+	}
+
+	acc, err := pick(*backend, *ranks, *noise, res)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("backend: %s\n", acc.Name())
 
 	start := time.Now()
-	res, err := acc.Execute(c, *shots)
+	out, err := acc.Execute(context.Background(), c, *shots)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("executed in %v\n\n", time.Since(start).Round(time.Microsecond))
 
-	printDistribution(res, c.NumQubits, *shots, *top)
+	printDistribution(out, c.NumQubits, *shots, *top)
+	if res.Fault != nil {
+		fmt.Printf("\nfaults injected: %d (%v) — all recovered\n",
+			res.Fault.Injected(), res.Fault.InjectedByKind())
+	}
 	if err := rep.Finish(); err != nil {
 		fail(err)
 	}
@@ -100,12 +134,15 @@ func load(path string) (*circuit.Circuit, error) {
 	return qasm.Parse(f)
 }
 
-func pick(backend string, ranks int, noise float64) (xacc.Accelerator, error) {
+func pick(backend string, ranks int, noise float64, res cluster.Options) (xacc.Accelerator, error) {
 	if noise > 0 {
 		return &xacc.DMAccelerator{Noise: density.DepolarizingModel(noise, 2*noise)}, nil
 	}
 	if backend == "nwq-cluster" {
-		return &xacc.ClusterAccelerator{Ranks: ranks}, nil
+		return &xacc.ClusterAccelerator{Ranks: ranks, Resilience: res}, nil
+	}
+	if res.Fault != nil {
+		return nil, fmt.Errorf("nwqsim: -fault-* flags need -backend nwq-cluster (got %q)", backend)
 	}
 	return xacc.GetAccelerator(backend)
 }

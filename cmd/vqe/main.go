@@ -7,13 +7,17 @@
 //	vqe -molecule h2 -qpe                 # quantum phase estimation
 //	vqe -molecule hubbard -sites 3 -u 4   # Hubbard chain
 //	vqe -molecule synthetic -orbitals 3 -electrons 2 -downfold 2
+//	vqe -molecule water -checkpoint w.ckpt -walltime 00:30  # budgeted run
+//	vqe -molecule water -checkpoint w.ckpt -resume          # continue it
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"repro/cmd/internal/runreport"
 	"repro/internal/ansatz"
@@ -24,6 +28,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/pauli"
 	"repro/internal/qpe"
+	"repro/internal/resilience"
 	"repro/internal/vqe"
 )
 
@@ -51,6 +56,10 @@ func main() {
 		hamFile   = flag.String("hamiltonian", "", "run VQE on an operator file (hardware-efficient ansatz) instead of a built-in molecule")
 		layers    = flag.Int("layers", 2, "operator-file mode: HEA entangling layers")
 		scan      = flag.String("scan", "", "H2 dissociation scan \"start:stop:step\" in Å (warm-started VQE)")
+		ckptPath  = flag.String("checkpoint", "", "write atomic CRC-verified optimizer snapshots to this file")
+		ckptEvery = flag.Int("checkpoint-every", 10, "iterations between checkpoint writes")
+		resume    = flag.Bool("resume", false, "load -checkpoint before starting and continue from it")
+		walltime  = flag.String("walltime", "", "walltime budget (SLURM forms \"30\", \"HH:MM:SS\", \"D-HH:MM\" or Go \"90s\"); halts gracefully with best-so-far")
 	)
 	obsFlags := runreport.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -59,6 +68,24 @@ func main() {
 	rep, err = runreport.Start("vqe", obsFlags)
 	if err != nil {
 		fail(err)
+	}
+
+	if *resume && *ckptPath == "" {
+		fail(fmt.Errorf("%w: -resume needs -checkpoint", core.ErrInvalidArgument))
+	}
+	ro := vqe.ResilienceOptions{CheckpointPath: *ckptPath, CheckpointEvery: *ckptEvery, Resume: *resume}
+	ctx := context.Background()
+	if *walltime != "" {
+		budget, err := resilience.ParseWalltime(*walltime)
+		if err != nil {
+			fail(err)
+		}
+		// Reserve a couple of seconds inside the budget for the final
+		// checkpoint write and the run report.
+		var cancel context.CancelFunc
+		ctx, cancel = resilience.WithWalltime(ctx, budget, 2*time.Second)
+		defer cancel()
+		fmt.Printf("walltime:   %s budget\n", budget)
 	}
 
 	if *hamFile != "" {
@@ -120,9 +147,9 @@ func main() {
 	case *runQPE:
 		doQPE(h, n, ne, *ancillas, fci.Energy)
 	case *adapt:
-		doAdapt(h, n, ne, fci.Energy, *workers)
+		doAdapt(ctx, h, n, ne, fci.Energy, *workers, ro)
 	default:
-		doVQE(h, enc, n, ne, *mode, *optimizer, *shots, *caching, *fusion, *workers, fci.Energy)
+		doVQE(ctx, h, enc, n, ne, *mode, *optimizer, *shots, *caching, *fusion, *workers, fci.Energy, ro)
 	}
 	finishReport()
 }
@@ -193,7 +220,7 @@ func encodingFor(name string, n int) (*fermion.Encoding, error) {
 	return nil, fmt.Errorf("%w: encoding %q", core.ErrInvalidArgument, name)
 }
 
-func doVQE(h *pauli.Op, enc *fermion.Encoding, n, ne int, mode, optimizer string, shots int, caching, fusion bool, workers int, fciE float64) {
+func doVQE(ctx context.Context, h *pauli.Op, enc *fermion.Encoding, n, ne int, mode, optimizer string, shots int, caching, fusion bool, workers int, fciE float64, ro vqe.ResilienceOptions) {
 	u, err := ansatz.NewUCCSDWithEncoding(n, ne, enc)
 	if err != nil {
 		fail(err)
@@ -220,14 +247,23 @@ func doVQE(h *pauli.Op, enc *fermion.Encoding, n, ne int, mode, optimizer string
 	var res vqe.Result
 	switch optimizer {
 	case "lbfgs":
-		res, err = drv.MinimizeLBFGS(x0, opt.LBFGSOptions{})
+		res, err = drv.MinimizeLBFGSContext(ctx, x0, opt.LBFGSOptions{}, ro)
 		if err != nil {
 			fail(err)
 		}
 	case "nelder-mead":
-		res = drv.Minimize(x0, opt.NelderMeadOptions{MaxIter: 5000})
+		res, err = drv.MinimizeContext(ctx, x0, opt.NelderMeadOptions{MaxIter: 5000}, ro)
+		if err != nil {
+			fail(err)
+		}
 	default:
 		fail(fmt.Errorf("unknown optimizer %q", optimizer))
+	}
+	if res.Interrupted {
+		fmt.Println("\nwalltime expired: reporting the best point reached before the cutoff")
+		if ro.CheckpointPath != "" {
+			fmt.Printf("state saved to %s — rerun with -resume to continue\n", ro.CheckpointPath)
+		}
 	}
 	fmt.Printf("\nVQE result (mode=%s, optimizer=%s):\n", mode, optimizer)
 	fmt.Printf("  E(VQE)    = %+.8f Ha\n", res.Energy)
@@ -240,18 +276,18 @@ func doVQE(h *pauli.Op, enc *fermion.Encoding, n, ne int, mode, optimizer string
 	}
 }
 
-func doAdapt(h *pauli.Op, n, ne int, fciE float64, workers int) {
+func doAdapt(ctx context.Context, h *pauli.Op, n, ne int, fciE float64, workers int, ro vqe.ResilienceOptions) {
 	pool, err := ansatz.NewPool(n, ne)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("ansatz:     Adapt-VQE, pool of %d operators\n", pool.Size())
-	res, err := vqe.Adapt(h, pool, n, ne, vqe.AdaptOptions{
+	res, err := vqe.AdaptContext(ctx, h, pool, n, ne, vqe.AdaptOptions{
 		MaxIterations: 25,
 		Reference:     fciE,
 		EnergyTol:     core.ChemicalAccuracy,
 		Workers:       workers,
-	})
+	}, ro)
 	if err != nil {
 		fail(err)
 	}
@@ -259,9 +295,15 @@ func doAdapt(h *pauli.Op, n, ne int, fciE float64, workers int) {
 	for _, it := range res.History {
 		fmt.Printf("%4d  %-18s %+.8f  %8.3f\n", it.Iteration, it.Operator, it.Energy, 1000*it.ErrorVsRef)
 	}
-	if res.Converged {
+	switch {
+	case res.Interrupted:
+		fmt.Println("walltime expired: ansatz growth stopped at the last completed iteration")
+		if ro.CheckpointPath != "" {
+			fmt.Printf("state saved to %s — rerun with -resume to continue\n", ro.CheckpointPath)
+		}
+	case res.Converged:
 		fmt.Printf("converged to chemical accuracy in %d iterations\n", len(res.History))
-	} else {
+	default:
 		fmt.Println("did not reach chemical accuracy within the iteration budget")
 	}
 }

@@ -5,6 +5,7 @@ package vqesim
 // end-to-end physics rather than per-module contracts.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -115,7 +116,7 @@ func TestIntegrationFusedCircuitOnClusterMatchesDirect(t *testing.T) {
 	want := pauli.Expectation(s, h, pauli.ExpectationOptions{})
 
 	acc := &xacc.ClusterAccelerator{Ranks: 4}
-	got, err := acc.Expectation(c, h)
+	got, err := acc.Expectation(context.Background(), c, h)
 	if err != nil {
 		t.Fatal(err)
 	}

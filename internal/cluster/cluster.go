@@ -9,6 +9,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gate"
 	"repro/internal/linalg"
+	"repro/internal/resilience"
 	"repro/internal/state"
 	"repro/internal/telemetry"
 )
@@ -53,12 +55,26 @@ type Cluster struct {
 	pool    *state.Pool // persistent per-cluster rank pool (one goroutine per simulated rank)
 	stats   CommStats
 	statsMu sync.Mutex
+
+	opts Options
+	// recv / send are per-rank exchange buffers, allocated only when
+	// verified communication is on: a transfer lands in recv before it is
+	// checksum-validated and applied, so a failed attempt can be retried
+	// from the intact source.
+	recv [][]complex128
+	send [][]complex128
 }
 
 // New creates an n-qubit cluster state |0…0⟩ over numRanks ranks
 // (numRanks must be a power of two, ≤ 2ⁿ⁻²  so that at least two local
 // qubits exist for two-qubit gate remapping).
 func New(n, numRanks int) (*Cluster, error) {
+	return NewWithOptions(n, numRanks, Options{})
+}
+
+// NewWithOptions creates a cluster with an explicit resilience
+// configuration (fault injection, verified transfers, watchdog).
+func NewWithOptions(n, numRanks int, opts Options) (*Cluster, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("%w: need ≥2 qubits", core.ErrInvalidArgument)
 	}
@@ -70,7 +86,7 @@ func New(n, numRanks int) (*Cluster, error) {
 		return nil, fmt.Errorf("%w: %d ranks leave <2 local qubits of %d", core.ErrInvalidArgument, numRanks, n)
 	}
 	localDim := 1 << uint(n-rankLog)
-	c := &Cluster{n: n, rankLog: rankLog, localN: n - rankLog, workers: numRanks}
+	c := &Cluster{n: n, rankLog: rankLog, localN: n - rankLog, workers: numRanks, opts: opts}
 	c.blocks = make([][]complex128, numRanks)
 	for r := range c.blocks {
 		c.blocks[r] = make([]complex128, localDim)
@@ -81,6 +97,14 @@ func New(n, numRanks int) (*Cluster, error) {
 		// reused by every gate instead of spawning per gate application.
 		c.pool = state.NewPool(numRanks)
 	}
+	if c.verifiedComm() {
+		c.recv = make([][]complex128, numRanks)
+		c.send = make([][]complex128, numRanks)
+		for r := range c.recv {
+			c.recv[r] = make([]complex128, localDim)
+			c.send[r] = make([]complex128, localDim)
+		}
+	}
 	return c, nil
 }
 
@@ -90,8 +114,14 @@ func (c *Cluster) NumQubits() int { return c.n }
 // NumRanks returns the rank count.
 func (c *Cluster) NumRanks() int { return len(c.blocks) }
 
-// Stats returns the communication counters.
-func (c *Cluster) Stats() CommStats { return c.stats }
+// Stats returns a consistent copy of the communication counters. The
+// lock matters: addComm runs on the rank pool's worker goroutines, so an
+// unguarded read here would race with in-flight global gates.
+func (c *Cluster) Stats() CommStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
 
 // isLocal reports whether qubit q lives inside each rank's block.
 func (c *Cluster) isLocal(q int) bool { return q < c.localN }
@@ -142,6 +172,38 @@ func (c *Cluster) addComm(messages int, bytes uint64) {
 	mCommBytes.Add(int64(bytes))
 }
 
+// Gate-census bumps, all under statsMu so Stats() can read concurrently
+// with gate application.
+func (c *Cluster) noteLocalGate() {
+	c.statsMu.Lock()
+	c.stats.LocalGates++
+	c.statsMu.Unlock()
+	mLocalGates.Inc()
+}
+
+func (c *Cluster) noteGlobalGate() {
+	c.statsMu.Lock()
+	c.stats.GlobalGates++
+	c.statsMu.Unlock()
+	mGlobalGates.Inc()
+}
+
+func (c *Cluster) noteSwap() {
+	c.statsMu.Lock()
+	c.stats.QubitSwaps++
+	c.statsMu.Unlock()
+	mQubitSwaps.Inc()
+}
+
+// reclassifyLocalAsGlobal undoes one local-gate count for a two-qubit
+// gate that needed remapping (it was already counted as global).
+func (c *Cluster) reclassifyLocalAsGlobal() {
+	c.statsMu.Lock()
+	c.stats.LocalGates--
+	c.statsMu.Unlock()
+	mLocalGates.Add(-1)
+}
+
 // apply1QLocal applies a 2×2 matrix to a local qubit: embarrassingly
 // parallel across ranks.
 func (c *Cluster) apply1QLocal(u *linalg.Matrix, q int) {
@@ -157,52 +219,124 @@ func (c *Cluster) apply1QLocal(u *linalg.Matrix, q int) {
 			blk[i1] = u10*a0 + u11*a1
 		}
 	})
-	c.stats.LocalGates++
-	mLocalGates.Inc()
+	c.noteLocalGate()
 }
 
 // apply1QGlobal applies a 2×2 matrix to a global qubit: every rank pair
-// exchanges its full block (the SV-Sim all-pairs pattern).
-func (c *Cluster) apply1QGlobal(u *linalg.Matrix, q int) {
+// exchanges its full block (the SV-Sim all-pairs pattern). Under
+// verified communication each side receives its partner's block into a
+// staging buffer via transfer(), so a faulted exchange retries from the
+// still-intact source block.
+func (c *Cluster) apply1QGlobal(ctx context.Context, u *linalg.Matrix, q int) error {
 	u00, u01, u10, u11 := u.At(0, 0), u.At(0, 1), u.At(1, 0), u.At(1, 1)
 	gbit := q - c.localN
 	blockBytes := uint64(len(c.blocks[0])) * state.BytesPerAmp
+	verified := c.verifiedComm()
+	var errMu sync.Mutex
+	var firstErr error
 	c.eachRankPair(gbit, func(r0, r1 int) {
 		b0, b1 := c.blocks[r0], c.blocks[r1]
-		// "Receive" the partner block (simulated transfer), then update.
-		for i := range b0 {
-			a0, a1 := b0[i], b1[i]
-			b0[i] = u00*a0 + u01*a1
-			b1[i] = u10*a0 + u11*a1
+		if verified {
+			if err := c.transfer(ctx, c.recv[r0], b1); err == nil {
+				err = c.transfer(ctx, c.recv[r1], b0)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			} else {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			r0recv, r1recv := c.recv[r0], c.recv[r1]
+			for i := range b0 {
+				b0[i] = u00*b0[i] + u01*r0recv[i]
+				b1[i] = u10*r1recv[i] + u11*b1[i]
+			}
+		} else {
+			// "Receive" the partner block (simulated transfer), then update.
+			for i := range b0 {
+				a0, a1 := b0[i], b1[i]
+				b0[i] = u00*a0 + u01*a1
+				b1[i] = u10*a0 + u11*a1
+			}
 		}
 		c.addComm(2, 2*blockBytes)
 	})
-	c.stats.GlobalGates++
-	mGlobalGates.Inc()
+	if firstErr != nil {
+		return firstErr
+	}
+	c.noteGlobalGate()
+	return nil
 }
 
 // swapLocalGlobal exchanges qubit roles: local qubit l ↔ global qubit g.
 // Amplitudes where the two bits differ migrate between rank pairs; this is
 // the qubit-remapping communication primitive used before two-qubit gates
 // touching global qubits.
-func (c *Cluster) swapLocalGlobal(l, g int) {
+func (c *Cluster) swapLocalGlobal(ctx context.Context, l, g int) error {
 	gbit := g - c.localN
 	half := uint64(len(c.blocks[0]) / 2)
 	halfBytes := half * state.BytesPerAmp
+	verified := c.verifiedComm()
+	var errMu sync.Mutex
+	var firstErr error
 	c.eachRankPair(gbit, func(r0, r1 int) {
 		b0, b1 := c.blocks[r0], c.blocks[r1]
-		// Rank r0 holds G=0; its L=1 entries swap with r1's L=0 entries.
-		for rest := uint64(0); rest < half; rest++ {
-			i1 := core.InsertZeroBit(rest, l) | 1<<uint(l) // L=1 in r0
-			i0 := core.InsertZeroBit(rest, l)              // L=0 in r1
-			b0[i1], b1[i0] = b1[i0], b0[i1]
+		if verified {
+			// Gather the migrating halves into send buffers, exchange them
+			// cross-wise through verified transfers, then scatter back —
+			// the gather copy is what lets a faulted transfer retry.
+			s0, s1 := c.send[r0][:half], c.send[r1][:half]
+			for rest := uint64(0); rest < half; rest++ {
+				s0[rest] = b0[core.InsertZeroBit(rest, l)|1<<uint(l)] // L=1 in r0
+				s1[rest] = b1[core.InsertZeroBit(rest, l)]           // L=0 in r1
+			}
+			if err := c.transfer(ctx, c.recv[r1][:half], s0); err == nil {
+				err = c.transfer(ctx, c.recv[r0][:half], s1)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			} else {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			d0, d1 := c.recv[r0][:half], c.recv[r1][:half]
+			for rest := uint64(0); rest < half; rest++ {
+				b0[core.InsertZeroBit(rest, l)|1<<uint(l)] = d0[rest]
+				b1[core.InsertZeroBit(rest, l)] = d1[rest]
+			}
+		} else {
+			// Rank r0 holds G=0; its L=1 entries swap with r1's L=0 entries.
+			for rest := uint64(0); rest < half; rest++ {
+				i1 := core.InsertZeroBit(rest, l) | 1<<uint(l) // L=1 in r0
+				i0 := core.InsertZeroBit(rest, l)              // L=0 in r1
+				b0[i1], b1[i0] = b1[i0], b0[i1]
+			}
 		}
 		c.addComm(2, 2*halfBytes)
 	})
-	c.statsMu.Lock()
-	c.stats.QubitSwaps++
-	c.statsMu.Unlock()
-	mQubitSwaps.Inc()
+	if firstErr != nil {
+		return firstErr
+	}
+	c.noteSwap()
+	return nil
 }
 
 // apply2QLocal applies a 4×4 matrix to two local qubits (a = high bit).
@@ -229,8 +363,7 @@ func (c *Cluster) apply2QLocal(u *linalg.Matrix, a, b int) {
 			blk[i3] = m[3][0]*v0 + m[3][1]*v1 + m[3][2]*v2 + m[3][3]*v3
 		}
 	})
-	c.stats.LocalGates++
-	mLocalGates.Inc()
+	c.noteLocalGate()
 }
 
 // freeLocalQubits returns local qubits not in `used`, lowest first.
@@ -251,10 +384,25 @@ func (c *Cluster) freeLocalQubits(used ...int) []int {
 // ApplyGate dispatches one gate, remapping global qubits to local slots as
 // needed. Non-unitary markers are rejected (the cluster backend serves
 // expectation-value workloads; use the single-node engine for mid-circuit
-// measurement).
+// measurement). A communication failure that survives the retry policy is
+// unrecoverable at this level and panics; use ApplyGateContext to handle
+// it as an error.
 func (c *Cluster) ApplyGate(g gate.Gate) {
+	if err := c.applyGate(context.Background(), g); err != nil {
+		panic(fmt.Errorf("cluster: unrecoverable communication failure: %w", err))
+	}
+}
+
+// ApplyGateContext applies one gate under a context: cancellation aborts
+// in-flight retries, and exhausted transfers surface as errors instead
+// of panics.
+func (c *Cluster) ApplyGateContext(ctx context.Context, g gate.Gate) error {
+	return c.applyGate(ctx, g)
+}
+
+func (c *Cluster) applyGate(ctx context.Context, g gate.Gate) error {
 	if g.Kind == gate.Barrier || g.Kind == gate.I {
-		return
+		return nil
 	}
 	if !g.IsUnitary() {
 		panic(fmt.Errorf("%w: cluster backend cannot apply %v", core.ErrInvalidArgument, g.Kind))
@@ -268,9 +416,9 @@ func (c *Cluster) ApplyGate(g gate.Gate) {
 		u := g.Matrix2()
 		if c.isLocal(q) {
 			c.apply1QLocal(u, q)
-		} else {
-			c.apply1QGlobal(u, q)
+			return nil
 		}
+		return c.apply1QGlobal(ctx, u, q)
 	case 2:
 		a, b := g.Qubits[0], g.Qubits[1]
 		if a < 0 || a >= c.n || b < 0 || b >= c.n {
@@ -283,28 +431,33 @@ func (c *Cluster) ApplyGate(g gate.Gate) {
 			free := c.freeLocalQubits(a, b)
 			fi := 0
 			if !c.isLocal(a) {
-				c.swapLocalGlobal(free[fi], a)
+				if err := c.swapLocalGlobal(ctx, free[fi], a); err != nil {
+					return err
+				}
 				swaps = append(swaps, [2]int{free[fi], a})
 				a = free[fi]
 				fi++
 			}
 			if !c.isLocal(b) {
-				c.swapLocalGlobal(free[fi], b)
+				if err := c.swapLocalGlobal(ctx, free[fi], b); err != nil {
+					return err
+				}
 				swaps = append(swaps, [2]int{free[fi], b})
 				b = free[fi]
 				fi++
 			}
-			c.stats.GlobalGates++
-			mGlobalGates.Inc()
+			c.noteGlobalGate()
 		}
 		c.apply2QLocal(u, a, b)
 		if len(swaps) > 0 {
-			c.stats.LocalGates-- // counted as a global gate above
-			mLocalGates.Add(-1)
+			c.reclassifyLocalAsGlobal() // counted as a global gate above
 		}
 		for i := len(swaps) - 1; i >= 0; i-- {
-			c.swapLocalGlobal(swaps[i][0], swaps[i][1])
+			if err := c.swapLocalGlobal(ctx, swaps[i][0], swaps[i][1]); err != nil {
+				return err
+			}
 		}
+		return nil
 	default:
 		panic(fmt.Sprintf("cluster: arity %d", g.Arity()))
 	}
@@ -312,12 +465,69 @@ func (c *Cluster) ApplyGate(g gate.Gate) {
 
 // Run applies a circuit.
 func (c *Cluster) Run(circ *circuit.Circuit) {
+	if err := c.RunContext(context.Background(), circ); err != nil {
+		panic(fmt.Errorf("cluster: run: %w", err))
+	}
+}
+
+// maxWatchdogReplays bounds rollback-and-replay attempts per watchdog
+// interval before the drift is reported as a hard error.
+const maxWatchdogReplays = 8
+
+// RunContext applies a circuit under a context. When the norm-drift
+// watchdog is enabled (Options.NormCheckEvery > 0) the run periodically
+// checks the invariant ‖ψ‖ = 1 that unitary circuits preserve; drift
+// beyond NormTol means a silent corruption slipped past the transfer
+// checksums, and the run rolls back to the last consistent snapshot and
+// replays the gates since. Replays are bounded, so a persistently
+// faulting exchange eventually surfaces as an error.
+func (c *Cluster) RunContext(ctx context.Context, circ *circuit.Circuit) error {
 	if circ.NumQubits > c.n {
-		panic(core.ErrDimensionMismatch)
+		return fmt.Errorf("cluster: circuit needs %d qubits, register has %d: %w", circ.NumQubits, c.n, core.ErrDimensionMismatch)
 	}
-	for _, g := range circ.Gates {
-		c.ApplyGate(g)
+	if !c.watchdogOn() {
+		for _, g := range circ.Gates {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := c.applyGate(ctx, g); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
+	every := c.opts.NormCheckEvery
+	tol := c.normTol()
+	snap := c.snapshot(nil)
+	snapIdx := 0
+	replays := 0
+	for i := 0; i < len(circ.Gates); {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := c.applyGate(ctx, circ.Gates[i]); err != nil {
+			return err
+		}
+		i++
+		if i%every != 0 && i != len(circ.Gates) {
+			continue
+		}
+		if math.Abs(c.Norm()-1) > tol {
+			replays++
+			if replays > maxWatchdogReplays {
+				return fmt.Errorf("cluster: norm drift persists after %d replays: %w", maxWatchdogReplays, resilience.ErrCorrupted)
+			}
+			mRollbacks.Inc()
+			mReplayedGates.Add(int64(i - snapIdx))
+			c.restore(snap)
+			i = snapIdx
+			continue
+		}
+		snap = c.snapshot(snap)
+		snapIdx = i
+		replays = 0
+	}
+	return nil
 }
 
 // Gather copies the distributed amplitudes into one contiguous vector

@@ -5,6 +5,7 @@
 package opt
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -24,6 +25,9 @@ type Result struct {
 	Iterations  int
 	Evaluations int
 	Converged   bool
+	// Interrupted is set when an Observer halted the loop early (deadline
+	// cancellation, crash drill); X/F then carry the best point so far.
+	Interrupted bool
 }
 
 // FiniteDifference returns a central-difference gradient of f with step h
@@ -50,6 +54,39 @@ type NelderMeadOptions struct {
 	MaxIter  int     // default 200·dim
 	FTol     float64 // spread tolerance, default 1e-10
 	InitStep float64 // initial simplex displacement, default 0.1
+	// Resume continues from a captured state instead of building the
+	// initial simplex around x0 (x0 must still have the right length).
+	// Iteration and evaluation counters carry over, so MaxIter bounds
+	// the *total* across the original run and every resume.
+	Resume *NelderMeadState
+	// Observer is called at the top of every iteration with a deep copy
+	// of the current state (simplex sorted best-first). A non-nil return
+	// halts the loop: the result carries the best vertex so far with
+	// Interrupted set. Used for checkpointing and cooperative
+	// cancellation.
+	Observer func(*NelderMeadState) error
+}
+
+// vertex is one simplex corner: a point and its objective value.
+type vertex struct {
+	x []float64
+	f float64
+}
+
+// captureNelderMead deep-copies the live simplex into an observer/
+// checkpoint snapshot.
+func captureNelderMead(simplex []vertex, iter, evals int) *NelderMeadState {
+	st := &NelderMeadState{
+		Simplex: make([][]float64, len(simplex)),
+		Values:  make([]float64, len(simplex)),
+		Iter:    iter,
+		Evals:   evals,
+	}
+	for i, v := range simplex {
+		st.Simplex[i] = copyVec(v.x)
+		st.Values[i] = v.f
+	}
+	return st
 }
 
 // NelderMead minimizes f from x0 with the adaptive simplex method.
@@ -73,28 +110,41 @@ func NelderMead(f Objective, x0 []float64, o NelderMeadOptions) Result {
 	gamma := 0.75 - 1.0/(2*float64(dim))
 	delta := 1.0 - 1.0/float64(dim)
 
-	type vertex struct {
-		x []float64
-		f float64
-	}
 	evals := 0
 	eval := func(x []float64) float64 {
 		evals++
 		return f(x)
 	}
 	simplex := make([]vertex, dim+1)
-	simplex[0] = vertex{x: append([]float64(nil), x0...), f: eval(x0)}
-	for i := 1; i <= dim; i++ {
-		x := append([]float64(nil), x0...)
-		x[i-1] += o.InitStep
-		simplex[i] = vertex{x: x, f: eval(x)}
+	iter := 0
+	if o.Resume != nil {
+		if len(o.Resume.Simplex) != dim+1 || len(o.Resume.Values) != dim+1 {
+			panic(fmt.Errorf("%w: resume state has %d vertices for dimension %d",
+				core.ErrInvalidArgument, len(o.Resume.Simplex), dim))
+		}
+		for i := range simplex {
+			simplex[i] = vertex{x: copyVec(o.Resume.Simplex[i]), f: o.Resume.Values[i]}
+		}
+		iter = o.Resume.Iter
+		evals = o.Resume.Evals
+	} else {
+		simplex[0] = vertex{x: append([]float64(nil), x0...), f: eval(x0)}
+		for i := 1; i <= dim; i++ {
+			x := append([]float64(nil), x0...)
+			x[i-1] += o.InitStep
+			simplex[i] = vertex{x: x, f: eval(x)}
+		}
 	}
 
 	centroid := make([]float64, dim)
 	trial := make([]float64, dim)
-	iter := 0
 	for ; iter < o.MaxIter; iter++ {
 		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		if o.Observer != nil {
+			if err := o.Observer(captureNelderMead(simplex, iter, evals)); err != nil {
+				return Result{X: simplex[0].x, F: simplex[0].f, Iterations: iter, Evaluations: evals, Interrupted: true}
+			}
+		}
 		if math.Abs(simplex[dim].f-simplex[0].f) < o.FTol*(1+math.Abs(simplex[0].f)) {
 			return Result{X: simplex[0].x, F: simplex[0].f, Iterations: iter, Evaluations: evals, Converged: true}
 		}
@@ -302,6 +352,16 @@ type LBFGSOptions struct {
 	Memory  int     // history pairs, default 8
 	GradTol float64 // ∞-norm stop, default 1e-8
 	FTol    float64 // relative decrease stop, default 1e-12
+	// Resume continues from a captured state: the initial objective and
+	// gradient evaluations are skipped (the state carries them), and the
+	// curvature-pair history is restored so the Hessian model — and
+	// therefore the step sequence — matches the uninterrupted run
+	// exactly. MaxIter bounds the total iteration count across resumes.
+	Resume *LBFGSState
+	// Observer is called at the top of every iteration with a deep copy
+	// of the current state. A non-nil return halts the loop with the
+	// best iterate so far and Interrupted set.
+	Observer func(*LBFGSState) error
 }
 
 // LBFGS minimizes f with the two-loop-recursion L-BFGS method and a
@@ -327,18 +387,40 @@ func LBFGS(f Objective, grad Gradient, x0 []float64, o LBFGSOptions) Result {
 	x := append([]float64(nil), x0...)
 	g := make([]float64, dim)
 	evals := 0
-	fx := f(x)
-	evals++
-	grad(x, g)
-
+	var fx float64
 	var sHist, yHist [][]float64
 	var rhoHist []float64
+	iter := 0
+	if o.Resume != nil {
+		if len(o.Resume.X) != dim || len(o.Resume.G) != dim {
+			panic(fmt.Errorf("%w: resume state dimension %d, want %d",
+				core.ErrInvalidArgument, len(o.Resume.X), dim))
+		}
+		copy(x, o.Resume.X)
+		copy(g, o.Resume.G)
+		fx = o.Resume.F
+		sHist = copyMat(o.Resume.SHist)
+		yHist = copyMat(o.Resume.YHist)
+		rhoHist = copyVec(o.Resume.RhoHist)
+		iter = o.Resume.Iter
+		evals = o.Resume.Evals
+	} else {
+		fx = f(x)
+		evals++
+		grad(x, g)
+	}
+
 	dir := make([]float64, dim)
 	xNew := make([]float64, dim)
 	gNew := make([]float64, dim)
 
-	iter := 0
 	for ; iter < o.MaxIter; iter++ {
+		if o.Observer != nil {
+			st := &LBFGSState{X: x, G: g, F: fx, SHist: sHist, YHist: yHist, RhoHist: rhoHist, Iter: iter, Evals: evals}
+			if err := o.Observer(st.clone()); err != nil {
+				return Result{X: x, F: fx, Iterations: iter, Evaluations: evals, Interrupted: true}
+			}
+		}
 		gInf := 0.0
 		for _, gi := range g {
 			gInf = math.Max(gInf, math.Abs(gi))

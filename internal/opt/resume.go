@@ -1,0 +1,76 @@
+package opt
+
+// Optimizer state capture for checkpoint/restart (the resilience layer's
+// contract): a state struct holds *everything* the iteration loop reads,
+// so restoring it and re-entering the loop reproduces the uninterrupted
+// trajectory bit-for-bit. The structs are plain JSON-marshalable data —
+// persistence (CRC, atomic rename) lives in internal/resilience, and the
+// VQE driver decides what file they go to.
+
+// NelderMeadState is the complete Nelder–Mead iteration state: the
+// simplex vertices with their objective values (sorted best-first, as
+// the loop maintains them), plus the iteration and evaluation counters.
+type NelderMeadState struct {
+	Simplex [][]float64 `json:"simplex"`
+	Values  []float64   `json:"values"`
+	Iter    int         `json:"iter"`
+	Evals   int         `json:"evals"`
+}
+
+// Best returns the current best vertex and value (the simplex is kept
+// sorted, so index 0).
+func (s *NelderMeadState) Best() ([]float64, float64) {
+	if len(s.Simplex) == 0 {
+		return nil, 0
+	}
+	return s.Simplex[0], s.Values[0]
+}
+
+// LBFGSState is the complete L-BFGS iteration state: current point,
+// gradient and value, the curvature-pair history that defines the
+// Hessian model, and the counters.
+type LBFGSState struct {
+	X       []float64   `json:"x"`
+	G       []float64   `json:"g"`
+	F       float64     `json:"f"`
+	SHist   [][]float64 `json:"s_hist,omitempty"`
+	YHist   [][]float64 `json:"y_hist,omitempty"`
+	RhoHist []float64   `json:"rho_hist,omitempty"`
+	Iter    int         `json:"iter"`
+	Evals   int         `json:"evals"`
+}
+
+// Best returns the current iterate and value.
+func (s *LBFGSState) Best() ([]float64, float64) { return s.X, s.F }
+
+// clone deep-copies the state.
+func (s *LBFGSState) clone() *LBFGSState {
+	return &LBFGSState{
+		X:       copyVec(s.X),
+		G:       copyVec(s.G),
+		F:       s.F,
+		SHist:   copyMat(s.SHist),
+		YHist:   copyMat(s.YHist),
+		RhoHist: copyVec(s.RhoHist),
+		Iter:    s.Iter,
+		Evals:   s.Evals,
+	}
+}
+
+func copyVec(v []float64) []float64 {
+	if v == nil {
+		return nil
+	}
+	return append([]float64(nil), v...)
+}
+
+func copyMat(m [][]float64) [][]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = copyVec(row)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package opt
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+)
+
+// rosenbrockGrad is the analytic gradient of opt_test.go's rosenbrock —
+// ill-conditioned enough that mid-run interruption is meaningful.
+func rosenbrockGrad(x, g []float64) {
+	for i := range g {
+		g[i] = 0
+	}
+	for i := 0; i+1 < len(x); i++ {
+		a := x[i+1] - x[i]*x[i]
+		g[i] += -400*x[i]*a - 2*(1-x[i])
+		g[i+1] += 200 * a
+	}
+}
+
+var errHalt = errors.New("halt")
+
+// jsonRoundTrip simulates persistence: the resumed state has been
+// through the same marshal/unmarshal the checkpoint file imposes.
+func jsonRoundTrip[T any](t *testing.T, in *T) *T {
+	t.Helper()
+	buf, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := new(T)
+	if err := json.Unmarshal(buf, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestNelderMeadResumeBitExact(t *testing.T) {
+	x0 := []float64{-1.2, 1.0, 0.5}
+	full := NelderMead(rosenbrock, x0, NelderMeadOptions{MaxIter: 400})
+
+	for _, killAt := range []int{1, 7, 40, 150} {
+		var saved *NelderMeadState
+		partial := NelderMead(rosenbrock, x0, NelderMeadOptions{
+			MaxIter: 400,
+			Observer: func(st *NelderMeadState) error {
+				if st.Iter >= killAt {
+					saved = st
+					return errHalt
+				}
+				return nil
+			},
+		})
+		if !partial.Interrupted || saved == nil {
+			t.Fatalf("killAt=%d: not interrupted", killAt)
+		}
+		resumed := NelderMead(rosenbrock, x0, NelderMeadOptions{
+			MaxIter: 400,
+			Resume:  jsonRoundTrip(t, saved),
+		})
+		if math.Float64bits(resumed.F) != math.Float64bits(full.F) {
+			t.Errorf("killAt=%d: resumed F %v != full F %v", killAt, resumed.F, full.F)
+		}
+		for i := range full.X {
+			if math.Float64bits(resumed.X[i]) != math.Float64bits(full.X[i]) {
+				t.Errorf("killAt=%d: x[%d] %v != %v", killAt, i, resumed.X[i], full.X[i])
+			}
+		}
+		if resumed.Evaluations != full.Evaluations {
+			t.Errorf("killAt=%d: evals %d != %d", killAt, resumed.Evaluations, full.Evaluations)
+		}
+		if resumed.Converged != full.Converged {
+			t.Errorf("killAt=%d: converged %v != %v", killAt, resumed.Converged, full.Converged)
+		}
+	}
+}
+
+func TestLBFGSResumeBitExact(t *testing.T) {
+	x0 := []float64{-1.2, 1.0, 0.8, -0.3}
+	o := LBFGSOptions{MaxIter: 150}
+	full := LBFGS(rosenbrock, rosenbrockGrad, x0, o)
+	if !full.Converged {
+		t.Fatal("reference run did not converge")
+	}
+
+	// Kill points spread over the actual trajectory, including the
+	// second-to-last iteration.
+	killPoints := []int{1, 3, full.Iterations / 2, full.Iterations - 1}
+	for _, killAt := range killPoints {
+		if killAt < 1 || killAt >= full.Iterations {
+			continue
+		}
+		var saved *LBFGSState
+		partial := LBFGS(rosenbrock, rosenbrockGrad, x0, LBFGSOptions{
+			MaxIter: 150,
+			Observer: func(st *LBFGSState) error {
+				if st.Iter >= killAt {
+					saved = st
+					return errHalt
+				}
+				return nil
+			},
+		})
+		if !partial.Interrupted || saved == nil {
+			t.Fatalf("killAt=%d: not interrupted", killAt)
+		}
+		resumed := LBFGS(rosenbrock, rosenbrockGrad, x0, LBFGSOptions{
+			MaxIter: 150,
+			Resume:  jsonRoundTrip(t, saved),
+		})
+		if math.Float64bits(resumed.F) != math.Float64bits(full.F) {
+			t.Errorf("killAt=%d: resumed F %v != full F %v", killAt, resumed.F, full.F)
+		}
+		for i := range full.X {
+			if math.Float64bits(resumed.X[i]) != math.Float64bits(full.X[i]) {
+				t.Errorf("killAt=%d: x[%d] %v != %v", killAt, i, resumed.X[i], full.X[i])
+			}
+		}
+		if resumed.Evaluations != full.Evaluations || resumed.Iterations != full.Iterations {
+			t.Errorf("killAt=%d: evals/iters %d/%d != %d/%d", killAt,
+				resumed.Evaluations, resumed.Iterations, full.Evaluations, full.Iterations)
+		}
+	}
+}
+
+func TestObserverSeesMonotoneIterations(t *testing.T) {
+	last := -1
+	NelderMead(rosenbrock, []float64{0, 0}, NelderMeadOptions{
+		MaxIter: 50,
+		Observer: func(st *NelderMeadState) error {
+			if st.Iter != last+1 {
+				t.Fatalf("iteration jumped %d → %d", last, st.Iter)
+			}
+			last = st.Iter
+			return nil
+		},
+	})
+	if last < 1 {
+		t.Fatal("observer never called")
+	}
+}
+
+func TestObserverStateIsACopy(t *testing.T) {
+	var grabbed *LBFGSState
+	LBFGS(rosenbrock, rosenbrockGrad, []float64{-1, 1}, LBFGSOptions{
+		MaxIter: 5,
+		Observer: func(st *LBFGSState) error {
+			if grabbed == nil {
+				grabbed = st
+				return nil
+			}
+			// Mutating an old snapshot must not perturb the optimizer.
+			grabbed.X[0] = 1e9
+			grabbed.F = 1e9
+			return nil
+		},
+	})
+	clean := LBFGS(rosenbrock, rosenbrockGrad, []float64{-1, 1}, LBFGSOptions{MaxIter: 5})
+	dirty := LBFGS(rosenbrock, rosenbrockGrad, []float64{-1, 1}, LBFGSOptions{
+		MaxIter: 5,
+		Observer: func(st *LBFGSState) error {
+			st.X[0] = 1e9 // scribble on the snapshot
+			return nil
+		},
+	})
+	if math.Float64bits(clean.F) != math.Float64bits(dirty.F) {
+		t.Error("observer mutation leaked into the optimizer")
+	}
+}
+
+func TestResumeDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched resume state accepted")
+		}
+	}()
+	NelderMead(rosenbrock, []float64{0, 0}, NelderMeadOptions{
+		Resume: &NelderMeadState{Simplex: [][]float64{{1}}, Values: []float64{0}},
+	})
+}

@@ -1,0 +1,147 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/telemetry"
+)
+
+// checkpointVersion is bumped on incompatible envelope changes; Load
+// rejects files from other versions rather than misinterpreting them.
+const checkpointVersion = 1
+
+// castagnoli is the CRC-32C table (the polynomial HPC interconnects and
+// filesystems use for payload integrity).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// envelope is the on-disk checkpoint format: a small JSON header around
+// an opaque payload. CRC32 covers the raw payload bytes, so any
+// single-bit corruption of the state is detected at load time; the
+// header fields are cheap enough to validate structurally.
+type envelope struct {
+	Version   int             `json:"version"`
+	Kind      string          `json:"kind"`
+	Iteration int             `json:"iteration"`
+	CRC32     uint32          `json:"crc32c"`
+	Payload   json.RawMessage `json:"payload"`
+}
+
+// SaveCheckpoint atomically persists payload (any JSON-marshalable
+// value) under the given kind tag and iteration counter. The write is
+// crash-safe: the envelope goes to a temp file in the target directory,
+// is fsynced, and then renamed over path — a reader never observes a
+// torn file, and a crash mid-write leaves the previous checkpoint
+// intact. float64 fields round-trip exactly through encoding/json
+// (shortest-representation formatting), which the bit-exact resume
+// guarantees in internal/opt rely on.
+func SaveCheckpoint(path, kind string, iteration int, payload any) error {
+	defer mCheckpointTime.Since(telemetry.Now())
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("resilience: marshal checkpoint payload: %w", err)
+	}
+	env := envelope{
+		Version:   checkpointVersion,
+		Kind:      kind,
+		Iteration: iteration,
+		CRC32:     crc32.Checksum(raw, castagnoli),
+		Payload:   raw,
+	}
+	// Compact marshal: indentation would rewrite the embedded payload
+	// bytes and break the CRC the loader recomputes over them verbatim.
+	buf, err := json.Marshal(&env)
+	if err != nil {
+		return fmt.Errorf("resilience: marshal checkpoint envelope: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("resilience: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Any failure past this point must not leave the temp file behind.
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		return cleanup(fmt.Errorf("resilience: write checkpoint: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("resilience: sync checkpoint: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(fmt.Errorf("resilience: close checkpoint: %w", err))
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("resilience: commit checkpoint: %w", err)
+	}
+	mCheckpointWrites.Inc()
+	mCheckpointBytes.Add(int64(len(buf)))
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint,
+// verifying version and payload CRC before unmarshaling into payload.
+// It returns the stored kind tag and iteration counter. All failure
+// modes wrap ErrCheckpointInvalid so callers can distinguish "no usable
+// checkpoint" from I/O errors like a missing file (reported as-is, so
+// os.IsNotExist keeps working).
+func LoadCheckpoint(path string, payload any) (kind string, iteration int, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return "", 0, err
+	}
+	var env envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return "", 0, fmt.Errorf("%w: %s: %v", ErrCheckpointInvalid, path, err)
+	}
+	if env.Version != checkpointVersion {
+		return "", 0, fmt.Errorf("%w: %s: version %d (want %d)", ErrCheckpointInvalid, path, env.Version, checkpointVersion)
+	}
+	if got := crc32.Checksum(env.Payload, castagnoli); got != env.CRC32 {
+		return "", 0, fmt.Errorf("%w: %s: crc32c %08x != stored %08x", ErrCheckpointInvalid, path, got, env.CRC32)
+	}
+	if err := json.Unmarshal(env.Payload, payload); err != nil {
+		return "", 0, fmt.Errorf("%w: %s: payload: %v", ErrCheckpointInvalid, path, err)
+	}
+	mCheckpointLoads.Inc()
+	return env.Kind, env.Iteration, nil
+}
+
+// CheckpointKind peeks at a checkpoint's kind tag without decoding the
+// payload (used by resume paths to pick the matching optimizer).
+func CheckpointKind(path string) (string, error) {
+	var ignore json.RawMessage
+	kind, _, err := LoadCheckpoint(path, &ignore)
+	return kind, err
+}
+
+// A Cadence decides when periodic checkpoints are due: every Interval
+// iterations (Interval <= 1 means every iteration). The zero Cadence is
+// usable and fires every iteration.
+type Cadence struct {
+	Interval int
+	last     int
+	any      bool
+}
+
+// Due reports whether a checkpoint should be written at this iteration,
+// and records the write when it returns true.
+func (c *Cadence) Due(iteration int) bool {
+	if c.Interval <= 1 {
+		return true
+	}
+	if !c.any || iteration-c.last >= c.Interval {
+		c.last = iteration
+		c.any = true
+		return true
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// FaultKind classifies one injected communication fault.
+type FaultKind int
+
+const (
+	// FaultNone: the transfer proceeds cleanly.
+	FaultNone FaultKind = iota
+	// FaultDrop: the payload never arrives (receiver times out).
+	FaultDrop
+	// FaultCorrupt: the payload arrives bit-flipped; the per-transfer
+	// checksum catches it at the receiver.
+	FaultCorrupt
+	// FaultStall: the sending rank stalls transiently before the payload
+	// goes out (models a busy NIC / OS jitter); the transfer succeeds.
+	FaultStall
+	// FaultSilent: the payload is corrupted *after* checksum
+	// verification (models memory corruption past the transport layer);
+	// only a state-level watchdog can catch it.
+	FaultSilent
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultStall:
+		return "stall"
+	case FaultSilent:
+		return "silent"
+	}
+	return "fault(?)"
+}
+
+// FaultConfig parameterizes an injector. Probabilities are per transfer
+// and evaluated in order drop → corrupt → stall → silent from a single
+// uniform draw, so the decision sequence is a deterministic function of
+// the seed.
+type FaultConfig struct {
+	Seed        uint64
+	DropProb    float64
+	CorruptProb float64
+	StallProb   float64
+	SilentProb  float64
+	// StallDelay is the simulated transient stall (default 50µs — long
+	// enough to exercise the retry clock, short enough for tests).
+	StallDelay time.Duration
+	// MaxFaults bounds the total number of injected faults (0 =
+	// unlimited). Drills set it so a run provably terminates even with
+	// aggressive probabilities.
+	MaxFaults int
+}
+
+// FaultInjector draws a deterministic fault sequence for simulated
+// transfers. Safe for concurrent use: the pairwise exchange path calls
+// Draw from every worker of the cluster's rank pool. Concurrency makes
+// the *assignment* of faults to transfers scheduling-dependent, but the
+// drawn sequence itself — and therefore the total fault census — depends
+// only on the seed and the number of transfers.
+type FaultInjector struct {
+	mu       sync.Mutex
+	cfg      FaultConfig
+	rng      *core.RNG
+	injected int
+	byKind   [5]int
+}
+
+// NewFaultInjector builds an injector from cfg (nil-safe call sites
+// treat a nil injector as fault-free).
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	if cfg.StallDelay <= 0 {
+		cfg.StallDelay = 50 * time.Microsecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0xfa017 // arbitrary fixed default so Seed:0 is still deterministic
+	}
+	return &FaultInjector{cfg: cfg, rng: core.NewRNG(seed)}
+}
+
+// Draw decides the fault for the next transfer. A nil injector always
+// returns FaultNone.
+func (f *FaultInjector) Draw() FaultKind {
+	if f == nil {
+		return FaultNone
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cfg.MaxFaults > 0 && f.injected >= f.cfg.MaxFaults {
+		return FaultNone
+	}
+	u := f.rng.Float64()
+	kind := FaultNone
+	switch {
+	case u < f.cfg.DropProb:
+		kind = FaultDrop
+	case u < f.cfg.DropProb+f.cfg.CorruptProb:
+		kind = FaultCorrupt
+	case u < f.cfg.DropProb+f.cfg.CorruptProb+f.cfg.StallProb:
+		kind = FaultStall
+	case u < f.cfg.DropProb+f.cfg.CorruptProb+f.cfg.StallProb+f.cfg.SilentProb:
+		kind = FaultSilent
+	}
+	if kind != FaultNone {
+		f.injected++
+		f.byKind[kind]++
+	}
+	return kind
+}
+
+// PerturbIndex returns a deterministic index in [0, n) used to pick
+// which amplitude of a corrupted payload gets flipped.
+func (f *FaultInjector) PerturbIndex(n int) int {
+	if f == nil || n <= 0 {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Intn(n)
+}
+
+// StallDelay returns the configured transient-stall duration.
+func (f *FaultInjector) StallDelay() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.cfg.StallDelay
+}
+
+// Injected returns the total number of faults injected so far.
+func (f *FaultInjector) Injected() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// InjectedByKind returns the per-kind fault census.
+func (f *FaultInjector) InjectedByKind() map[FaultKind]int {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := map[FaultKind]int{}
+	for k, n := range f.byKind {
+		if n > 0 {
+			out[FaultKind(k)] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+)
+
+func drawSequence(cfg FaultConfig, n int) []FaultKind {
+	inj := NewFaultInjector(cfg)
+	out := make([]FaultKind, n)
+	for i := range out {
+		out[i] = inj.Draw()
+	}
+	return out
+}
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	cfg := FaultConfig{Seed: 7, DropProb: 0.1, CorruptProb: 0.1, StallProb: 0.05, SilentProb: 0.02}
+	a := drawSequence(cfg, 500)
+	b := drawSequence(cfg, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := drawSequence(FaultConfig{Seed: 8, DropProb: 0.1, CorruptProb: 0.1, StallProb: 0.05, SilentProb: 0.02}, 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestFaultInjectorCensus(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{Seed: 3, DropProb: 0.2, CorruptProb: 0.2})
+	total := 0
+	for i := 0; i < 1000; i++ {
+		if inj.Draw() != FaultNone {
+			total++
+		}
+	}
+	if inj.Injected() != total {
+		t.Errorf("Injected %d != observed %d", inj.Injected(), total)
+	}
+	byKind := inj.InjectedByKind()
+	sum := 0
+	for _, n := range byKind {
+		sum += n
+	}
+	if sum != total {
+		t.Errorf("census sum %d != %d", sum, total)
+	}
+	// ~40% fault rate over 1000 draws: both kinds must appear.
+	if byKind[FaultDrop] == 0 || byKind[FaultCorrupt] == 0 {
+		t.Errorf("census missing kinds: %v", byKind)
+	}
+	if byKind[FaultStall] != 0 || byKind[FaultSilent] != 0 {
+		t.Errorf("disabled kinds injected: %v", byKind)
+	}
+}
+
+func TestFaultInjectorMaxFaults(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{Seed: 1, DropProb: 1, MaxFaults: 5})
+	for i := 0; i < 100; i++ {
+		inj.Draw()
+	}
+	if inj.Injected() != 5 {
+		t.Errorf("injected %d, want 5", inj.Injected())
+	}
+}
+
+func TestFaultInjectorNilSafe(t *testing.T) {
+	var inj *FaultInjector
+	if inj.Draw() != FaultNone || inj.Injected() != 0 || inj.PerturbIndex(10) != 0 || inj.StallDelay() != 0 {
+		t.Error("nil injector not inert")
+	}
+	if inj.InjectedByKind() != nil {
+		t.Error("nil injector census not nil")
+	}
+}
+
+func TestFaultInjectorConcurrentDraws(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{Seed: 5, DropProb: 0.5})
+	var wg sync.WaitGroup
+	const perG, goroutines = 200, 8
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				inj.Draw()
+			}
+		}()
+	}
+	wg.Wait()
+	// The census is scheduling-independent: same seed, same draw count.
+	want := 0
+	ref := NewFaultInjector(FaultConfig{Seed: 5, DropProb: 0.5})
+	for i := 0; i < perG*goroutines; i++ {
+		if ref.Draw() != FaultNone {
+			want++
+		}
+	}
+	if inj.Injected() != want {
+		t.Errorf("concurrent census %d != serial %d", inj.Injected(), want)
+	}
+}

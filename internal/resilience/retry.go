@@ -1,0 +1,74 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// RetryPolicy paces re-attempts of a failed operation with capped
+// exponential backoff. The zero value is usable and resolves to the
+// defaults documented on each field.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget including the first try
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the sleep before the second attempt (default 100µs —
+	// the simulated interconnects here fail fast, and tests must too).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 10ms).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Microsecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 10 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// Do runs op until it succeeds, the attempt budget is exhausted, or ctx
+// is canceled. op receives the 1-based attempt number. On exhaustion the
+// last error is wrapped together with ErrRetriesExhausted; on
+// cancellation the context error is returned (the operation is not
+// retried across a deadline).
+func (p RetryPolicy) Do(ctx context.Context, op func(attempt int) error) error {
+	p = p.withDefaults()
+	delay := p.BaseDelay
+	var lastErr error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 1 {
+			mRetryAttempts.Inc()
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+			delay = time.Duration(float64(delay) * p.Multiplier)
+			if delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		if lastErr = op(attempt); lastErr == nil {
+			return nil
+		}
+	}
+	mRetryExhausted.Inc()
+	return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, p.MaxAttempts, lastErr)
+}

@@ -1,0 +1,126 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetryFirstTrySuccess(t *testing.T) {
+	calls := 0
+	err := RetryPolicy{}.Do(context.Background(), func(attempt int) error {
+		calls++
+		if attempt != calls {
+			t.Errorf("attempt %d on call %d", attempt, calls)
+		}
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryEventualSuccess(t *testing.T) {
+	fail := errors.New("transient")
+	calls := 0
+	err := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Microsecond}.Do(context.Background(), func(int) error {
+		calls++
+		if calls < 3 {
+			return fail
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	fail := errors.New("persistent")
+	calls := 0
+	err := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond}.Do(context.Background(), func(int) error {
+		calls++
+		return fail
+	})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Errorf("want ErrRetriesExhausted, got %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls=%d", calls)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := RetryPolicy{}.Do(ctx, func(int) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+	// Cancellation during backoff must also stop the loop.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	calls = 0
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel2()
+	}()
+	err = RetryPolicy{MaxAttempts: 100, BaseDelay: 50 * time.Millisecond}.Do(ctx2, func(int) error {
+		calls++
+		return errors.New("x")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err=%v", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls=%d, want 1 (canceled during first backoff)", calls)
+	}
+}
+
+func TestWalltimeParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"30", 30 * time.Minute},
+		{"02:30", 2*time.Minute + 30*time.Second},
+		{"01:30:00", time.Hour + 30*time.Minute},
+		{"1-12", 36 * time.Hour},
+		{"1-00:30", 24*time.Hour + 30*time.Minute},
+		{"2-01:02:03", 48*time.Hour + time.Hour + 2*time.Minute + 3*time.Second},
+		{"90s", 90 * time.Second},
+		{"1h30m", time.Hour + 30*time.Minute},
+	}
+	for _, c := range cases {
+		got, err := ParseWalltime(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseWalltime(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1:2:3:4", "-5", "1-2:3:4:5", "x-00:30"} {
+		if _, err := ParseWalltime(bad); err == nil {
+			t.Errorf("ParseWalltime(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWithWalltimeMargin(t *testing.T) {
+	ctx, cancel := WithWalltime(context.Background(), time.Hour, time.Minute)
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("no deadline")
+	}
+	until := time.Until(dl)
+	if until > 59*time.Minute || until < 58*time.Minute {
+		t.Errorf("deadline %v from now, want ~59m", until)
+	}
+	// Tiny budgets keep at least half the window.
+	ctx2, cancel2 := WithWalltime(context.Background(), 10*time.Millisecond, time.Minute)
+	defer cancel2()
+	dl2, _ := ctx2.Deadline()
+	if until := time.Until(dl2); until < 2*time.Millisecond {
+		t.Errorf("tiny budget collapsed to %v", until)
+	}
+}

@@ -1,0 +1,86 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseWalltime parses a walltime budget in the formats SLURM's --time
+// accepts — "minutes", "MM:SS"-style "minutes:seconds", "HH:MM:SS",
+// "D-HH", "D-HH:MM", "D-HH:MM:SS" — plus Go duration strings ("90s",
+// "1h30m") for convenience on the command line.
+func ParseWalltime(s string) (time.Duration, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("resilience: empty walltime")
+	}
+	// Go duration syntax first: unambiguous because SLURM forms never
+	// contain unit letters.
+	if strings.ContainsAny(s, "hmsuµn") {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return 0, fmt.Errorf("resilience: walltime %q: %w", s, err)
+		}
+		return d, nil
+	}
+	days := 0
+	rest := s
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		d, err := strconv.Atoi(s[:i])
+		if err != nil || d < 0 {
+			return 0, fmt.Errorf("resilience: walltime %q: bad day count", s)
+		}
+		days = d
+		rest = s[i+1:]
+	}
+	parts := strings.Split(rest, ":")
+	nums := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("resilience: walltime %q: bad field %q", s, p)
+		}
+		nums[i] = v
+	}
+	var d time.Duration
+	switch {
+	case days > 0:
+		// D-HH[:MM[:SS]]
+		if len(nums) > 3 {
+			return 0, fmt.Errorf("resilience: walltime %q: too many fields", s)
+		}
+		for len(nums) < 3 {
+			nums = append(nums, 0)
+		}
+		d = time.Duration(nums[0])*time.Hour + time.Duration(nums[1])*time.Minute + time.Duration(nums[2])*time.Second
+	case len(nums) == 1:
+		// minutes (SLURM's bare-number form)
+		d = time.Duration(nums[0]) * time.Minute
+	case len(nums) == 2:
+		// MM:SS
+		d = time.Duration(nums[0])*time.Minute + time.Duration(nums[1])*time.Second
+	case len(nums) == 3:
+		// HH:MM:SS
+		d = time.Duration(nums[0])*time.Hour + time.Duration(nums[1])*time.Minute + time.Duration(nums[2])*time.Second
+	default:
+		return 0, fmt.Errorf("resilience: walltime %q: too many fields", s)
+	}
+	return d + time.Duration(days)*24*time.Hour, nil
+}
+
+// WithWalltime returns a context canceled after the walltime budget,
+// minus a safety margin reserved for writing the final checkpoint
+// (clamped so tiny budgets still get a usable window).
+func WithWalltime(parent context.Context, budget, margin time.Duration) (context.Context, context.CancelFunc) {
+	if margin < 0 {
+		margin = 0
+	}
+	effective := budget - margin
+	if effective < budget/2 {
+		effective = budget / 2
+	}
+	return context.WithTimeout(parent, effective)
+}

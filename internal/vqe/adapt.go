@@ -1,11 +1,15 @@
 package vqe
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"repro/internal/ansatz"
+	"repro/internal/core"
 	"repro/internal/opt"
 	"repro/internal/pauli"
+	"repro/internal/resilience"
 	"repro/internal/state"
 	"repro/internal/telemetry"
 )
@@ -48,6 +52,10 @@ type AdaptResult struct {
 	Ansatz    *ansatz.AdaptAnsatz
 	History   []AdaptIteration
 	Converged bool
+	// Interrupted is set when the outer loop stopped on a deadline; the
+	// result then reflects the last completed iteration (and, with
+	// checkpointing on, matches the snapshot on disk).
+	Interrupted bool
 	// TotalStats accumulates simulator accounting across every inner
 	// optimization (the cumulative cost the paper's caching/fusion
 	// optimizations target).
@@ -58,6 +66,17 @@ type AdaptResult struct {
 // energy gradient, append it to the ansatz, and re-optimize all
 // parameters. Ref: Grimsley et al. (paper refs [4, 16, 17]).
 func Adapt(h *pauli.Op, pool *ansatz.Pool, n, ne int, o AdaptOptions) (*AdaptResult, error) {
+	return AdaptContext(context.Background(), h, pool, n, ne, o, ResilienceOptions{})
+}
+
+// AdaptContext is Adapt with deadline-aware cancellation and outer-loop
+// checkpointing. The checkpoint unit is one completed outer iteration
+// (pool selection + inner re-optimization): interrupting mid-iteration
+// discards only that iteration's partial work, and resuming replays the
+// recorded operator selections through ansatz.Grow before continuing.
+// Operator selection depends only on the restored parameters, so the
+// resumed run follows the identical growth trajectory.
+func AdaptContext(ctx context.Context, h *pauli.Op, pool *ansatz.Pool, n, ne int, o AdaptOptions, ro ResilienceOptions) (*AdaptResult, error) {
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 30
 	}
@@ -67,11 +86,51 @@ func Adapt(h *pauli.Op, pool *ansatz.Pool, n, ne int, o AdaptOptions) (*AdaptRes
 	adapt := ansatz.NewAdaptAnsatz(n, ne)
 	params := []float64{}
 	result := &AdaptResult{Ansatz: adapt}
+	var selected []int
+	startIter := 1
+
+	st := new(AdaptState)
+	if found, err := ro.loadResume(KindAdapt, st); err != nil {
+		return nil, err
+	} else if found {
+		for _, k := range st.Selected {
+			if k < 0 || k >= len(pool.Ops) {
+				return nil, fmt.Errorf("%w: checkpointed operator index %d outside pool of %d", core.ErrInvalidArgument, k, len(pool.Ops))
+			}
+			adapt.Grow(pool.Ops[k])
+		}
+		selected = st.Selected
+		params = st.Params
+		result.Energy = st.Energy
+		result.Params = params
+		result.History = historyFromJSON(st.History)
+		startIter = st.Iter + 1
+	}
+	cad := resilience.Cadence{Interval: ro.CheckpointEvery}
+	save := func(iter int) error {
+		return resilience.SaveCheckpoint(ro.CheckpointPath, KindAdapt, iter, &AdaptState{
+			Selected: selected,
+			Params:   params,
+			Energy:   result.Energy,
+			Iter:     iter,
+			History:  historyToJSON(result.History),
+		})
+	}
 
 	// Pool-scan simulator created once: every outer iteration resets it in
 	// place, so its persistent worker pool serves all gradient scans.
 	s := state.New(n, state.Options{Workers: o.Workers})
-	for iter := 1; iter <= o.MaxIterations; iter++ {
+	for iter := startIter; iter <= o.MaxIterations; iter++ {
+		if ctx.Err() != nil {
+			result.Interrupted = true
+			resilience.NoteDeadlineCancel()
+			if ro.enabled() {
+				if err := save(iter - 1); err != nil {
+					return result, err
+				}
+			}
+			return result, nil
+		}
 		done, err := func() (bool, error) {
 			// Deferred so every exit — convergence, inner-optimizer error,
 			// or a full iteration — observes the timer.
@@ -91,6 +150,7 @@ func Adapt(h *pauli.Op, pool *ansatz.Pool, n, ne int, o AdaptOptions) (*AdaptRes
 				return true, nil
 			}
 			adapt.Grow(pool.Ops[best])
+			selected = append(selected, best)
 			params = append(params, 0)
 
 			drv, err := New(h, adapt, Options{Mode: Direct, Workers: o.Workers})
@@ -101,9 +161,18 @@ func Adapt(h *pauli.Op, pool *ansatz.Pool, n, ne int, o AdaptOptions) (*AdaptRes
 			if lb.MaxIter == 0 {
 				lb.MaxIter = 200
 			}
-			res, err := drv.MinimizeLBFGS(params, lb)
+			res, err := drv.MinimizeLBFGSContext(ctx, params, lb, ResilienceOptions{})
 			if err != nil {
 				return false, err
+			}
+			if res.Interrupted {
+				// Deadline hit mid-inner-optimization: unwind the partial
+				// iteration so the checkpoint covers only completed work.
+				adapt.Selected = adapt.Selected[:len(adapt.Selected)-1]
+				selected = selected[:len(selected)-1]
+				params = params[:len(params)-1]
+				result.Interrupted = true
+				return true, nil
 			}
 			params = res.Params
 			result.Energy = res.Energy
@@ -138,6 +207,15 @@ func Adapt(h *pauli.Op, pool *ansatz.Pool, n, ne int, o AdaptOptions) (*AdaptRes
 		}()
 		if err != nil {
 			return nil, err
+		}
+		if ro.enabled() && (done || result.Interrupted || cad.Due(iter)) {
+			completed := iter
+			if result.Interrupted {
+				completed = iter - 1
+			}
+			if err := save(completed); err != nil {
+				return result, err
+			}
 		}
 		if done {
 			break

@@ -424,6 +424,9 @@ type Result struct {
 	Optimizer  opt.Result
 	Stats      Stats
 	CacheStats state.CacheStats
+	// Interrupted is set when the loop was halted early (deadline or
+	// observer); Energy/Params then hold the best point so far.
+	Interrupted bool
 }
 
 // Minimize runs the classical optimization loop from x0 using Nelder–Mead
@@ -432,7 +435,7 @@ func (d *Driver) Minimize(x0 []float64, o opt.NelderMeadOptions) Result {
 	start := telemetry.Now()
 	res := opt.NelderMead(d.Energy, x0, o)
 	mPhaseOptimize.Since(start)
-	return Result{Energy: res.F, Params: res.X, Optimizer: res, Stats: d.Stats(), CacheStats: d.CacheStats()}
+	return Result{Energy: res.F, Params: res.X, Optimizer: res, Stats: d.Stats(), CacheStats: d.CacheStats(), Interrupted: res.Interrupted}
 }
 
 // MinimizeLBFGS runs L-BFGS with adjoint analytic gradients; the ansatz
@@ -450,5 +453,5 @@ func (d *Driver) MinimizeLBFGS(x0 []float64, o opt.LBFGSOptions) (Result, error)
 	start := telemetry.Now()
 	res := opt.LBFGS(d.Energy, grad, x0, o)
 	mPhaseOptimize.Since(start)
-	return Result{Energy: res.F, Params: res.X, Optimizer: res, Stats: d.Stats(), CacheStats: d.CacheStats()}, nil
+	return Result{Energy: res.F, Params: res.X, Optimizer: res, Stats: d.Stats(), CacheStats: d.CacheStats(), Interrupted: res.Interrupted}, nil
 }

@@ -1,6 +1,7 @@
 package xacc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -37,10 +38,22 @@ type VQEResult struct {
 	Params            []float64
 	EnergyEvaluations int
 	OptimizerResult   opt.Result
+	// Interrupted is set when the loop stopped on a context deadline;
+	// Energy/Params then hold the best point found before the cutoff.
+	Interrupted bool
 }
 
 // Execute runs the loop from the given starting parameters (zeros if nil).
 func (v *VQE) Execute(x0 []float64) (*VQEResult, error) {
+	return v.ExecuteContext(context.Background(), x0)
+}
+
+// ExecuteContext runs the loop under a context. With the nelder-mead and
+// lbfgs optimizers a deadline degrades gracefully: the loop halts at the
+// next iteration boundary and returns the best energy so far with
+// Interrupted set. The stateless-iteration optimizers (spsa, adam) have
+// no safe halt point, so cancellation surfaces as an error there.
+func (v *VQE) ExecuteContext(ctx context.Context, x0 []float64) (*VQEResult, error) {
 	if v.Observable == nil || v.Ansatz == nil || v.Accelerator == nil {
 		return nil, fmt.Errorf("%w: VQE needs observable, ansatz, accelerator", core.ErrInvalidArgument)
 	}
@@ -57,7 +70,7 @@ func (v *VQE) Execute(x0 []float64) (*VQEResult, error) {
 	objective := func(x []float64) float64 {
 		defer mObjective.Since(telemetry.Now())
 		evals++
-		e, err := v.Accelerator.Expectation(v.Ansatz.Circuit(x), v.Observable)
+		e, err := v.Accelerator.Expectation(ctx, v.Ansatz.Circuit(x), v.Observable)
 		if err != nil {
 			// Surfaced below via recover; wrapped so a panic that escapes
 			// anyway is attributable.
@@ -80,13 +93,19 @@ func (v *VQE) Execute(x0 []float64) (*VQEResult, error) {
 		}()
 		switch v.Optimizer {
 		case "", "nelder-mead":
-			res = opt.NelderMead(objective, x0, opt.NelderMeadOptions{MaxIter: v.MaxIter})
+			res = opt.NelderMead(objective, x0, opt.NelderMeadOptions{
+				MaxIter:  v.MaxIter,
+				Observer: func(*opt.NelderMeadState) error { return ctx.Err() },
+			})
 		case "spsa":
 			res = opt.SPSA(objective, x0, opt.SPSAOptions{MaxIter: v.MaxIter})
 		case "adam":
 			res = opt.Adam(objective, nil, x0, opt.AdamOptions{MaxIter: v.MaxIter})
 		case "lbfgs":
-			res = opt.LBFGS(objective, nil, x0, opt.LBFGSOptions{MaxIter: v.MaxIter})
+			res = opt.LBFGS(objective, nil, x0, opt.LBFGSOptions{
+				MaxIter:  v.MaxIter,
+				Observer: func(*opt.LBFGSState) error { return ctx.Err() },
+			})
 		default:
 			execErr = fmt.Errorf("%w: unknown optimizer %q", core.ErrInvalidArgument, v.Optimizer)
 		}
@@ -99,6 +118,7 @@ func (v *VQE) Execute(x0 []float64) (*VQEResult, error) {
 		Params:            res.X,
 		EnergyEvaluations: evals,
 		OptimizerResult:   res,
+		Interrupted:       res.Interrupted,
 	}, nil
 }
 
@@ -120,6 +140,12 @@ type AdaptVQE struct {
 // needs amplitude access for its gradient scan, so it does not take an
 // arbitrary Accelerator).
 func (a *AdaptVQE) Execute() (*vqe.AdaptResult, error) {
+	return a.ExecuteContext(context.Background(), vqe.ResilienceOptions{})
+}
+
+// ExecuteContext runs the adaptive loop with deadline-aware cancellation
+// and optional outer-loop checkpointing.
+func (a *AdaptVQE) ExecuteContext(ctx context.Context, ro vqe.ResilienceOptions) (*vqe.AdaptResult, error) {
 	if a.Observable == nil {
 		return nil, fmt.Errorf("%w: AdaptVQE needs an observable", core.ErrInvalidArgument)
 	}
@@ -137,11 +163,11 @@ func (a *AdaptVQE) Execute() (*vqe.AdaptResult, error) {
 	if ref == 0 {
 		ref = math.NaN()
 	}
-	return vqe.Adapt(a.Observable, pool, a.NumQubits, a.NumElectrons, vqe.AdaptOptions{
+	return vqe.AdaptContext(ctx, a.Observable, pool, a.NumQubits, a.NumElectrons, vqe.AdaptOptions{
 		MaxIterations: a.MaxIterations,
 		Reference:     ref,
 		EnergyTol:     core.ChemicalAccuracy,
-	})
+	}, ro)
 }
 
 // QPE is the framework front-end for phase estimation.

@@ -1,0 +1,103 @@
+package xacc
+
+// FallbackAccelerator: graceful degradation across backends. When the
+// preferred backend fails — e.g. the cluster's retry budget is exhausted
+// on a flaky interconnect — the request is re-issued on the next backend
+// in the chain instead of failing the whole VQE run. Context
+// cancellation is never retried: a walltime expiry must not trigger a
+// (potentially slower) fallback execution.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/pauli"
+	"repro/internal/telemetry"
+)
+
+var (
+	mFallbackActivations = telemetry.GetCounter("xacc.fallback.activations")
+	mFallbackExhausted   = telemetry.GetCounter("xacc.fallback.exhausted")
+)
+
+// FallbackAccelerator tries each backend in Chain order.
+type FallbackAccelerator struct {
+	Chain []Accelerator
+}
+
+// Name implements Accelerator.
+func (a *FallbackAccelerator) Name() string {
+	names := make([]string, len(a.Chain))
+	for i, acc := range a.Chain {
+		names[i] = acc.Name()
+	}
+	return "fallback(" + strings.Join(names, "→") + ")"
+}
+
+// NumQubitsLimit implements Accelerator: the chain can serve whatever
+// its most capable member can.
+func (a *FallbackAccelerator) NumQubitsLimit() int {
+	max := 0
+	for _, acc := range a.Chain {
+		if l := acc.NumQubitsLimit(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Execute implements Accelerator.
+func (a *FallbackAccelerator) Execute(ctx context.Context, c *circuit.Circuit, shots int) (*ExecutionResult, error) {
+	var res *ExecutionResult
+	err := a.each(ctx, func(acc Accelerator) error {
+		r, err := acc.Execute(ctx, c, shots)
+		if err == nil {
+			res = r
+		}
+		return err
+	})
+	return res, err
+}
+
+// Expectation implements Accelerator.
+func (a *FallbackAccelerator) Expectation(ctx context.Context, prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
+	var e float64
+	err := a.each(ctx, func(acc Accelerator) error {
+		v, err := acc.Expectation(ctx, prep, obs)
+		if err == nil {
+			e = v
+		}
+		return err
+	})
+	return e, err
+}
+
+// each walks the chain until op succeeds; a context error stops the walk
+// immediately (degrading must not outlive the deadline).
+func (a *FallbackAccelerator) each(ctx context.Context, op func(Accelerator) error) error {
+	if len(a.Chain) == 0 {
+		return fmt.Errorf("%w: fallback accelerator has an empty chain", core.ErrInvalidArgument)
+	}
+	var lastErr error
+	for i, acc := range a.Chain {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := op(acc); err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			lastErr = err
+			if i+1 < len(a.Chain) {
+				mFallbackActivations.Inc()
+			}
+			continue
+		}
+		return nil
+	}
+	mFallbackExhausted.Inc()
+	return fmt.Errorf("xacc: all %d accelerators in the fallback chain failed: %w", len(a.Chain), lastErr)
+}

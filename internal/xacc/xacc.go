@@ -8,6 +8,7 @@
 package xacc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -40,15 +41,17 @@ type ExecutionResult struct {
 }
 
 // Accelerator is the backend abstraction: anything that can run circuits
-// and evaluate observables.
+// and evaluate observables. Both entry points take a context so a
+// walltime budget (or interactive cancel) propagates into the engine —
+// backends honor it between (not within) gate applications.
 type Accelerator interface {
 	Name() string
 	NumQubitsLimit() int
 	// Execute runs a circuit from |0…0⟩ and returns measurement data.
-	Execute(c *circuit.Circuit, shots int) (*ExecutionResult, error)
+	Execute(ctx context.Context, c *circuit.Circuit, shots int) (*ExecutionResult, error)
 	// Expectation returns ⟨prep|obs|prep⟩ by whatever strategy the
 	// backend supports best (direct calculation for simulators).
-	Expectation(prep *circuit.Circuit, obs *pauli.Op) (float64, error)
+	Expectation(ctx context.Context, prep *circuit.Circuit, obs *pauli.Op) (float64, error)
 }
 
 // registry is the plugin table, mirroring XACC's service registry.
@@ -92,6 +95,14 @@ func init() {
 	RegisterAccelerator("nwq-sv-serial", func() Accelerator { return &SVAccelerator{Workers: 1} })
 	RegisterAccelerator("nwq-cluster", func() Accelerator { return &ClusterAccelerator{Ranks: 4} })
 	RegisterAccelerator("nwq-dm", func() Accelerator { return &DMAccelerator{} })
+	// nwq-resilient degrades from the multi-rank cluster to the
+	// single-node engine when cluster communication fails for good.
+	RegisterAccelerator("nwq-resilient", func() Accelerator {
+		return &FallbackAccelerator{Chain: []Accelerator{
+			&ClusterAccelerator{Ranks: 4},
+			&SVAccelerator{},
+		}}
+	})
 }
 
 // SVAccelerator is the single-node state-vector backend (NWQ-Sim's
@@ -109,8 +120,11 @@ func (a *SVAccelerator) Name() string { return "nwq-sv" }
 func (a *SVAccelerator) NumQubitsLimit() int { return 30 }
 
 // Execute implements Accelerator.
-func (a *SVAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult, error) {
+func (a *SVAccelerator) Execute(ctx context.Context, c *circuit.Circuit, shots int) (*ExecutionResult, error) {
 	defer mExecute.Since(telemetry.Now())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	run := c
 	if a.Transpile {
 		run = circuit.Transpile(c, circuit.DefaultTranspileOptions())
@@ -127,8 +141,11 @@ func (a *SVAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult
 // Expectation implements Accelerator with the direct method: the
 // observable is compiled into a batched X-mask plan and every term group
 // is scored in one pass over the final amplitudes.
-func (a *SVAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
+func (a *SVAccelerator) Expectation(ctx context.Context, prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
 	defer mExpectation.Since(telemetry.Now())
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if obs.MaxQubit() >= prep.NumQubits {
 		return 0, core.QubitError(obs.MaxQubit(), prep.NumQubits)
 	}
@@ -141,9 +158,12 @@ func (a *SVAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (float
 	return pauli.NewPlan(obs).Evaluate(s, pauli.ExpectationOptions{Workers: a.Workers}), nil
 }
 
-// ClusterAccelerator is the simulated multi-node backend.
+// ClusterAccelerator is the simulated multi-node backend. Resilience
+// carries the fault-injection / verified-communication configuration
+// into every cluster it builds; the zero value is the plain fast path.
 type ClusterAccelerator struct {
-	Ranks int
+	Ranks      int
+	Resilience cluster.Options
 }
 
 // Name implements Accelerator.
@@ -166,13 +186,15 @@ func (a *ClusterAccelerator) effectiveRanks(n int) int {
 }
 
 // Execute implements Accelerator.
-func (a *ClusterAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult, error) {
+func (a *ClusterAccelerator) Execute(ctx context.Context, c *circuit.Circuit, shots int) (*ExecutionResult, error) {
 	defer mExecute.Since(telemetry.Now())
-	cl, err := cluster.New(c.NumQubits, a.effectiveRanks(c.NumQubits))
+	cl, err := cluster.NewWithOptions(c.NumQubits, a.effectiveRanks(c.NumQubits), a.Resilience)
 	if err != nil {
 		return nil, err
 	}
-	cl.Run(c)
+	if err := cl.RunContext(ctx, c); err != nil {
+		return nil, err
+	}
 	s, err := cl.ToState()
 	if err != nil {
 		return nil, err
@@ -185,13 +207,15 @@ func (a *ClusterAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionR
 }
 
 // Expectation implements Accelerator.
-func (a *ClusterAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
+func (a *ClusterAccelerator) Expectation(ctx context.Context, prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
 	defer mExpectation.Since(telemetry.Now())
-	cl, err := cluster.New(prep.NumQubits, a.effectiveRanks(prep.NumQubits))
+	cl, err := cluster.NewWithOptions(prep.NumQubits, a.effectiveRanks(prep.NumQubits), a.Resilience)
 	if err != nil {
 		return 0, err
 	}
-	cl.Run(prep)
+	if err := cl.RunContext(ctx, prep); err != nil {
+		return 0, err
+	}
 	s, err := cl.ToState()
 	if err != nil {
 		return 0, err
@@ -213,8 +237,11 @@ func (a *DMAccelerator) Name() string { return "nwq-dm" }
 func (a *DMAccelerator) NumQubitsLimit() int { return 12 }
 
 // Execute implements Accelerator.
-func (a *DMAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult, error) {
+func (a *DMAccelerator) Execute(ctx context.Context, c *circuit.Circuit, shots int) (*ExecutionResult, error) {
 	defer mExecute.Since(telemetry.Now())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m := density.New(c.NumQubits)
 	if err := m.Run(c, a.Noise); err != nil {
 		return nil, err
@@ -229,8 +256,11 @@ func (a *DMAccelerator) Execute(c *circuit.Circuit, shots int) (*ExecutionResult
 }
 
 // Expectation implements Accelerator.
-func (a *DMAccelerator) Expectation(prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
+func (a *DMAccelerator) Expectation(ctx context.Context, prep *circuit.Circuit, obs *pauli.Op) (float64, error) {
 	defer mExpectation.Since(telemetry.Now())
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	m := density.New(prep.NumQubits)
 	if err := m.Run(prep, a.Noise); err != nil {
 		return 0, err

@@ -1,6 +1,7 @@
 package xacc
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -51,14 +52,14 @@ func TestAllBackendsAgreeOnBell(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		e, err := a.Expectation(bellCircuit(), obs)
+		e, err := a.Expectation(context.Background(), bellCircuit(), obs)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if math.Abs(e-1) > 1e-9 {
 			t.Errorf("%s: ⟨ZZ⟩ = %v, want 1", name, e)
 		}
-		res, err := a.Execute(bellCircuit(), 0)
+		res, err := a.Execute(context.Background(), bellCircuit(), 0)
 		if err != nil {
 			t.Fatalf("%s execute: %v", name, err)
 		}
@@ -70,7 +71,7 @@ func TestAllBackendsAgreeOnBell(t *testing.T) {
 
 func TestExecuteWithShots(t *testing.T) {
 	a, _ := GetAccelerator("nwq-sv")
-	res, err := a.Execute(bellCircuit(), 5000)
+	res, err := a.Execute(context.Background(), bellCircuit(), 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestExecuteWithShots(t *testing.T) {
 func TestDMAcceleratorWithNoise(t *testing.T) {
 	a := &DMAccelerator{Noise: density.DepolarizingModel(0.02, 0.05)}
 	obs := pauli.NewOp().Add(pauli.MustParse("ZZ"), 1)
-	e, err := a.Expectation(bellCircuit(), obs)
+	e, err := a.Expectation(context.Background(), bellCircuit(), obs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,8 +105,8 @@ func TestTranspilingBackendMatches(t *testing.T) {
 	fused := &SVAccelerator{Transpile: true}
 	obs := pauli.NewOp().Add(pauli.MustParse("XX"), 0.5).Add(pauli.MustParse("ZI"), -0.25)
 	c := circuit.New(2).H(0).T(0).CX(0, 1).RZ(0.3, 1).CX(0, 1)
-	e1, err1 := plain.Expectation(c, obs)
-	e2, err2 := fused.Expectation(c, obs)
+	e1, err1 := plain.Expectation(context.Background(), c, obs)
+	e2, err2 := fused.Expectation(context.Background(), c, obs)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -221,7 +222,7 @@ func TestAcceleratorNames(t *testing.T) {
 
 func TestDMAcceleratorShots(t *testing.T) {
 	a := &DMAccelerator{Noise: density.DepolarizingModel(0.01, 0.02)}
-	res, err := a.Execute(bellCircuit(), 3000)
+	res, err := a.Execute(context.Background(), bellCircuit(), 3000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestClusterAcceleratorSmallCircuitClamps(t *testing.T) {
 	// A 2-qubit circuit on a 4-rank accelerator must clamp ranks rather
 	// than fail.
 	a := &ClusterAccelerator{Ranks: 4}
-	res, err := a.Execute(bellCircuit(), 100)
+	res, err := a.Execute(context.Background(), bellCircuit(), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
