@@ -11,7 +11,7 @@ GOVULNCHECK_VERSION = v1.1.4
 # Coverage floor for the telemetry package (CI enforces the same number).
 TELEMETRY_COVER_MIN = 60
 
-.PHONY: all build test vet vqelint lint vuln race bench bench-smoke chaos cover figures check ci
+.PHONY: all build test vet vqelint lint vuln race bench bench-smoke chaos vqed-smoke cover figures check ci
 
 all: check
 
@@ -66,6 +66,13 @@ chaos:
 		-run 'FaultDrill|Watchdog|CrashResume|Fallback|Walltime|Deadline|Checkpoint|StatsRace' \
 		./internal/cluster/ ./internal/resilience/ ./internal/vqe/ ./internal/xacc/
 
+# vqed-smoke exercises the job daemon end to end over real HTTP: submit
+# H2, poll to done, assert the FCI energy, hit the result cache with a
+# duplicate spec, and SIGTERM into a clean drain — all race-instrumented.
+vqed-smoke:
+	$(GO) build -race -o bin/vqed ./cmd/vqed
+	VQED_BIN=bin/vqed sh scripts/vqed_smoke.sh
+
 bench:
 	$(GO) test -bench BenchmarkBatchedExpectation -benchtime 1x -run ^$$ .
 
@@ -91,5 +98,6 @@ figures:
 check: build vet test race bench figures
 
 # ci mirrors the GitHub Actions workflow jobs (test, lint, vqelint, vuln,
-# coverage, bench-smoke, chaos-smoke) so `make ci` locally means green CI.
-ci: build lint vuln test race cover bench-smoke chaos
+# coverage, bench-smoke, chaos-smoke, vqed-smoke) so `make ci` locally
+# means green CI.
+ci: build lint vuln test race cover bench-smoke chaos vqed-smoke

@@ -1,0 +1,151 @@
+package specflags
+
+import (
+	"errors"
+	"flag"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runspec"
+)
+
+// parse registers the given groups on a fresh FlagSet, parses args, and
+// assembles the spec — the exact sequence cmd/vqe and cmd/nwqsim run.
+func parse(t *testing.T, g Groups, args ...string) (*runspec.RunSpec, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	s := Add(fs, g)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("flag parse: %v", err)
+	}
+	return s.Spec()
+}
+
+func TestDefaultsMatchSpecDefaults(t *testing.T) {
+	// Registering every family and parsing nothing must yield a spec whose
+	// canonical hash equals the all-defaults RunSpec — the CLI default
+	// vocabulary and the spec schema defaults are the same contract.
+	spec, err := parse(t, All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (&runspec.RunSpec{}).Hash(); spec.Hash() != want {
+		t.Errorf("default flags hash %s != default spec hash %s", spec.Hash(), want)
+	}
+}
+
+func TestMoleculeFlags(t *testing.T) {
+	spec, err := parse(t, Molecule,
+		"-molecule", "hubbard", "-sites", "3", "-t", "0.9", "-u", "2.5",
+		"-electrons", "4", "-encoding", "bk", "-downfold", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.Molecule
+	if m.Kind != "hubbard" || m.Sites != 3 || m.Hopping != 0.9 || m.Repulsion != 2.5 || m.Electrons != 4 {
+		t.Errorf("hubbard flags not mapped: %+v", m)
+	}
+	if spec.Encoding != "bk" || spec.Downfold != 2 {
+		t.Errorf("encoding/downfold not mapped: %q %d", spec.Encoding, spec.Downfold)
+	}
+}
+
+func TestDistanceRewritesKind(t *testing.T) {
+	spec, err := parse(t, Molecule, "-distance", "1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Molecule.Kind != "h2-distance" || spec.Molecule.Distance != 1.2 {
+		t.Errorf("-distance did not select the scan Hamiltonian: %+v", spec.Molecule)
+	}
+}
+
+func TestDistanceRejectsNonH2(t *testing.T) {
+	_, err := parse(t, Molecule, "-molecule", "water", "-distance", "1.2")
+	if !errors.Is(err, core.ErrInvalidArgument) {
+		t.Fatalf("expected ErrInvalidArgument for -distance with water, got %v", err)
+	}
+}
+
+func TestAdaptQPEMutuallyExclusive(t *testing.T) {
+	if _, err := parse(t, Execution, "-adapt", "-qpe"); !errors.Is(err, core.ErrInvalidArgument) {
+		t.Fatalf("expected ErrInvalidArgument for -adapt -qpe, got %v", err)
+	}
+	spec, err := parse(t, Execution, "-adapt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Algorithm != runspec.AlgorithmAdapt {
+		t.Errorf("-adapt selected algorithm %q", spec.Algorithm)
+	}
+	spec, err = parse(t, Execution, "-qpe", "-ancillas", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Algorithm != runspec.AlgorithmQPE || spec.QPE.Ancillas != 5 {
+		t.Errorf("-qpe flags not mapped: alg=%q %+v", spec.Algorithm, spec.QPE)
+	}
+}
+
+func TestFaultFlagsNeedClusterBackend(t *testing.T) {
+	_, err := parse(t, Backend, "-fault-drop", "0.1")
+	if !errors.Is(err, core.ErrInvalidArgument) {
+		t.Fatalf("expected ErrInvalidArgument for -fault-drop on nwq-sv, got %v", err)
+	}
+	spec, err := parse(t, Backend, "-backend", "nwq-cluster", "-ranks", "8",
+		"-fault-drop", "0.1", "-fault-seed", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := spec.Backend.Fault
+	if f == nil || f.DropProb != 0.1 || f.Seed != 7 {
+		t.Fatalf("fault section not assembled: %+v", f)
+	}
+	if spec.Backend.Ranks != 8 {
+		t.Errorf("ranks not mapped: %d", spec.Backend.Ranks)
+	}
+	// Zero fault probabilities leave the section nil so the spec hash stays
+	// on the no-fault canonical form.
+	spec, err = parse(t, Backend, "-backend", "nwq-cluster", "-fault-seed", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Backend.Fault != nil {
+		t.Errorf("fault section present without any probability: %+v", spec.Backend.Fault)
+	}
+}
+
+func TestResilienceFlags(t *testing.T) {
+	spec, err := parse(t, Resilience|Execution,
+		"-checkpoint", "run.ckpt", "-checkpoint-every", "5", "-walltime", "00:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := spec.Resilience
+	if r.CheckpointPath != "run.ckpt" || r.CheckpointEvery != 5 || r.Walltime != "00:30" {
+		t.Errorf("resilience flags not mapped: %+v", r)
+	}
+}
+
+func TestSpecValidates(t *testing.T) {
+	// Spec() runs Validate, so nonsense flag values fail at assembly time
+	// with the engine's own sentinel, not deep inside a run.
+	if _, err := parse(t, Execution, "-optimizer", "adam"); !errors.Is(err, core.ErrInvalidArgument) {
+		t.Fatalf("expected ErrInvalidArgument for -optimizer adam, got %v", err)
+	}
+}
+
+func TestWorkersAccessor(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	s := Add(fs, Backend)
+	if err := fs.Parse([]string{"-workers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", s.Workers())
+	}
+	// Without the Backend family the accessor degrades to the default.
+	if w := (&Set{}).Workers(); w != 0 {
+		t.Errorf("Workers() on empty set = %d, want 0", w)
+	}
+}

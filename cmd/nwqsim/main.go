@@ -1,6 +1,8 @@
 // Command nwqsim runs a QASM-lite circuit file on one of the registered
 // simulation backends (single-node state vector, simulated multi-rank
 // cluster, or density matrix) and prints the outcome distribution.
+// Backend selection and fault-drill flags are the shared specflags
+// vocabulary; the accelerator is resolved through the xacc registry.
 //
 //	nwqsim circuit.qasm
 //	nwqsim -backend nwq-cluster -ranks 4 circuit.qasm
@@ -19,35 +21,31 @@ import (
 	"time"
 
 	"repro/cmd/internal/runreport"
+	"repro/cmd/internal/specflags"
 	"repro/internal/circuit"
-	"repro/internal/cluster"
 	"repro/internal/density"
 	"repro/internal/qasm"
-	"repro/internal/resilience"
 	"repro/internal/xacc"
 )
 
 func main() {
+	sf := specflags.Add(flag.CommandLine, specflags.Backend)
 	var (
-		backend = flag.String("backend", "nwq-sv", "backend: one of "+fmt.Sprint(xacc.AcceleratorNames()))
-		ranks   = flag.Int("ranks", 4, "cluster backend: rank count (power of two)")
-		shots   = flag.Int("shots", 0, "sample this many shots (0 = exact probabilities only)")
-		fuse    = flag.Bool("fuse", false, "apply gate fusion before executing")
-		noise   = flag.Float64("noise", 0, "depolarizing error rate (switches to density-matrix backend)")
-		top     = flag.Int("top", 16, "print at most this many outcomes")
-		stats   = flag.Bool("stats", false, "print circuit statistics and exit")
-
-		// Fault-drill flags (cluster backend): seeded injector behind every
-		// pairwise block exchange, countered by checksums + retry.
-		faultSeed    = flag.Uint64("fault-seed", 42, "cluster: fault injector seed")
-		faultDrop    = flag.Float64("fault-drop", 0, "cluster: per-transfer drop probability")
-		faultCorrupt = flag.Float64("fault-corrupt", 0, "cluster: per-transfer corruption probability (checksum-caught)")
-		faultStall   = flag.Float64("fault-stall", 0, "cluster: per-transfer transient-stall probability")
-		faultSilent  = flag.Float64("fault-silent", 0, "cluster: post-checksum silent-corruption probability (watchdog-caught)")
-		faultMax     = flag.Int("fault-max", 0, "cluster: cap on injected faults (0 = unlimited)")
+		shots = flag.Int("shots", 0, "sample this many shots (0 = exact probabilities only)")
+		fuse  = flag.Bool("fuse", false, "apply gate fusion before executing")
+		noise = flag.Float64("noise", 0, "depolarizing error rate (switches to the density-matrix backend)")
+		top   = flag.Int("top", 16, "print at most this many outcomes")
+		stats = flag.Bool("stats", false, "print circuit statistics and exit")
+		list  = flag.Bool("backends", false, "list registered backends and exit")
 	)
 	obsFlags := runreport.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if *list {
+		for _, info := range xacc.DefaultRegistry.List() {
+			fmt.Printf("%-16s ≤%2d qubits  %s\n", info.Name, info.QubitLimit, info.Description)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: nwqsim [flags] <circuit.qasm | ->")
 		flag.PrintDefaults()
@@ -82,24 +80,18 @@ func main() {
 		return
 	}
 
-	res := cluster.Options{}
-	if *faultDrop > 0 || *faultCorrupt > 0 || *faultStall > 0 || *faultSilent > 0 {
-		res.Fault = resilience.NewFaultInjector(resilience.FaultConfig{
-			Seed:        *faultSeed,
-			DropProb:    *faultDrop,
-			CorruptProb: *faultCorrupt,
-			StallProb:   *faultStall,
-			SilentProb:  *faultSilent,
-			MaxFaults:   *faultMax,
-		})
-		if *faultSilent > 0 {
-			// Silent corruption sails past the checksums; only the
-			// norm-drift watchdog catches it.
-			res.NormCheckEvery = 8
-		}
+	spec, err := sf.Spec()
+	if err != nil {
+		fail(err)
 	}
-
-	acc, err := pick(*backend, *ranks, *noise, res)
+	spec.ApplyDefaults()
+	name := spec.Backend.Accelerator
+	opts := spec.Backend.AcceleratorOptions()
+	if *noise > 0 {
+		name = "nwq-dm"
+		opts.Noise = density.DepolarizingModel(*noise, 2**noise)
+	}
+	acc, err := xacc.DefaultRegistry.New(name, opts)
 	if err != nil {
 		fail(err)
 	}
@@ -113,9 +105,9 @@ func main() {
 	fmt.Printf("executed in %v\n\n", time.Since(start).Round(time.Microsecond))
 
 	printDistribution(out, c.NumQubits, *shots, *top)
-	if res.Fault != nil {
+	if f := opts.Resilience.Fault; f != nil {
 		fmt.Printf("\nfaults injected: %d (%v) — all recovered\n",
-			res.Fault.Injected(), res.Fault.InjectedByKind())
+			f.Injected(), f.InjectedByKind())
 	}
 	if err := rep.Finish(); err != nil {
 		fail(err)
@@ -132,19 +124,6 @@ func load(path string) (*circuit.Circuit, error) {
 	}
 	defer f.Close()
 	return qasm.Parse(f)
-}
-
-func pick(backend string, ranks int, noise float64, res cluster.Options) (xacc.Accelerator, error) {
-	if noise > 0 {
-		return &xacc.DMAccelerator{Noise: density.DepolarizingModel(noise, 2*noise)}, nil
-	}
-	if backend == "nwq-cluster" {
-		return &xacc.ClusterAccelerator{Ranks: ranks, Resilience: res}, nil
-	}
-	if res.Fault != nil {
-		return nil, fmt.Errorf("nwqsim: -fault-* flags need -backend nwq-cluster (got %q)", backend)
-	}
-	return xacc.GetAccelerator(backend)
 }
 
 func printDistribution(res *xacc.ExecutionResult, n, shots, top int) {

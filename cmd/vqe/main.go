@@ -1,6 +1,8 @@
 // Command vqe runs the end-to-end VQE workflow (paper Figure 2) on a
 // built-in molecular model and reports the optimized energy against the
-// exact (FCI) reference.
+// exact (FCI) reference. Flags assemble a runspec.RunSpec — the same
+// document the vqed daemon accepts over HTTP — and the shared engine
+// executes it.
 //
 //	vqe -molecule h2                      # UCCSD VQE on H2/STO-3G
 //	vqe -molecule water -adapt            # Adapt-VQE on the 12-qubit model
@@ -9,6 +11,7 @@
 //	vqe -molecule synthetic -orbitals 3 -electrons 2 -downfold 2
 //	vqe -molecule water -checkpoint w.ckpt -walltime 00:30  # budgeted run
 //	vqe -molecule water -checkpoint w.ckpt -resume          # continue it
+//	vqe -spec job.json                    # run a spec document directly
 package main
 
 import (
@@ -17,49 +20,27 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"time"
 
 	"repro/cmd/internal/runreport"
+	"repro/cmd/internal/specflags"
 	"repro/internal/ansatz"
 	"repro/internal/chem"
 	"repro/internal/core"
-	"repro/internal/fermion"
 	"repro/internal/linalg"
 	"repro/internal/opt"
 	"repro/internal/pauli"
-	"repro/internal/qpe"
-	"repro/internal/resilience"
+	"repro/internal/runspec"
 	"repro/internal/vqe"
 )
 
 func main() {
+	sf := specflags.Add(flag.CommandLine, specflags.All)
 	var (
-		molecule  = flag.String("molecule", "h2", "h2 | water | hubbard | synthetic")
-		sites     = flag.Int("sites", 2, "hubbard: chain length")
-		hopping   = flag.Float64("t", 1.0, "hubbard: hopping amplitude")
-		repulsion = flag.Float64("u", 4.0, "hubbard: on-site repulsion")
-		orbitals  = flag.Int("orbitals", 3, "synthetic: spatial orbitals")
-		electrons = flag.Int("electrons", 2, "hubbard/synthetic: electron count")
-		seed      = flag.Uint64("seed", 1, "synthetic: generator seed")
-		downfold  = flag.Int("downfold", 0, "downfold to this many active orbitals before solving (0 = off)")
-		taper     = flag.Bool("taper", false, "report Z2-symmetry qubit tapering of the observable")
-		encoding  = flag.String("encoding", "jw", "fermion-to-qubit mapping: jw | bk | parity")
-		mode      = flag.String("mode", "direct", "energy evaluation: direct | rotated | sampled")
-		shots     = flag.Int("shots", 8192, "shots per group in sampled mode")
-		caching   = flag.Bool("caching", true, "post-ansatz state caching (rotated/sampled modes)")
-		fusion    = flag.Bool("fusion", false, "transpile ansatz circuits with gate fusion")
-		optimizer = flag.String("optimizer", "lbfgs", "lbfgs | nelder-mead")
-		adapt     = flag.Bool("adapt", false, "run Adapt-VQE instead of fixed UCCSD")
-		runQPE    = flag.Bool("qpe", false, "run quantum phase estimation instead of VQE")
-		ancillas  = flag.Int("ancillas", 7, "qpe: ancilla qubits")
-		workers   = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
-		hamFile   = flag.String("hamiltonian", "", "run VQE on an operator file (hardware-efficient ansatz) instead of a built-in molecule")
-		layers    = flag.Int("layers", 2, "operator-file mode: HEA entangling layers")
-		scan      = flag.String("scan", "", "H2 dissociation scan \"start:stop:step\" in Å (warm-started VQE)")
-		ckptPath  = flag.String("checkpoint", "", "write atomic CRC-verified optimizer snapshots to this file")
-		ckptEvery = flag.Int("checkpoint-every", 10, "iterations between checkpoint writes")
-		resume    = flag.Bool("resume", false, "load -checkpoint before starting and continue from it")
-		walltime  = flag.String("walltime", "", "walltime budget (SLURM forms \"30\", \"HH:MM:SS\", \"D-HH:MM\" or Go \"90s\"); halts gracefully with best-so-far")
+		taper    = flag.Bool("taper", false, "report Z2-symmetry qubit tapering of the observable")
+		hamFile  = flag.String("hamiltonian", "", "run VQE on an operator file (hardware-efficient ansatz) instead of a built-in molecule")
+		layers   = flag.Int("layers", 2, "operator-file mode: HEA entangling layers")
+		scan     = flag.String("scan", "", "H2 dissociation scan \"start:stop:step\" in Å (warm-started VQE)")
+		specFile = flag.String("spec", "", "run a RunSpec JSON document instead of assembling one from flags")
 	)
 	obsFlags := runreport.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -70,26 +51,8 @@ func main() {
 		fail(err)
 	}
 
-	if *resume && *ckptPath == "" {
-		fail(fmt.Errorf("%w: -resume needs -checkpoint", core.ErrInvalidArgument))
-	}
-	ro := vqe.ResilienceOptions{CheckpointPath: *ckptPath, CheckpointEvery: *ckptEvery, Resume: *resume}
-	ctx := context.Background()
-	if *walltime != "" {
-		budget, err := resilience.ParseWalltime(*walltime)
-		if err != nil {
-			fail(err)
-		}
-		// Reserve a couple of seconds inside the budget for the final
-		// checkpoint write and the run report.
-		var cancel context.CancelFunc
-		ctx, cancel = resilience.WithWalltime(ctx, budget, 2*time.Second)
-		defer cancel()
-		fmt.Printf("walltime:   %s budget\n", budget)
-	}
-
 	if *hamFile != "" {
-		runOnOperatorFile(*hamFile, *layers, *workers)
+		runOnOperatorFile(*hamFile, *layers, sf.Workers())
 		finishReport()
 		return
 	}
@@ -99,59 +62,89 @@ func main() {
 		return
 	}
 
-	m, err := buildMolecule(*molecule, *sites, *hopping, *repulsion, *orbitals, *electrons, *seed)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("molecule: %s (%d spin orbitals, %d electrons)\n", m.Name, m.NumSpinOrbitals(), m.NumElectrons)
-
-	h, err := buildObservable(m, *encoding)
-	if err != nil {
-		fail(err)
-	}
-	n := m.NumSpinOrbitals()
-	ne := m.NumElectrons
-	if *downfold > 0 {
-		res, err := chem.Downfold(m, chem.DownfoldOptions{ActiveOrbitals: *downfold, Order: 2})
+	var spec *runspec.RunSpec
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
 		if err != nil {
 			fail(err)
 		}
-		h = res.Qubit
-		n = 2 * *downfold
-		fmt.Printf("downfolded to %d active orbitals (%d qubits, %d σ amplitudes)\n", *downfold, n, res.SigmaTerms)
+		if spec, err = runspec.Parse(data); err != nil {
+			fail(err)
+		}
+	} else if spec, err = sf.Spec(); err != nil {
+		fail(err)
 	}
-	fmt.Printf("observable: %d Pauli terms on %d qubits (%s encoding)\n", h.NumTerms(), n, *encoding)
-	rep.SetQubits(n)
-	rep.SetTerms(h.NumTerms())
+	spec.ApplyDefaults()
+
 	if *taper {
+		m, err := runspec.BuildMolecule(spec.Molecule)
+		if err != nil {
+			fail(err)
+		}
 		tr, err := chem.TaperedHamiltonian(m)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("tapering:   %d → %d qubits (%d Z2 symmetries removed)\n",
-			n, tr.NumQubits, len(tr.Symmetries))
+			m.NumSpinOrbitals(), tr.NumQubits, len(tr.Symmetries))
+	}
+	if spec.Resilience.Walltime != "" {
+		fmt.Printf("walltime:   %s budget\n", spec.Resilience.Walltime)
 	}
 
-	fci, err := chem.FCIofOp(chem.FermionicHamiltonian(m), m.NumSpinOrbitals(), ne)
+	res, err := runspec.Run(context.Background(), spec, runspec.RunOptions{})
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("reference:  E(HF)  = %+.8f Ha\n", chem.HartreeFockEnergy(m))
-	fmt.Printf("            E(FCI) = %+.8f Ha\n", fci.Energy)
-
-	enc, err := encodingFor(*encoding, n)
-	if err != nil {
-		fail(err)
-	}
-	switch {
-	case *runQPE:
-		doQPE(h, n, ne, *ancillas, fci.Energy)
-	case *adapt:
-		doAdapt(ctx, h, n, ne, fci.Energy, *workers, ro)
-	default:
-		doVQE(ctx, h, enc, n, ne, *mode, *optimizer, *shots, *caching, *fusion, *workers, fci.Energy, ro)
-	}
+	report(spec, res)
 	finishReport()
+}
+
+// report prints the engine result in the CLI's traditional shape.
+func report(spec *runspec.RunSpec, res *runspec.Result) {
+	fmt.Printf("molecule:   %s (spec %s)\n", res.Molecule, res.SpecHash)
+	fmt.Printf("observable: %d Pauli terms on %d qubits (%s encoding)\n",
+		res.NumTerms, res.NumQubits, spec.Encoding)
+	rep.SetQubits(res.NumQubits)
+	rep.SetTerms(res.NumTerms)
+	fmt.Printf("reference:  E(HF)  = %+.8f Ha\n", res.HartreeFock)
+	fmt.Printf("            E(FCI) = %+.8f Ha\n", res.Exact)
+
+	if res.Algorithm == runspec.AlgorithmAdapt && len(res.History) > 0 {
+		fmt.Println("\niter  operator            energy          ΔE (mHa)")
+		for _, it := range res.History {
+			fmt.Printf("%4d  %-18s %+.8f  %8.3f\n", it.Iteration, it.Operator, it.Energy, 1000*it.ErrorVsExact)
+		}
+	}
+	if res.Interrupted {
+		fmt.Println("\nwalltime expired: reporting the best point reached before the cutoff")
+		if res.CheckpointPath != "" {
+			fmt.Printf("state saved to %s — rerun with -resume to continue\n", res.CheckpointPath)
+		}
+	}
+	switch res.Algorithm {
+	case runspec.AlgorithmQPE:
+		fmt.Printf("\nQPE result (%d ancillas, resolution %.4f Ha):\n", spec.QPE.Ancillas, res.QPE.Resolution)
+		fmt.Printf("  E(QPE)    = %+.6f Ha (confidence %.2f)\n", res.Energy, res.QPE.Confidence)
+		fmt.Printf("  |ΔE(FCI)| = %.3e Ha\n", res.ErrorVsExact)
+	case runspec.AlgorithmAdapt:
+		switch {
+		case res.Interrupted:
+			fmt.Println("ansatz growth stopped at the last completed iteration")
+		case res.Converged:
+			fmt.Printf("converged to chemical accuracy in %d iterations\n", len(res.History))
+		default:
+			fmt.Println("did not reach chemical accuracy within the iteration budget")
+		}
+		fmt.Printf("  E(Adapt)  = %+.8f Ha, |ΔE(FCI)| = %.3e Ha\n", res.Energy, res.ErrorVsExact)
+	default:
+		fmt.Printf("\nVQE result (backend=%s, mode=%s, optimizer=%s):\n",
+			spec.Backend.Accelerator, spec.Mode, spec.Optimizer.Method)
+		fmt.Printf("  E(VQE)    = %+.8f Ha\n", res.Energy)
+		fmt.Printf("  |ΔE(FCI)| = %.3e Ha (%.3f mHa)\n", res.ErrorVsExact, 1000*res.ErrorVsExact)
+		fmt.Printf("  energy evaluations: %d, ansatz executions: %d, gates applied: %d\n",
+			res.EnergyEvaluations, res.AnsatzExecutions, res.GatesApplied)
+	}
 }
 
 // rep is the process run report (set once in main before any workload
@@ -164,167 +157,10 @@ func finishReport() {
 	}
 }
 
-func buildObservable(m *chem.MolecularData, encoding string) (*pauli.Op, error) {
-	switch encoding {
-	case "jw":
-		return chem.QubitHamiltonian(m), nil
-	case "bk":
-		enc, err := fermion.BravyiKitaevEncoding(m.NumSpinOrbitals())
-		if err != nil {
-			return nil, err
-		}
-		q, err := enc.Transform(chem.FermionicHamiltonian(m))
-		if err != nil {
-			return nil, err
-		}
-		return q.HermitianPart(), nil
-	case "parity":
-		enc, err := fermion.ParityEncoding(m.NumSpinOrbitals())
-		if err != nil {
-			return nil, err
-		}
-		q, err := enc.Transform(chem.FermionicHamiltonian(m))
-		if err != nil {
-			return nil, err
-		}
-		return q.HermitianPart(), nil
-	}
-	return nil, fmt.Errorf("%w: encoding %q", core.ErrInvalidArgument, encoding)
-}
-
-func buildMolecule(kind string, sites int, t, u float64, orbitals, electrons int, seed uint64) (*chem.MolecularData, error) {
-	switch kind {
-	case "h2":
-		return chem.H2(), nil
-	case "water":
-		return chem.WaterLike(), nil
-	case "hubbard":
-		return chem.Hubbard(sites, t, u, electrons), nil
-	case "synthetic":
-		return chem.Synthetic(chem.SyntheticOptions{NumOrbitals: orbitals, NumElectrons: electrons, Seed: seed}), nil
-	}
-	return nil, fmt.Errorf("%w: molecule %q", core.ErrInvalidArgument, kind)
-}
-
-// encodingFor returns nil for JW (the ansatz default) or the explicit
-// encoding object otherwise.
-func encodingFor(name string, n int) (*fermion.Encoding, error) {
-	switch name {
-	case "jw":
-		return nil, nil
-	case "bk":
-		return fermion.BravyiKitaevEncoding(n)
-	case "parity":
-		return fermion.ParityEncoding(n)
-	}
-	return nil, fmt.Errorf("%w: encoding %q", core.ErrInvalidArgument, name)
-}
-
-func doVQE(ctx context.Context, h *pauli.Op, enc *fermion.Encoding, n, ne int, mode, optimizer string, shots int, caching, fusion bool, workers int, fciE float64, ro vqe.ResilienceOptions) {
-	u, err := ansatz.NewUCCSDWithEncoding(n, ne, enc)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("ansatz:     UCCSD, %d parameters\n", u.NumParameters())
-	em := vqe.Direct
-	switch mode {
-	case "direct":
-	case "rotated":
-		em = vqe.Rotated
-	case "sampled":
-		em = vqe.Sampled
-	default:
-		fail(fmt.Errorf("unknown mode %q", mode))
-	}
-	drv, err := vqe.New(h, u, vqe.Options{
-		Mode: em, Shots: shots, Caching: caching && em != vqe.Direct,
-		Transpile: fusion, Workers: workers,
-	})
-	if err != nil {
-		fail(err)
-	}
-	x0 := make([]float64, u.NumParameters())
-	var res vqe.Result
-	switch optimizer {
-	case "lbfgs":
-		res, err = drv.MinimizeLBFGSContext(ctx, x0, opt.LBFGSOptions{}, ro)
-		if err != nil {
-			fail(err)
-		}
-	case "nelder-mead":
-		res, err = drv.MinimizeContext(ctx, x0, opt.NelderMeadOptions{MaxIter: 5000}, ro)
-		if err != nil {
-			fail(err)
-		}
-	default:
-		fail(fmt.Errorf("unknown optimizer %q", optimizer))
-	}
-	if res.Interrupted {
-		fmt.Println("\nwalltime expired: reporting the best point reached before the cutoff")
-		if ro.CheckpointPath != "" {
-			fmt.Printf("state saved to %s — rerun with -resume to continue\n", ro.CheckpointPath)
-		}
-	}
-	fmt.Printf("\nVQE result (mode=%s, optimizer=%s):\n", mode, optimizer)
-	fmt.Printf("  E(VQE)    = %+.8f Ha\n", res.Energy)
-	fmt.Printf("  |ΔE(FCI)| = %.3e Ha (%.3f mHa)\n", math.Abs(res.Energy-fciE), 1000*math.Abs(res.Energy-fciE))
-	fmt.Printf("  energy evaluations: %d, ansatz executions: %d, gates applied: %d\n",
-		res.Stats.EnergyEvaluations, res.Stats.AnsatzExecutions, res.Stats.GatesApplied)
-	if res.CacheStats.Puts > 0 {
-		fmt.Printf("  cache: %d puts, %d hits (%d device, %d host)\n",
-			res.CacheStats.Puts, res.CacheStats.Hits, res.CacheStats.DeviceHits, res.CacheStats.HostHits)
-	}
-}
-
-func doAdapt(ctx context.Context, h *pauli.Op, n, ne int, fciE float64, workers int, ro vqe.ResilienceOptions) {
-	pool, err := ansatz.NewPool(n, ne)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("ansatz:     Adapt-VQE, pool of %d operators\n", pool.Size())
-	res, err := vqe.AdaptContext(ctx, h, pool, n, ne, vqe.AdaptOptions{
-		MaxIterations: 25,
-		Reference:     fciE,
-		EnergyTol:     core.ChemicalAccuracy,
-		Workers:       workers,
-	}, ro)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Println("\niter  operator            energy          ΔE (mHa)")
-	for _, it := range res.History {
-		fmt.Printf("%4d  %-18s %+.8f  %8.3f\n", it.Iteration, it.Operator, it.Energy, 1000*it.ErrorVsRef)
-	}
-	switch {
-	case res.Interrupted:
-		fmt.Println("walltime expired: ansatz growth stopped at the last completed iteration")
-		if ro.CheckpointPath != "" {
-			fmt.Printf("state saved to %s — rerun with -resume to continue\n", ro.CheckpointPath)
-		}
-	case res.Converged:
-		fmt.Printf("converged to chemical accuracy in %d iterations\n", len(res.History))
-	default:
-		fmt.Println("did not reach chemical accuracy within the iteration budget")
-	}
-}
-
-func doQPE(h *pauli.Op, n, ne, ancillas int, fciE float64) {
-	prep := qpe.HartreeFockPrep(n, ne)
-	res, err := qpe.Estimate(h, prep, n, qpe.Options{AncillaQubits: ancillas, TrotterSteps: 4})
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("\nQPE result (%d ancillas, resolution %.4f Ha):\n", ancillas, res.Resolution)
-	fmt.Printf("  E(QPE)    = %+.6f Ha (confidence %.2f)\n", res.Energy, res.Confidence)
-	fmt.Printf("  |ΔE(FCI)| = %.3e Ha\n", math.Abs(res.Energy-fciE))
-	fmt.Println("  top outcomes:")
-	for _, o := range res.TopOutcomes {
-		fmt.Printf("    phase %.4f → E %+.6f (p = %.3f)\n", o.Phase, o.Energy, o.Probability)
-	}
-}
-
 // runOnOperatorFile loads a serialized observable and minimizes it with a
 // hardware-efficient ansatz, reporting against the Lanczos ground energy.
+// This path stays outside the spec engine: an arbitrary operator file has
+// no declarative molecule section.
 func runOnOperatorFile(path string, layers, workers int) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -374,7 +210,9 @@ func runOnOperatorFile(path string, layers, workers int) {
 }
 
 // runScan sweeps the H2 bond length, printing one row per geometry with
-// warm-started VQE (paper §6.2 incremental optimization).
+// warm-started VQE (paper §6.2 incremental optimization). Warm-starting
+// threads state between geometries, so this also stays outside the
+// one-spec-one-run engine.
 func runScan(spec string) {
 	var start, stop, step float64
 	if _, err := fmt.Sscanf(spec, "%f:%f:%f", &start, &stop, &step); err != nil || step <= 0 || stop < start {

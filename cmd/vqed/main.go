@@ -1,0 +1,84 @@
+// Command vqed is the VQE job-serving daemon: it accepts RunSpec
+// documents over HTTP, schedules them on a bounded worker fleet sharing
+// one simulation pool, streams per-iteration progress over SSE, and
+// answers repeated specs from a content-addressed result cache.
+//
+//	vqed -addr :8080 -jobs 4 -workers 0 -spool /tmp/vqed-spool
+//
+// SIGINT/SIGTERM trigger a graceful drain: in-flight optimizers halt at
+// the next iteration boundary, write resumable checkpoints into the
+// spool, and a manifest.json records what can be resubmitted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("jobs", 4, "maximum concurrently running jobs")
+	queue := flag.Int("queue", 64, "queued-job capacity before submissions get 503")
+	workers := flag.Int("workers", 0, "shared simulation pool width (0 = GOMAXPROCS)")
+	spool := flag.String("spool", "", "checkpoint spool directory (default: vqed-spool under the OS temp dir)")
+	cache := flag.Int("cache", 256, "result cache capacity (completed specs)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		MaxConcurrent: *jobs,
+		QueueDepth:    *queue,
+		SimWorkers:    *workers,
+		SpoolDir:      *spool,
+		CacheCapacity: *cache,
+	})
+	if err != nil {
+		log.Fatalf("vqed: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("vqed: serving on %s (jobs=%d queue=%d workers=%d)",
+			*addr, *jobs, *queue, srv.Pool().Workers())
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("vqed: %s received, draining (budget %s)", s, *drain)
+	case err := <-errCh:
+		log.Fatalf("vqed: listen: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the scheduler first: jobs settle (checkpointing in-flight
+	// work), which ends their SSE streams, so the HTTP shutdown that
+	// follows isn't held open by live event connections.
+	drainErr := srv.Shutdown(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("vqed: http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		log.Printf("vqed: drain: %v", drainErr)
+		os.Exit(1)
+	}
+	fmt.Println("vqed: drained cleanly")
+}

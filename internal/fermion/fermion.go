@@ -135,10 +135,13 @@ func (op *Op) Scale(c complex128) *Op {
 }
 
 // Mul returns the operator product op·o (ladder products concatenate).
+// Iterates in canonical term order: concatenated products can normalize
+// to the same key, and their summation order must not depend on map
+// iteration (run-to-run bit stability).
 func (op *Op) Mul(o *Op) *Op {
 	out := NewOp()
-	for _, t1 := range op.terms {
-		for _, t2 := range o.terms {
+	for _, t1 := range op.Terms() {
+		for _, t2 := range o.Terms() {
 			ops := make([]Ladder, 0, len(t1.Ops)+len(t2.Ops))
 			ops = append(ops, t1.Ops...)
 			ops = append(ops, t2.Ops...)
@@ -302,10 +305,13 @@ func swapAt(ops []Ladder, i int) []Ladder {
 //	a_p† = Z₀…Z_{p−1} · (X_p − iY_p)/2
 //	a_p  = Z₀…Z_{p−1} · (X_p + iY_p)/2
 //
-// Mode p maps to qubit p.
+// Mode p maps to qubit p. Different ladder products transform onto
+// overlapping Pauli strings, so the accumulation runs in canonical term
+// order — map iteration would make the low-order bits of the summed
+// coefficients vary between otherwise identical constructions.
 func (op *Op) JordanWigner() *pauli.Op {
 	out := pauli.NewOp()
-	for _, t := range op.terms {
+	for _, t := range op.Terms() {
 		acc := pauli.Scalar(t.Coeff)
 		for _, l := range t.Ops {
 			acc = acc.Mul(ladderJW(l))

@@ -104,13 +104,17 @@ func (op *Op) Scale(c complex128) *Op {
 }
 
 // Mul returns the operator product op·o (term-by-term with phase
-// tracking). Cost is O(|op|·|o|).
+// tracking). Cost is O(|op|·|o| + sort). Distinct factor pairs can
+// produce the same product string, so accumulation must run in canonical
+// term order — map iteration would make the summation order (and the
+// low-order bits of colliding coefficients) vary between runs, breaking
+// the engine's equal-spec ⇒ equal-result guarantee.
 func (op *Op) Mul(o *Op) *Op {
 	out := NewOp()
-	for p1, c1 := range op.terms {
-		for p2, c2 := range o.terms {
-			r, ph := p1.Mul(p2)
-			out.Add(r, c1*c2*ph)
+	for _, t1 := range op.Terms() {
+		for _, t2 := range o.Terms() {
+			r, ph := t1.P.Mul(t2.P)
+			out.Add(r, t1.Coeff*t2.Coeff*ph)
 		}
 	}
 	return out
@@ -238,17 +242,19 @@ func (op *Op) ToDense(n int) *linalg.Matrix {
 
 // MatVec applies the operator to a state vector without materializing a
 // matrix: O(terms · 2ⁿ). src and dst must have length 2ⁿ.
+// Different strings can route amplitude into the same dst element, so the
+// term loop runs in canonical order for run-to-run bit stability.
 func (op *Op) MatVec(dst, src []complex128) {
 	for i := range dst {
 		dst[i] = 0
 	}
-	for p, c := range op.terms {
+	for _, t := range op.Terms() {
 		for i := uint64(0); i < uint64(len(src)); i++ {
 			if src[i] == 0 {
 				continue
 			}
-			j, ph := p.ApplyToBasis(i)
-			dst[j] += c * ph * src[i]
+			j, ph := t.P.ApplyToBasis(i)
+			dst[j] += t.Coeff * ph * src[i]
 		}
 	}
 }

@@ -1,0 +1,476 @@
+package runspec
+
+// The execution engine behind a RunSpec: every entry point that used to
+// hand-wire molecule → observable → ansatz → optimizer (the vqesim
+// facade, cmd/vqe, and now the vqed daemon) funnels through Run, so a
+// spec computes the same answer no matter which door it came in.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/ansatz"
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/fermion"
+	"repro/internal/opt"
+	"repro/internal/pauli"
+	"repro/internal/qpe"
+	"repro/internal/resilience"
+	"repro/internal/state"
+	"repro/internal/vqe"
+	"repro/internal/xacc"
+)
+
+// Progress is one per-iteration notification delivered to
+// RunOptions.OnProgress — what the daemon streams over SSE as the energy
+// trace.
+type Progress struct {
+	// Phase: "vqe", "adapt", or "qpe".
+	Phase string `json:"phase"`
+	// Iteration is the optimizer (or Adapt outer-loop) iteration.
+	Iteration int `json:"iteration"`
+	// Energy is the best energy found so far.
+	Energy float64 `json:"energy"`
+	// Operator is the Adapt operator added this iteration.
+	Operator string `json:"operator,omitempty"`
+}
+
+// RunOptions carries the per-invocation machinery that is not part of the
+// spec: the scheduler's shared simulation pool, a checkpoint-path
+// override, and the progress sink.
+type RunOptions struct {
+	// Pool shares one bounded worker pool across concurrent runs (the
+	// daemon's scheduler); nil lets each run size its own.
+	Pool *state.Pool
+	// CheckpointPath overrides spec.Resilience.CheckpointPath (the daemon
+	// assigns each job a spool path). Checkpointing is honored on the
+	// in-process nwq-sv path (vqe and adapt); accelerator-routed runs
+	// ignore it.
+	CheckpointPath string
+	// OnProgress, when set, receives one Progress per iteration. Called
+	// from the run's goroutine; keep it fast.
+	OnProgress func(Progress)
+}
+
+// AdaptStep is the JSON-facing mirror of one Adapt-VQE outer iteration.
+type AdaptStep struct {
+	Iteration    int     `json:"iteration"`
+	Operator     string  `json:"operator"`
+	MaxGradient  float64 `json:"max_gradient"`
+	Energy       float64 `json:"energy"`
+	ErrorVsExact float64 `json:"error_vs_exact"`
+	Parameters   int     `json:"parameters"`
+	CircuitDepth int     `json:"circuit_depth"`
+	GateCount    int     `json:"gate_count"`
+}
+
+// QPEOutcome carries the phase-estimation-specific result fields.
+type QPEOutcome struct {
+	Resolution float64 `json:"resolution"`
+	Confidence float64 `json:"confidence"`
+}
+
+// Result is the serializable outcome of one RunSpec execution.
+type Result struct {
+	SpecHash  string `json:"spec_hash"`
+	Algorithm string `json:"algorithm"`
+	Molecule  string `json:"molecule"`
+	NumQubits int    `json:"num_qubits"`
+	NumTerms  int    `json:"num_terms"`
+	// HartreeFock and Exact are the mean-field and FCI references.
+	HartreeFock  float64 `json:"hartree_fock"`
+	Exact        float64 `json:"exact"`
+	Energy       float64 `json:"energy"`
+	ErrorVsExact float64 `json:"error_vs_exact"`
+	// Params is the optimized parameter vector (vqe/adapt).
+	Params    []float64 `json:"params,omitempty"`
+	Converged bool      `json:"converged"`
+	// Interrupted marks a run halted by deadline or cancellation; Energy
+	// then holds the best point reached, and — when checkpointing was on
+	// — the snapshot on disk resumes the exact trajectory.
+	Interrupted bool `json:"interrupted"`
+	// CheckpointPath is the snapshot file the run wrote to (if any).
+	CheckpointPath    string `json:"checkpoint_path,omitempty"`
+	EnergyEvaluations int    `json:"energy_evaluations,omitempty"`
+	AnsatzExecutions  int    `json:"ansatz_executions,omitempty"`
+	GatesApplied      uint64 `json:"gates_applied,omitempty"`
+	// History is the Adapt-VQE growth trace.
+	History []AdaptStep `json:"history,omitempty"`
+	// QPE is set for phase-estimation runs.
+	QPE *QPEOutcome `json:"qpe,omitempty"`
+	// WallNs is the run's wall-clock time in nanoseconds.
+	WallNs int64 `json:"wall_ns"`
+}
+
+// BuildMolecule materializes the molecular model a spec names.
+func BuildMolecule(ms MoleculeSpec) (*chem.MolecularData, error) {
+	spec := RunSpec{Molecule: ms}
+	spec.ApplyDefaults()
+	ms = spec.Molecule
+	switch ms.Kind {
+	case "h2":
+		return chem.H2(), nil
+	case "h2-distance":
+		return chem.H2AtDistance(ms.Distance)
+	case "water":
+		return chem.WaterLike(), nil
+	case "hubbard":
+		return chem.Hubbard(ms.Sites, ms.Hopping, ms.Repulsion, ms.Electrons), nil
+	case "synthetic":
+		return chem.Synthetic(chem.SyntheticOptions{
+			NumOrbitals: ms.Orbitals, NumElectrons: ms.Electrons, Seed: ms.Seed}), nil
+	}
+	return nil, fmt.Errorf("%w: runspec: unknown molecule kind %q", core.ErrInvalidArgument, ms.Kind)
+}
+
+// BuildObservable maps a molecule to its qubit Hamiltonian under the
+// spec's fermion-to-qubit encoding.
+func BuildObservable(m *chem.MolecularData, encoding string) (*pauli.Op, error) {
+	switch encoding {
+	case "", "jw":
+		return chem.QubitHamiltonian(m), nil
+	case "bk", "parity":
+		enc, err := encodingFor(encoding, m.NumSpinOrbitals())
+		if err != nil {
+			return nil, err
+		}
+		q, err := enc.Transform(chem.FermionicHamiltonian(m))
+		if err != nil {
+			return nil, err
+		}
+		return q.HermitianPart(), nil
+	}
+	return nil, fmt.Errorf("%w: runspec: unknown encoding %q", core.ErrInvalidArgument, encoding)
+}
+
+// encodingFor returns nil for JW (the ansatz default) or the explicit
+// encoding object otherwise.
+func encodingFor(name string, n int) (*fermion.Encoding, error) {
+	switch name {
+	case "", "jw":
+		return nil, nil
+	case "bk":
+		return fermion.BravyiKitaevEncoding(n)
+	case "parity":
+		return fermion.ParityEncoding(n)
+	}
+	return nil, fmt.Errorf("%w: runspec: unknown encoding %q", core.ErrInvalidArgument, name)
+}
+
+// AcceleratorOptions translates the backend section into registry
+// lookup options, including the serialized fault-injection drill.
+func (b BackendSpec) AcceleratorOptions() xacc.AcceleratorOptions {
+	o := xacc.AcceleratorOptions{Workers: b.Workers, Ranks: b.Ranks}
+	if b.Fault.enabled() {
+		o.Resilience.Fault = resilience.NewFaultInjector(resilience.FaultConfig{
+			Seed:        b.Fault.Seed,
+			DropProb:    b.Fault.DropProb,
+			CorruptProb: b.Fault.CorruptProb,
+			StallProb:   b.Fault.StallProb,
+			SilentProb:  b.Fault.SilentProb,
+			MaxFaults:   b.Fault.MaxFaults,
+		})
+		if b.Fault.SilentProb > 0 {
+			// Silent corruption sails past the checksums; only the
+			// norm-drift watchdog catches it.
+			o.Resilience.NormCheckEvery = 8
+		}
+	}
+	return o
+}
+
+// Run validates and executes a spec: molecule construction, observable
+// mapping, optional downfolding, then the selected algorithm on the
+// selected backend. The context bounds the whole run; a spec walltime is
+// layered on top of it.
+func Run(ctx context.Context, spec *RunSpec, opts RunOptions) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := *spec
+	c.ApplyDefaults()
+	m, err := BuildMolecule(c.Molecule)
+	if err != nil {
+		return nil, err
+	}
+	return run(ctx, m, &c, opts)
+}
+
+// RunOnMolecule executes a spec's algorithm sections against an
+// already-built molecule — the adapter the legacy facade entry points
+// (vqesim.GroundStateVQE and friends) use, since an arbitrary
+// MolecularData value has no declarative spec. The molecule section of
+// the spec is ignored; the result's SpecHash is empty because the run is
+// not content-addressable.
+func RunOnMolecule(ctx context.Context, m *chem.MolecularData, spec *RunSpec, opts RunOptions) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := *spec
+	c.ApplyDefaults()
+	res, err := run(ctx, m, &c, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.SpecHash = ""
+	return res, nil
+}
+
+// run executes a defaulted spec on a built molecule.
+func run(ctx context.Context, m *chem.MolecularData, c *RunSpec, opts RunOptions) (*Result, error) {
+	started := time.Now()
+	if c.Resilience.Walltime != "" {
+		budget, err := resilience.ParseWalltime(c.Resilience.Walltime)
+		if err != nil {
+			return nil, err
+		}
+		// Reserve a couple of seconds inside the budget for the final
+		// checkpoint write.
+		var cancel context.CancelFunc
+		ctx, cancel = resilience.WithWalltime(ctx, budget, 2*time.Second)
+		defer cancel()
+	}
+	ro := vqe.ResilienceOptions{
+		CheckpointPath:  c.Resilience.CheckpointPath,
+		CheckpointEvery: c.Resilience.CheckpointEvery,
+		Resume:          c.Resilience.Resume,
+	}
+	if opts.CheckpointPath != "" {
+		ro.CheckpointPath = opts.CheckpointPath
+	}
+
+	h, err := BuildObservable(m, c.Encoding)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumSpinOrbitals()
+	ne := m.NumElectrons
+	if c.Downfold > 0 {
+		dres, err := chem.Downfold(m, chem.DownfoldOptions{ActiveOrbitals: c.Downfold, Order: 2})
+		if err != nil {
+			return nil, err
+		}
+		h = dres.Qubit
+		n = 2 * c.Downfold
+	}
+	fci, err := chem.FCIofOp(chem.FermionicHamiltonian(m), m.NumSpinOrbitals(), ne)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		SpecHash:    c.Hash(),
+		Algorithm:   c.Algorithm,
+		Molecule:    m.Name,
+		NumQubits:   n,
+		NumTerms:    h.NumTerms(),
+		HartreeFock: chem.HartreeFockEnergy(m),
+		Exact:       fci.Energy,
+	}
+	if ro.CheckpointPath != "" {
+		res.CheckpointPath = ro.CheckpointPath
+	}
+
+	switch c.Algorithm {
+	case AlgorithmQPE:
+		err = runQPE(ctx, c, h, n, ne, res)
+	case AlgorithmAdapt:
+		err = runAdapt(ctx, c, h, n, ne, fci.Energy, ro, opts, res)
+	default:
+		err = runVQE(ctx, c, h, n, ne, ro, opts, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.ErrorVsExact = math.Abs(res.Energy - res.Exact)
+	res.WallNs = time.Since(started).Nanoseconds()
+	return res, nil
+}
+
+func runQPE(ctx context.Context, c *RunSpec, h *pauli.Op, n, ne int, res *Result) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	prep := qpe.HartreeFockPrep(n, ne)
+	out, err := qpe.Estimate(h, prep, n, qpe.Options{
+		AncillaQubits: c.QPE.Ancillas,
+		TrotterSteps:  c.QPE.TrotterSteps,
+	})
+	if err != nil {
+		return err
+	}
+	res.Energy = out.Energy
+	res.Converged = true
+	res.QPE = &QPEOutcome{Resolution: out.Resolution, Confidence: out.Confidence}
+	return nil
+}
+
+func runAdapt(ctx context.Context, c *RunSpec, h *pauli.Op, n, ne int, fciE float64, ro vqe.ResilienceOptions, opts RunOptions, res *Result) error {
+	pool, err := ansatz.NewPool(n, ne)
+	if err != nil {
+		return err
+	}
+	ao := vqe.AdaptOptions{
+		MaxIterations: c.Adapt.MaxIterations,
+		GradientTol:   c.Adapt.GradientTol,
+		Reference:     fciE,
+		EnergyTol:     core.ChemicalAccuracy,
+		Workers:       c.Backend.Workers,
+		Pool:          opts.Pool,
+	}
+	if opts.OnProgress != nil {
+		ao.Observer = func(it vqe.AdaptIteration) error {
+			opts.OnProgress(Progress{Phase: AlgorithmAdapt, Iteration: it.Iteration,
+				Energy: it.Energy, Operator: it.Operator})
+			return nil
+		}
+	}
+	out, err := vqe.AdaptContext(ctx, h, pool, n, ne, ao, ro)
+	if err != nil {
+		return err
+	}
+	res.Energy = out.Energy
+	res.Params = out.Params
+	res.Converged = out.Converged
+	res.Interrupted = out.Interrupted
+	res.EnergyEvaluations = out.TotalStats.EnergyEvaluations
+	res.AnsatzExecutions = out.TotalStats.AnsatzExecutions
+	res.GatesApplied = out.TotalStats.GatesApplied
+	res.History = make([]AdaptStep, len(out.History))
+	for i, it := range out.History {
+		res.History[i] = AdaptStep{
+			Iteration: it.Iteration, Operator: it.Operator,
+			MaxGradient: it.MaxGradient, Energy: it.Energy,
+			ErrorVsExact: it.ErrorVsRef, Parameters: it.Parameters,
+			CircuitDepth: it.CircuitDepth, GateCount: it.GateCount,
+		}
+	}
+	return nil
+}
+
+// runVQE dispatches fixed-ansatz VQE: the in-process driver for the
+// default state-vector backend (full feature set — modes, caching,
+// adjoint gradients, checkpointing), or the accelerator-routed XACC loop
+// for everything else in the registry.
+func runVQE(ctx context.Context, c *RunSpec, h *pauli.Op, n, ne int, ro vqe.ResilienceOptions, opts RunOptions, res *Result) error {
+	a, err := buildAnsatz(c, n, ne)
+	if err != nil {
+		return err
+	}
+	if c.Backend.Accelerator == "nwq-sv" {
+		return runDriverVQE(ctx, c, h, a, ro, opts, res)
+	}
+	return runAcceleratorVQE(ctx, c, h, n, a, opts, res)
+}
+
+func buildAnsatz(c *RunSpec, n, ne int) (ansatz.Ansatz, error) {
+	switch c.Ansatz.Kind {
+	case "uccsd":
+		enc, err := encodingFor(c.Encoding, n)
+		if err != nil {
+			return nil, err
+		}
+		return ansatz.NewUCCSDWithEncoding(n, ne, enc)
+	case "hea":
+		return ansatz.NewHardwareEfficient(n, c.Ansatz.Layers, 0)
+	}
+	return nil, fmt.Errorf("%w: runspec: unknown ansatz %q", core.ErrInvalidArgument, c.Ansatz.Kind)
+}
+
+func runDriverVQE(ctx context.Context, c *RunSpec, h *pauli.Op, a ansatz.Ansatz, ro vqe.ResilienceOptions, opts RunOptions, res *Result) error {
+	mode := vqe.Direct
+	switch c.Mode {
+	case "rotated":
+		mode = vqe.Rotated
+	case "sampled":
+		mode = vqe.Sampled
+	}
+	drv, err := vqe.New(h, a, vqe.Options{
+		Mode:      mode,
+		Shots:     c.Shots,
+		Caching:   !c.DisableCaching && mode != vqe.Direct,
+		Workers:   c.Backend.Workers,
+		Transpile: c.Fusion,
+		Pool:      opts.Pool,
+	})
+	if err != nil {
+		return err
+	}
+	x0 := make([]float64, a.NumParameters())
+	var out vqe.Result
+	switch c.Optimizer.Method {
+	case "nelder-mead":
+		o := opt.NelderMeadOptions{MaxIter: c.Optimizer.MaxIter}
+		if o.MaxIter == 0 {
+			o.MaxIter = 5000
+		}
+		if opts.OnProgress != nil {
+			o.Observer = func(st *opt.NelderMeadState) error {
+				_, f := st.Best()
+				opts.OnProgress(Progress{Phase: AlgorithmVQE, Iteration: st.Iter, Energy: f})
+				return nil
+			}
+		}
+		out, err = drv.MinimizeContext(ctx, x0, o, ro)
+	default: // lbfgs (validated)
+		o := opt.LBFGSOptions{MaxIter: c.Optimizer.MaxIter}
+		if opts.OnProgress != nil {
+			o.Observer = func(st *opt.LBFGSState) error {
+				opts.OnProgress(Progress{Phase: AlgorithmVQE, Iteration: st.Iter, Energy: st.F})
+				return nil
+			}
+		}
+		out, err = drv.MinimizeLBFGSContext(ctx, x0, o, ro)
+	}
+	if err != nil {
+		return err
+	}
+	res.Energy = out.Energy
+	res.Params = out.Params
+	res.Converged = out.Optimizer.Converged
+	res.Interrupted = out.Interrupted
+	res.EnergyEvaluations = out.Stats.EnergyEvaluations
+	res.AnsatzExecutions = out.Stats.AnsatzExecutions
+	res.GatesApplied = out.Stats.GatesApplied
+	return nil
+}
+
+func runAcceleratorVQE(ctx context.Context, c *RunSpec, h *pauli.Op, n int, a ansatz.Ansatz, opts RunOptions, res *Result) error {
+	if c.Mode != "direct" {
+		return fmt.Errorf("%w: runspec: backend %q only supports mode direct (got %q)",
+			core.ErrInvalidArgument, c.Backend.Accelerator, c.Mode)
+	}
+	acc, err := xacc.DefaultRegistry.New(c.Backend.Accelerator, c.Backend.AcceleratorOptions())
+	if err != nil {
+		return err
+	}
+	if n > acc.NumQubitsLimit() {
+		return fmt.Errorf("%w: runspec: %d qubits exceed backend %q limit of %d",
+			core.ErrInvalidArgument, n, c.Backend.Accelerator, acc.NumQubitsLimit())
+	}
+	alg := &xacc.VQE{
+		Observable:  h,
+		Ansatz:      a,
+		Accelerator: acc,
+		Optimizer:   c.Optimizer.Method,
+		MaxIter:     c.Optimizer.MaxIter,
+	}
+	if opts.OnProgress != nil {
+		alg.OnIteration = func(iter int, energy float64) error {
+			opts.OnProgress(Progress{Phase: AlgorithmVQE, Iteration: iter, Energy: energy})
+			return nil
+		}
+	}
+	out, err := alg.ExecuteContext(ctx, nil)
+	if err != nil {
+		return err
+	}
+	res.Energy = out.Energy
+	res.Params = out.Params
+	res.Converged = out.OptimizerResult.Converged
+	res.Interrupted = out.Interrupted
+	res.EnergyEvaluations = out.EnergyEvaluations
+	return nil
+}

@@ -1,0 +1,116 @@
+package runspec
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/state"
+)
+
+// TestEqualHashEqualResult is the property the daemon's result cache
+// stands on: two specs with the same canonical hash must compute
+// bit-identical energies, even when their non-canonical fields differ.
+// Worker width IS canonical (it fixes the floating-point reduction
+// order), so both runs pin the same width — exactly the situation in the
+// daemon, where every job draws from one shared pool.
+func TestEqualHashEqualResult(t *testing.T) {
+	a := &RunSpec{Backend: BackendSpec{Workers: 2}}
+	b := &RunSpec{
+		Molecule:   MoleculeSpec{Kind: "H2", Sites: 7, Seed: 99}, // erased for h2
+		Algorithm:  "vqe",
+		Mode:       "direct",
+		Shots:      4096, // inert in direct mode
+		Backend:    BackendSpec{Workers: 2, Ranks: 6}, // ranks inert off-cluster
+		Resilience: ResilienceSpec{CheckpointEvery: 3},
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("precondition failed: hashes differ: %s vs %s", a.Hash(), b.Hash())
+	}
+
+	pool := state.NewPool(2)
+	defer pool.Close()
+	ra, err := Run(context.Background(), a, RunOptions{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(context.Background(), b, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Energy != rb.Energy {
+		t.Errorf("equal-hash specs computed different energies: %v vs %v", ra.Energy, rb.Energy)
+	}
+	if ra.SpecHash != rb.SpecHash || ra.SpecHash != a.Hash() {
+		t.Errorf("result spec hashes inconsistent: %s vs %s", ra.SpecHash, rb.SpecHash)
+	}
+	if ra.ErrorVsExact > 1e-6 {
+		t.Errorf("H2 VQE missed FCI: |ΔE| = %g", ra.ErrorVsExact)
+	}
+}
+
+func TestRunH2Progress(t *testing.T) {
+	var trace []Progress
+	spec := &RunSpec{Optimizer: OptimizerSpec{Method: "nelder-mead", MaxIter: 50}}
+	res, err := Run(context.Background(), spec, RunOptions{
+		OnProgress: func(p Progress) { trace = append(trace, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("no progress events delivered")
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Iteration < trace[i-1].Iteration {
+			t.Fatalf("progress iterations not monotone at %d: %+v", i, trace[i])
+		}
+		if trace[i].Energy > trace[i-1].Energy+1e-12 {
+			t.Fatalf("best-so-far energy regressed at %d: %v → %v", i, trace[i-1].Energy, trace[i].Energy)
+		}
+	}
+	if math.Abs(res.Energy-trace[len(trace)-1].Energy) > 1e-6 {
+		t.Errorf("final progress energy %v far from result %v", trace[len(trace)-1].Energy, res.Energy)
+	}
+}
+
+// TestRunAcceleratorBackend routes VQE through the registry instead of
+// the in-process driver.
+func TestRunAcceleratorBackend(t *testing.T) {
+	spec := &RunSpec{Backend: BackendSpec{Accelerator: "nwq-sv-serial"}}
+	res, err := Run(context.Background(), spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorVsExact > 1e-5 {
+		t.Errorf("accelerator-routed H2 VQE missed FCI: |ΔE| = %g", res.ErrorVsExact)
+	}
+}
+
+func TestRunAdaptH2(t *testing.T) {
+	spec := &RunSpec{Algorithm: AlgorithmAdapt, Adapt: AdaptSpec{MaxIterations: 6}}
+	res, err := Run(context.Background(), spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("adapt run produced no history")
+	}
+	if !res.Converged && res.ErrorVsExact > 1.6e-3 {
+		t.Errorf("adapt H2 neither converged nor close: |ΔE| = %g", res.ErrorVsExact)
+	}
+}
+
+func TestRunQPEH2(t *testing.T) {
+	spec := &RunSpec{Algorithm: AlgorithmQPE, QPE: QPESpec{Ancillas: 6}}
+	res, err := Run(context.Background(), spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QPE == nil {
+		t.Fatal("QPE result missing outcome section")
+	}
+	if res.ErrorVsExact > res.QPE.Resolution {
+		t.Errorf("QPE error %g exceeds its own resolution %g", res.ErrorVsExact, res.QPE.Resolution)
+	}
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/runspec"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	// StatusQueued: accepted, waiting for a scheduler slot.
+	StatusQueued Status = "queued"
+	// StatusRunning: a worker is executing the spec.
+	StatusRunning Status = "running"
+	// StatusDone: completed; the result is final and cached.
+	StatusDone Status = "done"
+	// StatusFailed: the run returned an error.
+	StatusFailed Status = "failed"
+	// StatusInterrupted: halted by shutdown or walltime with best-so-far
+	// results; a checkpoint on disk resumes the exact trajectory.
+	StatusInterrupted Status = "interrupted"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusInterrupted
+}
+
+// Event is one SSE frame: a lifecycle transition or a per-iteration
+// progress sample.
+type Event struct {
+	// Type: queued | running | progress | done | failed | interrupted.
+	Type string `json:"type"`
+	// Seq numbers events within a job, monotonically from 1.
+	Seq int `json:"seq"`
+	// Progress fields (Type == "progress").
+	Phase     string  `json:"phase,omitempty"`
+	Iteration int     `json:"iteration,omitempty"`
+	Energy    float64 `json:"energy,omitempty"`
+	Operator  string  `json:"operator,omitempty"`
+	// Error is set on failed events.
+	Error string `json:"error,omitempty"`
+}
+
+// maxEventHistory bounds the per-job replay buffer; when full, the oldest
+// progress events are dropped (lifecycle events are never dropped).
+const maxEventHistory = 1024
+
+// Job is one submitted spec and everything observed about its execution.
+// All mutable fields are guarded by mu.
+type Job struct {
+	ID   string           `json:"id"`
+	Spec *runspec.RunSpec `json:"spec"`
+	// SpecHash is the content hash of the canonical spec — the cache key.
+	SpecHash string `json:"spec_hash"`
+
+	mu       sync.Mutex
+	status   Status
+	err      string
+	result   *runspec.Result
+	cacheHit bool
+	// checkpoint is the spool path assigned to this job.
+	checkpoint string
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+
+	seq     int
+	history []Event
+	subs    map[chan Event]struct{}
+	done    chan struct{}
+}
+
+func newJob(id string, spec *runspec.RunSpec) *Job {
+	return &Job{
+		ID:        id,
+		Spec:      spec,
+		SpecHash:  spec.Hash(),
+		status:    StatusQueued,
+		submitted: time.Now(),
+		subs:      map[chan Event]struct{}{},
+		done:      make(chan struct{}),
+	}
+}
+
+// publish appends an event to the history and fans it out to live
+// subscribers. Slow subscribers lose events rather than stalling the
+// simulation (SSE replay from the history covers reconnects).
+func (j *Job) publish(e Event) {
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	if len(j.history) >= maxEventHistory {
+		// Drop the oldest progress event; lifecycle events stay.
+		for i, old := range j.history {
+			if old.Type == "progress" {
+				j.history = append(j.history[:i], j.history[i+1:]...)
+				break
+			}
+		}
+	}
+	j.history = append(j.history, e)
+	for ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+	terminal := Status(e.Type).Terminal()
+	j.mu.Unlock()
+	if terminal {
+		close(j.done)
+	}
+}
+
+// subscribe returns the event history so far plus a live channel; the
+// caller must unsubscribe.
+func (j *Job) subscribe() ([]Event, chan Event) {
+	ch := make(chan Event, 64)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay := make([]Event, len(j.history))
+	copy(replay, j.history)
+	j.subs[ch] = struct{}{}
+	return replay, ch
+}
+
+func (j *Job) unsubscribe(ch chan Event) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// View is the JSON representation of a job served by the jobs endpoints.
+type View struct {
+	ID       string `json:"id"`
+	SpecHash string `json:"spec_hash"`
+	Status   Status `json:"status"`
+	// CacheHit marks a job served from the result cache without
+	// re-simulation.
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// CheckpointPath is set once the job has a spool snapshot to resume
+	// from (interrupted jobs).
+	CheckpointPath string          `json:"checkpoint_path,omitempty"`
+	Submitted      time.Time       `json:"submitted"`
+	Started        *time.Time      `json:"started,omitempty"`
+	Finished       *time.Time      `json:"finished,omitempty"`
+	Result         *runspec.Result `json:"result,omitempty"`
+}
+
+// view snapshots the job. withResult controls whether the full result is
+// embedded (detail endpoints) or elided (listings).
+func (j *Job) view(withResult bool) View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:        j.ID,
+		SpecHash:  j.SpecHash,
+		Status:    j.status,
+		CacheHit:  j.cacheHit,
+		Error:     j.err,
+		Submitted: j.submitted,
+	}
+	if j.status == StatusInterrupted {
+		v.CheckpointPath = j.checkpoint
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if withResult {
+		v.Result = j.result
+	}
+	return v
+}
+
+// snapshot returns the fields needed without holding the lock long.
+func (j *Job) snapshot() (Status, *runspec.Result, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.result, j.err
+}

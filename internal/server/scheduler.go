@@ -1,0 +1,184 @@
+package server
+
+// The bounded scheduler: a fixed worker fleet drains the job queue, every
+// worker running specs through the shared runspec engine on one common
+// state.Pool. Admission control is the queue capacity — a full queue
+// rejects at submit time (HTTP 503) instead of buffering unboundedly —
+// and the concurrency bound is the worker count, so a burst of heavy jobs
+// degrades to latency, never to memory exhaustion.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/runspec"
+	"repro/internal/telemetry"
+)
+
+// Scheduler instruments, in the process-wide scope so /v1/metrics and
+// run reports surface them alongside the engine's own counters.
+var (
+	mJobsSubmitted   = telemetry.GetCounter("server.jobs.submitted")
+	mJobsCompleted   = telemetry.GetCounter("server.jobs.completed")
+	mJobsFailed      = telemetry.GetCounter("server.jobs.failed")
+	mJobsInterrupted = telemetry.GetCounter("server.jobs.interrupted")
+	mJobsRejected    = telemetry.GetCounter("server.jobs.rejected")
+	mCacheHits       = telemetry.GetCounter("server.cache.hits")
+	mQueueDepth      = telemetry.GetGauge("server.queue.depth")
+	mJobsRunning     = telemetry.GetGauge("server.jobs.running")
+	mJobRun          = telemetry.GetTimer("server.job.run")
+)
+
+// ErrQueueFull is returned by Submit when admission control rejects a
+// job; the HTTP layer maps it to 503 + Retry-After.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrShuttingDown is returned by Submit after Shutdown has begun.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// Submit validates, deduplicates, and enqueues a spec, returning the job
+// record immediately. A spec whose canonical hash matches a completed
+// run is answered from the result cache without touching the queue.
+func (s *Server) Submit(spec *runspec.RunSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.jobSeq++
+	id := fmt.Sprintf("job-%06d", s.jobSeq)
+	job := newJob(id, spec)
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	cached := s.cache[job.SpecHash]
+	s.mu.Unlock()
+	mJobsSubmitted.Inc()
+
+	if cached != nil {
+		// Duplicate of a completed spec: serve the cached result without
+		// re-simulation. The job still exists as a first-class record so
+		// clients can poll it uniformly.
+		mCacheHits.Inc()
+		job.publish(Event{Type: string(StatusQueued)})
+		job.mu.Lock()
+		job.status = StatusDone
+		job.cacheHit = true
+		job.result = cached
+		now := time.Now()
+		job.started, job.finished = now, now
+		job.mu.Unlock()
+		mJobsCompleted.Inc()
+		job.publish(Event{Type: string(StatusDone)})
+		return job, nil
+	}
+
+	select {
+	case s.queue <- job:
+		mQueueDepth.Set(int64(len(s.queue)))
+		job.publish(Event{Type: string(StatusQueued)})
+		return job, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		mJobsRejected.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// worker is one scheduler slot: it drains the queue until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.runCtx.Done():
+			return
+		case job, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			mQueueDepth.Set(int64(len(s.queue)))
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one job through the shared engine, streaming progress
+// into the job's event history and settling its terminal state.
+func (s *Server) runJob(job *Job) {
+	start := telemetry.Now()
+	mJobsRunning.Set(s.running.Add(1))
+	defer func() {
+		mJobsRunning.Set(s.running.Add(-1))
+		mJobRun.Since(start)
+	}()
+
+	checkpoint := filepath.Join(s.cfg.SpoolDir, job.ID+".ckpt")
+	job.mu.Lock()
+	job.status = StatusRunning
+	job.started = time.Now()
+	job.checkpoint = checkpoint
+	job.mu.Unlock()
+	job.publish(Event{Type: string(StatusRunning)})
+
+	res, err := runspec.Run(s.runCtx, job.Spec, runspec.RunOptions{
+		Pool:           s.pool,
+		CheckpointPath: checkpoint,
+		OnProgress: func(p runspec.Progress) {
+			job.publish(Event{Type: "progress", Phase: p.Phase,
+				Iteration: p.Iteration, Energy: p.Energy, Operator: p.Operator})
+		},
+	})
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		// Cancellation surfaced as an error before the optimizer could
+		// capture a best-so-far point (e.g. QPE, or pre-loop).
+		job.status = StatusInterrupted
+		job.err = err.Error()
+	case err != nil:
+		job.status = StatusFailed
+		job.err = err.Error()
+	case res.Interrupted:
+		// Graceful halt: best-so-far result plus a resumable checkpoint.
+		job.status = StatusInterrupted
+		job.result = res
+	default:
+		job.status = StatusDone
+		job.result = res
+	}
+	terminal := job.status
+	job.mu.Unlock()
+
+	switch terminal {
+	case StatusDone:
+		s.mu.Lock()
+		if _, ok := s.cache[job.SpecHash]; !ok {
+			s.cache[job.SpecHash] = res
+			s.cacheOrder = append(s.cacheOrder, job.SpecHash)
+			if len(s.cacheOrder) > s.cfg.CacheCapacity {
+				evict := s.cacheOrder[0]
+				s.cacheOrder = s.cacheOrder[1:]
+				delete(s.cache, evict)
+			}
+		}
+		s.mu.Unlock()
+		mJobsCompleted.Inc()
+		job.publish(Event{Type: string(StatusDone)})
+	case StatusFailed:
+		mJobsFailed.Inc()
+		job.publish(Event{Type: string(StatusFailed), Error: job.view(false).Error})
+	case StatusInterrupted:
+		mJobsInterrupted.Inc()
+		job.publish(Event{Type: string(StatusInterrupted)})
+	}
+}

@@ -1,0 +1,398 @@
+// Package server implements the vqed job-serving daemon: VQE workloads
+// submitted as canonical runspec.RunSpec documents over HTTP, executed on
+// a bounded worker scheduler that shares one simulation pool, with
+// per-iteration progress streamed over SSE, results cached by spec
+// content hash, and graceful shutdown that checkpoints in-flight jobs for
+// resumption.
+//
+// Endpoints:
+//
+//	POST /v1/jobs              submit a RunSpec, returns the job record
+//	GET  /v1/jobs              list jobs
+//	GET  /v1/jobs/{id}         job detail (result embedded when finished)
+//	GET  /v1/jobs/{id}/result  just the result (202 while running)
+//	GET  /v1/jobs/{id}/events  SSE progress stream (replays history)
+//	GET  /v1/capabilities      accelerator registry catalog + limits
+//	GET  /v1/metrics           telemetry snapshot + scheduler counters
+//	GET  /healthz              liveness + queue depth
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/runspec"
+	"repro/internal/state"
+	"repro/internal/telemetry"
+	"repro/internal/xacc"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// MaxConcurrent bounds simultaneously running jobs (default 4).
+	MaxConcurrent int
+	// QueueDepth bounds accepted-but-not-running jobs; a full queue
+	// rejects submissions with 503 (default 64).
+	QueueDepth int
+	// SimWorkers is the width of the shared simulation pool every job
+	// draws from (0 = GOMAXPROCS).
+	SimWorkers int
+	// SpoolDir holds per-job checkpoints and the shutdown manifest
+	// (default: a vqed-spool directory under the OS temp dir).
+	SpoolDir string
+	// CacheCapacity bounds the result cache entries (default 256).
+	CacheCapacity int
+	// Registry resolves accelerator names (default xacc.DefaultRegistry).
+	Registry *xacc.Registry
+}
+
+// Server is the daemon core: scheduler, job store, result cache, and the
+// HTTP handler over them.
+type Server struct {
+	cfg   Config
+	pool  *state.Pool
+	mux   *http.ServeMux
+	queue chan *Job
+
+	runCtx  context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	running atomic.Int64
+
+	mu         sync.Mutex
+	draining   bool
+	jobSeq     int
+	jobs       map[string]*Job
+	order      []string
+	cache      map[string]*runspec.Result
+	cacheOrder []string
+}
+
+// New builds a server and starts its worker fleet.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 256
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = xacc.DefaultRegistry
+	}
+	if cfg.SpoolDir == "" {
+		cfg.SpoolDir = filepath.Join(os.TempDir(), "vqed-spool")
+	}
+	if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: spool dir: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		pool:   state.NewPool(cfg.SimWorkers),
+		queue:  make(chan *Job, cfg.QueueDepth),
+		runCtx: ctx,
+		cancel: cancel,
+		jobs:   map[string]*Job{},
+		cache:  map[string]*runspec.Result{},
+	}
+	s.routes()
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the shared simulation pool (tests assert sharing).
+func (s *Server) Pool() *state.Pool { return s.pool }
+
+// Shutdown drains gracefully: new submissions are refused, in-flight
+// runs are cancelled — their optimizers halt at the next iteration
+// boundary and write final checkpoints into the spool — and a manifest of
+// resumable jobs is written before the worker fleet and pool stop. The
+// context bounds how long to wait for workers to settle.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	// Cancel in-flight runs; queued jobs are abandoned un-started (they
+	// have no partial state to lose).
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: shutdown wait: %w", ctx.Err())
+	}
+	if mErr := s.writeManifest(); mErr != nil && err == nil {
+		err = mErr
+	}
+	s.pool.Close()
+	return err
+}
+
+// Manifest is the shutdown record: every job that holds a resumable
+// checkpoint, with the spec needed to resubmit it.
+type Manifest struct {
+	Jobs []ManifestJob `json:"jobs"`
+}
+
+// ManifestJob is one resumable entry.
+type ManifestJob struct {
+	ID             string           `json:"id"`
+	SpecHash       string           `json:"spec_hash"`
+	CheckpointPath string           `json:"checkpoint_path"`
+	Spec           *runspec.RunSpec `json:"spec"`
+}
+
+// writeManifest records interrupted jobs under the spool dir.
+func (s *Server) writeManifest() error {
+	var m Manifest
+	s.mu.Lock()
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		if j.status == StatusInterrupted && j.checkpoint != "" {
+			if _, err := os.Stat(j.checkpoint); err == nil {
+				m.Jobs = append(m.Jobs, ManifestJob{
+					ID: j.ID, SpecHash: j.SpecHash,
+					CheckpointPath: j.checkpoint, Spec: j.Spec,
+				})
+			}
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	if len(m.Jobs) == 0 {
+		return nil
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.cfg.SpoolDir, "manifest.json"), data, 0o644)
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+}
+
+// maxSpecBytes bounds a submitted spec document.
+const maxSpecBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, errors.New("spec document too large"))
+		return
+	}
+	spec, err := runspec.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusAccepted
+	if st, _, _ := job.snapshot(); st.Terminal() {
+		// Cache hit: the job is already settled.
+		status = http.StatusOK
+	}
+	writeJSON(w, status, job.view(true))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]View, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view(false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+	}
+	return j
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.view(true))
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	status, result, errMsg := j.snapshot()
+	switch {
+	case status == StatusFailed:
+		writeJSON(w, http.StatusOK, map[string]any{"status": status, "error": errMsg})
+	case result != nil:
+		writeJSON(w, http.StatusOK, result)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]any{"status": status})
+	}
+}
+
+// handleEvents is the SSE stream: the job's event history replays first,
+// then live events until the job settles or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live := j.subscribe()
+	defer j.unsubscribe(live)
+	writeEvent := func(e Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return !Status(e.Type).Terminal()
+	}
+	for _, e := range replay {
+		if !writeEvent(e) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e := <-live:
+			if !writeEvent(e) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accelerators":   s.cfg.Registry.List(),
+		"algorithms":     []string{runspec.AlgorithmVQE, runspec.AlgorithmAdapt, runspec.AlgorithmQPE},
+		"spec_hash":      runspec.HashPrefix,
+		"max_concurrent": s.cfg.MaxConcurrent,
+		"queue_depth":    s.cfg.QueueDepth,
+		"sim_workers":    s.pool.Workers(),
+	})
+}
+
+// handleMetrics surfaces the process-wide telemetry scope — the same
+// instruments the CLIs' run reports draw from, now including the
+// server.* scheduler counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = telemetry.Capture().WriteJSON(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	total := len(s.jobs)
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"jobs":    total,
+		"queued":  len(s.queue),
+		"running": s.running.Load(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	// Client errors carry the engine sentinel text; keep the wire shape
+	// uniform so thin clients need one error path.
+	kind := "error"
+	if errors.Is(err, core.ErrInvalidArgument) {
+		kind = "invalid_argument"
+	}
+	writeJSON(w, status, map[string]string{"kind": kind, "error": err.Error()})
+}

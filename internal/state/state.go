@@ -47,6 +47,13 @@ type Options struct {
 	// Seed for measurement sampling. 0 means a fixed default (runs are
 	// deterministic by design; pass a seed to vary).
 	Seed uint64
+	// Pool injects an existing shared worker pool instead of letting the
+	// state create its own: a job scheduler running many simulations
+	// concurrently hands every State the same bounded pool so total
+	// goroutine count stays fixed regardless of job fan-out. Workers is
+	// overridden to the pool's width. The pool's lifetime belongs to the
+	// injector; the State never closes it.
+	Pool *Pool
 }
 
 // State is an n-qubit state vector.
@@ -85,6 +92,15 @@ func New(n int, opts Options) *State {
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 0x5eed
+	}
+	if opts.Pool != nil {
+		// Shared-pool injection: adopt the pool's resolved width so the
+		// chunking (and therefore the floating-point reduction order) is a
+		// function of the pool, not of the caller's Workers guess.
+		opts.Workers = opts.Pool.Workers()
+		s := &State{n: n, amps: make([]complex128, dim), opts: opts, rng: core.NewRNG(seed), pool: opts.Pool}
+		s.amps[0] = 1
+		return s
 	}
 	s := &State{n: n, amps: make([]complex128, dim), opts: opts, rng: core.NewRNG(seed)}
 	s.amps[0] = 1

@@ -29,8 +29,16 @@ type AdaptOptions struct {
 	Reference float64
 	// Workers for simulation.
 	Workers int
+	// Pool shares one persistent worker pool across the pool-scan
+	// simulator and every inner driver (see vqe.Options.Pool).
+	Pool *state.Pool
 	// Inner optimizer budget per iteration.
 	LBFGS opt.LBFGSOptions
+	// Observer is called after every completed outer iteration with the
+	// recorded step — the progress hook job servers stream per-iteration
+	// energies from. A non-nil return halts growth at that (completed)
+	// iteration with Interrupted set.
+	Observer func(AdaptIteration) error
 }
 
 // AdaptIteration records one outer-loop step for the convergence plot.
@@ -119,7 +127,11 @@ func AdaptContext(ctx context.Context, h *pauli.Op, pool *ansatz.Pool, n, ne int
 
 	// Pool-scan simulator created once: every outer iteration resets it in
 	// place, so its persistent worker pool serves all gradient scans.
-	s := state.New(n, state.Options{Workers: o.Workers})
+	s := state.New(n, state.Options{Workers: o.Workers, Pool: o.Pool})
+	// observerHalted distinguishes a deliberate post-iteration halt (the
+	// iteration completed; checkpoint covers it) from a deadline hit
+	// mid-iteration (partial work unwound; checkpoint excludes it).
+	observerHalted := false
 	for iter := startIter; iter <= o.MaxIterations; iter++ {
 		if ctx.Err() != nil {
 			result.Interrupted = true
@@ -153,7 +165,7 @@ func AdaptContext(ctx context.Context, h *pauli.Op, pool *ansatz.Pool, n, ne int
 			selected = append(selected, best)
 			params = append(params, 0)
 
-			drv, err := New(h, adapt, Options{Mode: Direct, Workers: o.Workers})
+			drv, err := New(h, adapt, Options{Mode: Direct, Workers: o.Workers, Pool: o.Pool})
 			if err != nil {
 				return false, err
 			}
@@ -199,6 +211,13 @@ func AdaptContext(ctx context.Context, h *pauli.Op, pool *ansatz.Pool, n, ne int
 			}
 			result.History = append(result.History, entry)
 
+			if o.Observer != nil {
+				if obsErr := o.Observer(entry); obsErr != nil {
+					result.Interrupted = true
+					observerHalted = true
+					return true, nil
+				}
+			}
 			if o.EnergyTol > 0 && !math.IsNaN(o.Reference) && entry.ErrorVsRef < o.EnergyTol {
 				result.Converged = true
 				return true, nil
@@ -210,7 +229,7 @@ func AdaptContext(ctx context.Context, h *pauli.Op, pool *ansatz.Pool, n, ne int
 		}
 		if ro.enabled() && (done || result.Interrupted || cad.Due(iter)) {
 			completed := iter
-			if result.Interrupted {
+			if result.Interrupted && !observerHalted {
 				completed = iter - 1
 			}
 			if err := save(completed); err != nil {

@@ -63,6 +63,13 @@ type Options struct {
 	DeviceCapacityBytes uint64
 	// Workers for parallel gate application and expectation reduction.
 	Workers int
+	// Pool shares one persistent worker pool across every state the
+	// driver creates (simulator, scratch, cache restores). A job
+	// scheduler running many drivers concurrently injects its bounded
+	// pool here so goroutine count is fixed per process, not per job;
+	// nil keeps the per-driver pool behavior. Overrides Workers with the
+	// pool's width.
+	Pool *state.Pool
 	// Transpile applies gate fusion to ansatz circuits before execution.
 	Transpile bool
 	// PerTermMeasurement disables qubit-wise-commuting grouping and
@@ -128,7 +135,7 @@ func New(h *pauli.Op, a ansatz.Ansatz, opts Options) (*Driver, error) {
 		Ansatz: a,
 		opts:   opts,
 		n:      n,
-		sim:    state.New(n, state.Options{Workers: opts.Workers, Seed: opts.Seed}),
+		sim:    state.New(n, state.Options{Workers: opts.Workers, Seed: opts.Seed, Pool: opts.Pool}),
 		plan:   pauli.NewPlan(h),
 		cache:  state.NewCache(opts.DeviceCapacityBytes),
 	}
@@ -225,7 +232,7 @@ func (d *Driver) Energy(params []float64) float64 {
 // the post-ansatz state before each basis rotation.
 func (d *Driver) energyViaGroups(params []float64) float64 {
 	if d.scratch == nil {
-		d.scratch = state.New(d.n, state.Options{Workers: d.opts.Workers, Seed: d.opts.Seed + 1})
+		d.scratch = state.New(d.n, state.Options{Workers: d.opts.Workers, Seed: d.opts.Seed + 1, Pool: d.opts.Pool})
 	}
 	key := paramKey(params)
 	if d.opts.Caching {

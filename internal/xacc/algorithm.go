@@ -30,6 +30,12 @@ type VQE struct {
 	Optimizer string
 	// MaxIter bounds the optimizer (0 = routine default).
 	MaxIter int
+	// OnIteration, when set, is called at the top of every optimizer
+	// iteration with the best energy found so far — the progress hook the
+	// job server streams from. A non-nil return halts the loop with
+	// Interrupted set. Honored by the iteration-observable optimizers
+	// (nelder-mead, lbfgs); spsa and adam ignore it.
+	OnIteration func(iter int, energy float64) error
 }
 
 // VQEResult is the algorithm outcome.
@@ -94,8 +100,16 @@ func (v *VQE) ExecuteContext(ctx context.Context, x0 []float64) (*VQEResult, err
 		switch v.Optimizer {
 		case "", "nelder-mead":
 			res = opt.NelderMead(objective, x0, opt.NelderMeadOptions{
-				MaxIter:  v.MaxIter,
-				Observer: func(*opt.NelderMeadState) error { return ctx.Err() },
+				MaxIter: v.MaxIter,
+				Observer: func(st *opt.NelderMeadState) error {
+					if v.OnIteration != nil {
+						_, f := st.Best()
+						if err := v.OnIteration(st.Iter, f); err != nil {
+							return err
+						}
+					}
+					return ctx.Err()
+				},
 			})
 		case "spsa":
 			res = opt.SPSA(objective, x0, opt.SPSAOptions{MaxIter: v.MaxIter})
@@ -103,8 +117,15 @@ func (v *VQE) ExecuteContext(ctx context.Context, x0 []float64) (*VQEResult, err
 			res = opt.Adam(objective, nil, x0, opt.AdamOptions{MaxIter: v.MaxIter})
 		case "lbfgs":
 			res = opt.LBFGS(objective, nil, x0, opt.LBFGSOptions{
-				MaxIter:  v.MaxIter,
-				Observer: func(*opt.LBFGSState) error { return ctx.Err() },
+				MaxIter: v.MaxIter,
+				Observer: func(st *opt.LBFGSState) error {
+					if v.OnIteration != nil {
+						if err := v.OnIteration(st.Iter, st.F); err != nil {
+							return err
+						}
+					}
+					return ctx.Err()
+				},
 			})
 		default:
 			execErr = fmt.Errorf("%w: unknown optimizer %q", core.ErrInvalidArgument, v.Optimizer)

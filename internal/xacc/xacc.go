@@ -9,9 +9,6 @@ package xacc
 
 import (
 	"context"
-	"fmt"
-	"sort"
-	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/cluster"
@@ -52,57 +49,6 @@ type Accelerator interface {
 	// Expectation returns ⟨prep|obs|prep⟩ by whatever strategy the
 	// backend supports best (direct calculation for simulators).
 	Expectation(ctx context.Context, prep *circuit.Circuit, obs *pauli.Op) (float64, error)
-}
-
-// registry is the plugin table, mirroring XACC's service registry.
-var (
-	regMu    sync.RWMutex
-	registry = map[string]func() Accelerator{}
-)
-
-// RegisterAccelerator installs a named backend factory.
-func RegisterAccelerator(name string, factory func() Accelerator) {
-	regMu.Lock()
-	defer regMu.Unlock()
-	registry[name] = factory
-}
-
-// GetAccelerator instantiates a registered backend.
-func GetAccelerator(name string) (Accelerator, error) {
-	regMu.RLock()
-	factory, ok := registry[name]
-	regMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: no accelerator %q (have %v)", core.ErrInvalidArgument, name, AcceleratorNames())
-	}
-	return factory(), nil
-}
-
-// AcceleratorNames lists registered backends, sorted.
-func AcceleratorNames() []string {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	names := make([]string, 0, len(registry))
-	for n := range registry {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
-
-func init() {
-	RegisterAccelerator("nwq-sv", func() Accelerator { return &SVAccelerator{Workers: 0} })
-	RegisterAccelerator("nwq-sv-serial", func() Accelerator { return &SVAccelerator{Workers: 1} })
-	RegisterAccelerator("nwq-cluster", func() Accelerator { return &ClusterAccelerator{Ranks: 4} })
-	RegisterAccelerator("nwq-dm", func() Accelerator { return &DMAccelerator{} })
-	// nwq-resilient degrades from the multi-rank cluster to the
-	// single-node engine when cluster communication fails for good.
-	RegisterAccelerator("nwq-resilient", func() Accelerator {
-		return &FallbackAccelerator{Chain: []Accelerator{
-			&ClusterAccelerator{Ranks: 4},
-			&SVAccelerator{},
-		}}
-	})
 }
 
 // SVAccelerator is the single-node state-vector backend (NWQ-Sim's

@@ -1,0 +1,93 @@
+#!/bin/sh
+# vqed end-to-end smoke: start the daemon (race-instrumented), submit an
+# H2 job over HTTP, poll it to completion, check the energy against the
+# known FCI value, prove the content-addressed cache answers a duplicate
+# spec, then SIGTERM and require a clean drain. No jq dependency — the
+# assertions are plain grep over the JSON.
+set -eu
+
+BIN=${VQED_BIN:-bin/vqed}
+ADDR=${VQED_ADDR:-127.0.0.1:8931}
+BASE="http://$ADDR"
+SPOOL=$(mktemp -d)
+LOG=$(mktemp)
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$SPOOL" "$LOG"' EXIT
+
+"$BIN" -addr "$ADDR" -jobs 2 -spool "$SPOOL" >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the daemon to answer.
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "vqed did not come up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+submit() {
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d '{"molecule": {"kind": "h2"}}' "$BASE/v1/jobs"
+}
+
+first=$(submit)
+id=$(printf '%s' "$first" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "no job id in response: $first" >&2; exit 1; }
+
+# Poll to a terminal state.
+i=0
+while :; do
+    view=$(curl -fsS "$BASE/v1/jobs/$id")
+    case "$view" in
+    *'"status": "done"'*) break ;;
+    *'"status": "failed"'* | *'"status": "interrupted"'*)
+        echo "job settled badly: $view" >&2
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -ge 300 ]; then
+        echo "job did not finish: $view" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# H2/STO-3G ground state is -1.13727 Ha; the digits are part of the check.
+result=$(curl -fsS "$BASE/v1/jobs/$id/result")
+case "$result" in
+*'"energy": -1.1372'*) echo "energy ok" ;;
+*)
+    echo "H2 energy wrong: $result" >&2
+    exit 1
+    ;;
+esac
+
+# The identical spec must be served from the result cache.
+dup=$(submit)
+case "$dup" in
+*'"cache_hit": true'*) echo "cache hit ok" ;;
+*)
+    echo "duplicate spec missed the cache: $dup" >&2
+    exit 1
+    ;;
+esac
+
+# Graceful drain: SIGTERM must exit 0 and report a clean drain.
+kill -TERM "$PID"
+rc=0
+wait "$PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "vqed exited $rc on SIGTERM; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+grep -q 'drained cleanly' "$LOG" || {
+    echo "missing clean-drain message; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+echo "vqed smoke: ok"

@@ -12,8 +12,14 @@
 //
 // Quick start:
 //
-//	res, err := vqesim.GroundStateVQE(vqesim.H2(), vqesim.VQEConfig{})
-//	fmt.Println(res.Energy)   // ≈ −1.1373 Ha
+//	res, err := vqesim.Run(ctx, &vqesim.RunSpec{}, vqesim.RunOptions{})
+//	fmt.Println(res.Energy)   // ≈ −1.1373 Ha (H2 is the default molecule)
+//
+// The canonical way to describe a workload is a RunSpec — the same JSON
+// document the vqe CLI assembles from flags and the vqed daemon accepts
+// over HTTP. The legacy GroundState* entry points and their config
+// structs remain as thin adapters for callers holding an arbitrary
+// *Molecule value.
 //
 // The heavy lifting lives in the internal packages (state, circuit, pauli,
 // fermion, chem, ansatz, vqe, qpe, cluster, density, xacc); this package
@@ -22,8 +28,7 @@
 package vqesim
 
 import (
-	"fmt"
-	"math"
+	"context"
 
 	"repro/internal/ansatz"
 	"repro/internal/chem"
@@ -31,12 +36,43 @@ import (
 	"repro/internal/core"
 	"repro/internal/fermion"
 	"repro/internal/noise"
-	"repro/internal/opt"
 	"repro/internal/pauli"
 	"repro/internal/qpe"
+	"repro/internal/runspec"
 	"repro/internal/state"
 	"repro/internal/vqe"
 )
+
+// The unified spec API: one serializable document describes molecule,
+// encoding, algorithm, ansatz, evaluation mode, optimizer, backend, and
+// resilience policy. See the runspec package for field documentation.
+type (
+	// RunSpec is the canonical description of one VQE workload.
+	RunSpec = runspec.RunSpec
+	// MoleculeSpec names a built-in molecular model.
+	MoleculeSpec = runspec.MoleculeSpec
+	// RunResult is the serializable outcome of executing a RunSpec.
+	RunResult = runspec.Result
+	// RunOptions carries per-invocation machinery (progress sink,
+	// checkpoint override, shared pool).
+	RunOptions = runspec.RunOptions
+	// Progress is one per-iteration notification (the energy trace).
+	Progress = runspec.Progress
+)
+
+// Run executes a spec end to end: molecule construction, qubit mapping,
+// optional downfolding, then the selected algorithm on the selected
+// backend. Zero values select the defaults (UCCSD VQE on H2, L-BFGS,
+// direct expectation, in-process state-vector backend).
+func Run(ctx context.Context, spec *RunSpec, opts RunOptions) (*RunResult, error) {
+	return runspec.Run(ctx, spec, opts)
+}
+
+// RunOnMolecule executes a spec's algorithm sections against an
+// already-built molecule (the spec's own molecule section is ignored).
+func RunOnMolecule(ctx context.Context, m *Molecule, spec *RunSpec, opts RunOptions) (*RunResult, error) {
+	return runspec.RunOnMolecule(ctx, m, spec, opts)
+}
 
 // Re-exported core types. These aliases make the public API usable without
 // importing internal packages directly.
@@ -103,6 +139,10 @@ func Downfold(m *Molecule, activeOrbitals int) (*Observable, error) {
 }
 
 // VQEConfig tunes GroundStateVQE.
+//
+// Deprecated: VQEConfig is a thin adapter over RunSpec — new code should
+// build a RunSpec and call Run (or RunOnMolecule). It is kept so existing
+// callers compile.
 type VQEConfig struct {
 	// Mode selects energy evaluation: "direct" (default), "rotated",
 	// "sampled".
@@ -129,73 +169,76 @@ type VQEResult struct {
 	Stats      vqe.Stats
 }
 
+// Spec converts the legacy config into its RunSpec equivalent.
+func (cfg VQEConfig) Spec() *RunSpec {
+	spec := &RunSpec{
+		Mode:           cfg.Mode,
+		Shots:          cfg.Shots,
+		DisableCaching: cfg.DisableCaching,
+		Fusion:         cfg.Fusion,
+	}
+	spec.Optimizer.Method = cfg.Optimizer
+	if cfg.Optimizer == "nelder-mead" {
+		// The legacy entry point capped Nelder–Mead at 4000 iterations.
+		spec.Optimizer.MaxIter = 4000
+	}
+	spec.Backend.Workers = cfg.Workers
+	return spec
+}
+
 // GroundStateVQE runs the full workflow on a molecule with a UCCSD ansatz
 // and returns the optimized energy alongside the FCI reference.
+//
+// Deprecated: build a RunSpec and call Run (content-addressable, more
+// backends) or RunOnMolecule. Kept as an adapter for existing callers.
 func GroundStateVQE(m *Molecule, cfg VQEConfig) (*VQEResult, error) {
-	h := Hamiltonian(m)
-	n := m.NumSpinOrbitals()
-	u, err := ansatz.NewUCCSD(n, m.NumElectrons)
-	if err != nil {
-		return nil, err
-	}
-	mode := vqe.Direct
-	switch cfg.Mode {
-	case "", "direct":
-	case "rotated":
-		mode = vqe.Rotated
-	case "sampled":
-		mode = vqe.Sampled
-	default:
-		return nil, fmt.Errorf("%w: mode %q", core.ErrInvalidArgument, cfg.Mode)
-	}
-	drv, err := vqe.New(h, u, vqe.Options{
-		Mode:      mode,
-		Shots:     cfg.Shots,
-		Caching:   !cfg.DisableCaching && mode != vqe.Direct,
-		Workers:   cfg.Workers,
-		Transpile: cfg.Fusion,
-	})
-	if err != nil {
-		return nil, err
-	}
-	x0 := make([]float64, u.NumParameters())
-	var res vqe.Result
-	switch cfg.Optimizer {
-	case "", "lbfgs":
-		res, err = drv.MinimizeLBFGS(x0, opt.LBFGSOptions{})
-		if err != nil {
-			return nil, err
-		}
-	case "nelder-mead":
-		res = drv.Minimize(x0, opt.NelderMeadOptions{MaxIter: 4000})
-	default:
-		return nil, fmt.Errorf("%w: optimizer %q", core.ErrInvalidArgument, cfg.Optimizer)
-	}
-	exact, err := ExactGroundEnergy(m)
+	res, err := runspec.RunOnMolecule(context.Background(), m, cfg.Spec(), runspec.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
 	return &VQEResult{
 		Energy:     res.Energy,
 		Params:     res.Params,
-		Exact:      exact,
-		ErrorVsFCI: math.Abs(res.Energy - exact),
-		Stats:      res.Stats,
+		Exact:      res.Exact,
+		ErrorVsFCI: res.ErrorVsExact,
+		Stats: vqe.Stats{
+			EnergyEvaluations: res.EnergyEvaluations,
+			AnsatzExecutions:  res.AnsatzExecutions,
+			GatesApplied:      res.GatesApplied,
+		},
 	}, nil
 }
 
 // AdaptConfig tunes GroundStateAdaptVQE.
+//
+// Deprecated: AdaptConfig is a thin adapter over the RunSpec adapt
+// section — new code should set RunSpec.Algorithm = "adapt" and call Run.
 type AdaptConfig struct {
 	MaxIterations int     // default 30
 	GradientTol   float64 // default 1e-4
 	Workers       int
 }
 
+// Spec converts the legacy config into its RunSpec equivalent.
+func (cfg AdaptConfig) Spec() *RunSpec {
+	spec := &RunSpec{Algorithm: runspec.AlgorithmAdapt}
+	spec.Adapt.MaxIterations = cfg.MaxIterations
+	if spec.Adapt.MaxIterations == 0 {
+		spec.Adapt.MaxIterations = 30
+	}
+	spec.Adapt.GradientTol = cfg.GradientTol
+	spec.Backend.Workers = cfg.Workers
+	return spec
+}
+
 // AdaptResult re-exports the Adapt-VQE outcome.
 type AdaptResult = vqe.AdaptResult
 
 // GroundStateAdaptVQE runs Adapt-VQE (paper §5.3 / Figure 5), stopping at
-// chemical accuracy against the FCI reference.
+// chemical accuracy against the FCI reference. It remains a direct call
+// (not a spec adapter) because it returns the grown AdaptAnsatz, which
+// the serializable RunResult cannot carry; prefer Run with
+// Algorithm = "adapt" unless you need the ansatz object itself.
 func GroundStateAdaptVQE(m *Molecule, cfg AdaptConfig) (*AdaptResult, float64, error) {
 	h := Hamiltonian(m)
 	n := m.NumSpinOrbitals()
