@@ -77,11 +77,14 @@ bench:
 	$(GO) test -bench BenchmarkBatchedExpectation -benchtime 1x -run ^$$ .
 
 # bench-smoke is the CI performance gate: the batched expectation engine
-# must stay at least 2x faster than per-term sweeps, and the telemetry
-# overhead benchmark must run clean. Writes run_report.json.
+# must stay at least 2x faster than per-term sweeps, runtime gate fusion
+# must stay at least 1.3x faster than gate-at-a-time execution on the
+# deep-ansatz benchmark, and the telemetry overhead benchmark must run
+# clean. Writes run_report.json.
 bench-smoke: bench
 	$(GO) test -bench BenchmarkTelemetryOverhead -benchtime 1x -run ^$$ .
 	$(GO) run ./cmd/benchfigs -fig expect -fast -metrics -fail-below 2
+	$(GO) run ./cmd/benchfigs -fig fusion -fast -metrics -fail-below-fusion 1.3
 
 # cover reports total coverage and enforces the telemetry floor.
 cover:

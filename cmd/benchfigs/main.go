@@ -9,6 +9,7 @@
 //	benchfigs -fig 4         # gate fusion table
 //	benchfigs -fig 5         # Adapt-VQE convergence
 //	benchfigs -fig expect    # batched vs per-term expectation speedup
+//	benchfigs -fig fusion    # fused vs unfused wall-clock speedup
 //	benchfigs -fig all       # everything
 //	benchfigs -fig all -fast # reduced sweeps for quick smoke runs
 package main
@@ -26,6 +27,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/fermion"
+	"repro/internal/kernel/calib"
 	"repro/internal/linalg"
 	"repro/internal/pauli"
 	"repro/internal/qpe"
@@ -34,12 +36,18 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 1c, 3, 4, 5, expect, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 1c, 3, 4, 5, expect, fusion, all")
 	fast := flag.Bool("fast", false, "reduced sweeps (smoke mode)")
 	failBelow := flag.Float64("fail-below", 0,
 		"exit non-zero if the expect figure's minimum batched-vs-per-term speedup falls below this factor (0 = no gate)")
+	failBelowFusion := flag.Float64("fail-below-fusion", 0,
+		"exit non-zero if the fusion figure's minimum fused-vs-unfused speedup falls below this factor (0 = no gate)")
 	obsFlags := runreport.AddFlags(flag.CommandLine)
+	calibFlags := calib.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := calibFlags.Setup(); err != nil {
+		fail(err)
+	}
 
 	run := func(name string, f func(bool)) {
 		if *fig == "all" || *fig == name {
@@ -48,7 +56,7 @@ func main() {
 			fmt.Printf("# figure %s done in %.1fs\n\n", name, time.Since(start).Seconds())
 		}
 	}
-	known := map[string]bool{"1a": true, "1b": true, "1c": true, "3": true, "4": true, "5": true, "expect": true, "extras": true, "all": true}
+	known := map[string]bool{"1a": true, "1b": true, "1c": true, "3": true, "4": true, "5": true, "expect": true, "fusion": true, "extras": true, "all": true}
 	if !known[*fig] {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -67,10 +75,14 @@ func main() {
 	run("4", fig4)
 	run("5", fig5)
 	run("expect", figExpect)
+	run("fusion", figFusion)
 	run("extras", extras)
 
 	if !math.IsInf(minSpeedup, 1) {
 		rep.Set("expect.min_speedup_x", minSpeedup)
+	}
+	if !math.IsInf(minFusionSpeedup, 1) {
+		rep.Set("fusion.min_speedup_x", minFusionSpeedup)
 	}
 	if err := rep.Finish(); err != nil {
 		fail(err)
@@ -87,13 +99,28 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchfigs: speedup gate passed (min %.2fx >= %.2fx)\n", minSpeedup, *failBelow)
 	}
+	if *failBelowFusion > 0 {
+		if math.IsInf(minFusionSpeedup, 1) {
+			fmt.Fprintln(os.Stderr, "benchfigs: -fail-below-fusion set but the fusion figure did not run")
+			os.Exit(1)
+		}
+		if minFusionSpeedup < *failBelowFusion {
+			fmt.Fprintf(os.Stderr, "benchfigs: fused execution speedup %.2fx below required %.2fx\n",
+				minFusionSpeedup, *failBelowFusion)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchfigs: fusion gate passed (min %.2fx >= %.2fx)\n", minFusionSpeedup, *failBelowFusion)
+	}
 }
 
 // rep is the process run report; minSpeedup tracks the smallest
-// batched-vs-per-term speedup figExpect observed (the -fail-below gate).
+// batched-vs-per-term speedup figExpect observed (the -fail-below gate),
+// minFusionSpeedup the smallest fused-vs-unfused speedup figFusion
+// observed (the -fail-below-fusion gate).
 var (
-	rep        *runreport.Run
-	minSpeedup = math.Inf(1)
+	rep              *runreport.Run
+	minSpeedup       = math.Inf(1)
+	minFusionSpeedup = math.Inf(1)
 )
 
 // sweep returns the qubit counts for the scaling figures.
@@ -256,6 +283,100 @@ func figExpect(fast bool) {
 			float64(perTerm.Microseconds())/1000, float64(batchedT.Microseconds())/1000,
 			speedup, math.Abs(naive-batched))
 	}
+}
+
+// fusionAnsatz builds the deep hardware-efficient ansatz the fusion
+// benchmark runs: logical 1q rotations lowered to the native
+// RZ·SX·RZ·SX·RZ Euler chain (the shape compiled VQE circuits actually
+// have) plus CX-entangler blocks, parameters drawn from the seed.
+func fusionAnsatz(n, layers int, seed uint64) *circuit.Circuit {
+	rng := core.NewRNG(seed)
+	theta := func() float64 { return 2 * math.Pi * (rng.Float64() - 0.5) }
+	c := circuit.New(n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.RZ(theta(), q)
+			c.SX(q)
+			c.RZ(theta(), q)
+			c.SX(q)
+			c.RZ(theta(), q)
+		}
+		for q := 0; q+1 < n; q++ {
+			c.CX(q, q+1)
+			c.RZ(theta(), q+1)
+			c.CX(q, q+1)
+		}
+	}
+	return c
+}
+
+// figFusion measures the runtime payoff of gate fusion (the paper's
+// Figure 4 shows the gate-count reduction; this shows the wall clock it
+// buys): the same deep ansatz executed gate-at-a-time vs through
+// CompileFused + RunFused, compile time included — a VQE loop pays the
+// compile on every parameter set, so excluding it would overstate the
+// win. Serial execution isolates the memory-pass reduction from pool
+// scheduling effects.
+func figFusion(fast bool) {
+	fmt.Println("# Gate fusion — fused vs unfused wall clock on a deep native-gate HEA ansatz")
+	fmt.Println("# compile time is included in the fused column (paid per VQE energy evaluation)")
+	fmt.Println("qubits\tgates\tfused_gates\treduction_%\tunfused_ms\tfused_ms\tspeedup_x\tabs_dev")
+	widths := []int{12, 14, 16}
+	reps := 3
+	if fast {
+		widths = []int{12}
+	}
+	for _, n := range widths {
+		c := fusionAnsatz(n, 8, uint64(41+n))
+
+		var ref *state.State
+		unfused := time.Duration(math.MaxInt64)
+		for r := 0; r < reps; r++ {
+			s := state.New(n, state.Options{Workers: 1})
+			t0 := time.Now()
+			s.Run(c)
+			if d := time.Since(t0); d < unfused {
+				unfused = d
+			}
+			ref = s
+		}
+
+		var prog *state.FusedProgram
+		var got *state.State
+		fused := time.Duration(math.MaxInt64)
+		for r := 0; r < reps; r++ {
+			s := state.New(n, state.Options{Workers: 1})
+			t0 := time.Now()
+			p := state.CompileFused(c)
+			s.RunFused(p)
+			if d := time.Since(t0); d < fused {
+				fused = d
+			}
+			prog, got = p, s
+		}
+
+		dev := 0.0
+		ra, ga := ref.Amplitudes(), got.Amplitudes()
+		for i := range ra {
+			if d := cmplxAbs(ra[i] - ga[i]); d > dev {
+				dev = d
+			}
+		}
+		speedup := unfused.Seconds() / fused.Seconds()
+		if speedup < minFusionSpeedup {
+			minFusionSpeedup = speedup
+		}
+		rep.SetQubits(n)
+		fmt.Printf("%d\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.2f\t%.1e\n",
+			n, prog.GatesBefore(), prog.GatesAfter(),
+			100*(1-float64(prog.GatesAfter())/float64(prog.GatesBefore())),
+			float64(unfused.Microseconds())/1000, float64(fused.Microseconds())/1000,
+			speedup, dev)
+	}
+}
+
+func cmplxAbs(v complex128) float64 {
+	return math.Hypot(real(v), imag(v))
 }
 
 // extras prints the extension measurements: encoding locality, qubit

@@ -24,6 +24,7 @@ import (
 	"repro/cmd/internal/specflags"
 	"repro/internal/circuit"
 	"repro/internal/density"
+	"repro/internal/kernel/calib"
 	"repro/internal/qasm"
 	"repro/internal/xacc"
 )
@@ -39,7 +40,11 @@ func main() {
 		list  = flag.Bool("backends", false, "list registered backends and exit")
 	)
 	obsFlags := runreport.AddFlags(flag.CommandLine)
+	calibFlags := calib.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := calibFlags.Setup(); err != nil {
+		fail(err)
+	}
 	if *list {
 		for _, info := range xacc.DefaultRegistry.List() {
 			fmt.Printf("%-16s ≤%2d qubits  %s\n", info.Name, info.QubitLimit, info.Description)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ansatz"
 	"repro/internal/chem"
 	"repro/internal/core"
+	"repro/internal/kernel/calib"
 	"repro/internal/linalg"
 	"repro/internal/opt"
 	"repro/internal/pauli"
@@ -43,11 +44,15 @@ func main() {
 		specFile = flag.String("spec", "", "run a RunSpec JSON document instead of assembling one from flags")
 	)
 	obsFlags := runreport.AddFlags(flag.CommandLine)
+	calibFlags := calib.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	var err error
 	rep, err = runreport.Start("vqe", obsFlags)
 	if err != nil {
+		fail(err)
+	}
+	if err := calibFlags.Setup(); err != nil {
 		fail(err)
 	}
 

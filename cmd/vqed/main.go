@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/kernel/calib"
 	"repro/internal/server"
 )
 
@@ -33,7 +34,12 @@ func main() {
 	spool := flag.String("spool", "", "checkpoint spool directory (default: vqed-spool under the OS temp dir)")
 	cache := flag.Int("cache", 256, "result cache capacity (completed specs)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	calibFlags := calib.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := calibFlags.Setup(); err != nil {
+		log.Fatalf("vqed: %v", err)
+	}
 
 	srv, err := server.New(server.Config{
 		MaxConcurrent: *jobs,

@@ -18,6 +18,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/gate"
+	"repro/internal/kernel/tuning"
 	"repro/internal/linalg"
 	"repro/internal/resilience"
 	"repro/internal/state"
@@ -92,9 +93,12 @@ func NewWithOptions(n, numRanks int, opts Options) (*Cluster, error) {
 		c.blocks[r] = make([]complex128, localDim)
 	}
 	c.blocks[0][0] = 1
-	if numRanks > 1 {
+	if numRanks > 1 && localDim >= tuning.ClusterPoolMin() {
 		// One persistent goroutine per simulated rank, created once and
 		// reused by every gate instead of spawning per gate application.
+		// Below the calibrated per-rank amplitude cutoff the inline rank
+		// loop beats the goroutine handoff, so no pool is started
+		// (eachRank/eachRankPair fall back to inline execution).
 		c.pool = state.NewPool(numRanks)
 	}
 	if c.verifiedComm() {
@@ -297,7 +301,7 @@ func (c *Cluster) swapLocalGlobal(ctx context.Context, l, g int) error {
 			s0, s1 := c.send[r0][:half], c.send[r1][:half]
 			for rest := uint64(0); rest < half; rest++ {
 				s0[rest] = b0[core.InsertZeroBit(rest, l)|1<<uint(l)] // L=1 in r0
-				s1[rest] = b1[core.InsertZeroBit(rest, l)]           // L=0 in r1
+				s1[rest] = b1[core.InsertZeroBit(rest, l)]            // L=0 in r1
 			}
 			if err := c.transfer(ctx, c.recv[r1][:half], s0); err == nil {
 				err = c.transfer(ctx, c.recv[r0][:half], s1)

@@ -1,0 +1,367 @@
+// Package calib is the empirical side of the kernel-choice model: it
+// micro-benchmarks the engine's competing kernel strategies on the
+// machine it runs on — serial loop vs worker pool, per-term vs batched
+// expectation, fused vs gate-at-a-time circuit execution — fits the
+// crossover points, and installs them into internal/kernel/tuning.
+// Profiles serialize to JSON so a daemon or batch job calibrates once
+// and later runs load the cached file; a profile is keyed by
+// GOMAXPROCS and the measured qubit range, and loading rejects a file
+// recorded under a different processor budget (the crossovers move
+// with core count).
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/kernel/tuning"
+	"repro/internal/pauli"
+	"repro/internal/state"
+	"repro/internal/telemetry"
+)
+
+// Version is the profile schema version; bump on incompatible change.
+const Version = 1
+
+var (
+	mMeasure  = telemetry.GetTimer("kernel.calib.measure")
+	cMeasures = telemetry.GetCounter("kernel.calib.measures")
+	cLoads    = telemetry.GetCounter("kernel.calib.file_loads")
+)
+
+// Options bounds a calibration run. The defaults finish in well under a
+// second — cheap enough for process startup or a CI smoke job.
+type Options struct {
+	// QubitsMin/QubitsMax bound the measured register sizes (defaults
+	// 8..13; crossovers outside the range extrapolate to "never").
+	QubitsMin int
+	QubitsMax int
+	// Reps is the best-of repetition count per sample (default 3).
+	Reps int
+	// Workers is the pool width to calibrate against (state.Options
+	// semantics: 0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QubitsMin <= 1 {
+		o.QubitsMin = 8
+	}
+	if o.QubitsMax < o.QubitsMin {
+		o.QubitsMax = o.QubitsMin + 5
+	}
+	if o.QubitsMax > 20 {
+		o.QubitsMax = 20
+	}
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+	return o
+}
+
+// Sample is one raw timing: nanoseconds for one operation of the named
+// kernel at the given register size (and term count, for the
+// expectation strategies).
+type Sample struct {
+	Kernel string  `json:"kernel"`
+	Qubits int     `json:"qubits"`
+	Terms  int     `json:"terms,omitempty"`
+	Ns     float64 `json:"ns"`
+}
+
+// Profile is a recorded calibration: the raw samples plus the fitted
+// thresholds, keyed by the processor budget they were measured under.
+type Profile struct {
+	Version    int      `json:"version"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Workers    int      `json:"workers"`
+	QubitsMin  int      `json:"qubits_min"`
+	QubitsMax  int      `json:"qubits_max"`
+	Samples    []Sample `json:"samples"`
+	Tuning     tuning.T `json:"tuning"`
+}
+
+// Apply installs the profile's thresholds as the process-wide kernel
+// model. source is recorded for provenance ("measured" or "file").
+func (p *Profile) Apply(source string) { tuning.Install(p.Tuning, source) }
+
+// bestOf times fn reps times and returns the fastest run in ns.
+func bestOf(reps int, fn func()) float64 {
+	best := math.Inf(1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		fn()
+		if ns := float64(time.Since(start).Nanoseconds()); ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// Measure runs the micro-benchmarks and returns a fitted profile. The
+// process-wide tuning is not modified; call Apply on the result.
+func Measure(opts Options) *Profile {
+	start := telemetry.Now()
+	defer mMeasure.Since(start)
+	cMeasures.Inc()
+	opts = opts.withDefaults()
+	workers := state.ResolveWorkers(opts.Workers)
+	p := &Profile{
+		Version: Version,
+		//vqelint:ignore workerssemantics recording the process budget as a profile cache key, not resolving a worker count
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		QubitsMin:  opts.QubitsMin,
+		QubitsMax:  opts.QubitsMax,
+		Tuning:     tuning.Defaults(),
+	}
+	p.measureGateCrossover(opts, workers)
+	p.measureReduceCrossover(opts, workers)
+	p.measureExpectationCrossover(opts)
+	p.measureFusionCrossover(opts)
+	return p
+}
+
+// measureGateCrossover times one dense single-qubit gate sweep serial
+// vs pooled per register size and fits GateParallel to the smallest
+// amplitude count where the pool wins.
+func (p *Profile) measureGateCrossover(opts Options, workers int) {
+	if workers <= 1 {
+		// A serial process never engages the pool; leave the default.
+		return
+	}
+	h := circuit.New(1).H(0).Gates[0].Matrix2()
+	cross := 0
+	for n := opts.QubitsMin; n <= opts.QubitsMax; n++ {
+		serial := state.New(n, state.Options{Workers: 1})
+		serialNs := bestOf(opts.Reps, func() { serial.Apply1Q(h, 0) })
+		pooled := state.New(n, state.Options{Workers: workers, ParallelThreshold: 1})
+		pooled.EnsurePool(workers)
+		pooledNs := bestOf(opts.Reps, func() { pooled.Apply1Q(h, 0) })
+		p.Samples = append(p.Samples,
+			Sample{Kernel: "gate_serial", Qubits: n, Ns: serialNs},
+			Sample{Kernel: "gate_pool", Qubits: n, Ns: pooledNs})
+		if cross == 0 && pooledNs < serialNs {
+			cross = core.Dim(n)
+		}
+	}
+	if cross > 0 {
+		p.Tuning.GateParallel = cross
+	} else {
+		// Pool never won in range: push the threshold past what we saw.
+		p.Tuning.GateParallel = core.Dim(opts.QubitsMax + 1)
+	}
+}
+
+// measureReduceCrossover times a |a|² reduction serial vs pooled and
+// fits ReduceParallel the same way (the mechanism pauli and state
+// reductions share: Pool.ReduceFloat against an inline loop).
+func (p *Profile) measureReduceCrossover(opts Options, workers int) {
+	if workers <= 1 {
+		return
+	}
+	pool := state.NewPool(workers)
+	defer pool.Close()
+	cross := 0
+	for n := opts.QubitsMin; n <= opts.QubitsMax; n++ {
+		amps := state.New(n, state.Options{Workers: 1}).Amplitudes()
+		sum := func(lo, hi uint64) float64 {
+			acc := 0.0
+			for i := lo; i < hi; i++ {
+				a := amps[i]
+				acc += real(a)*real(a) + imag(a)*imag(a)
+			}
+			return acc
+		}
+		dim := uint64(len(amps))
+		serialNs := bestOf(opts.Reps, func() { _ = sum(0, dim) })
+		pooledNs := bestOf(opts.Reps, func() { _ = pool.ReduceFloat(dim, workers, sum) })
+		p.Samples = append(p.Samples,
+			Sample{Kernel: "reduce_serial", Qubits: n, Ns: serialNs},
+			Sample{Kernel: "reduce_pool", Qubits: n, Ns: pooledNs})
+		if cross == 0 && pooledNs < serialNs {
+			cross = core.Dim(n)
+		}
+	}
+	if cross > 0 {
+		p.Tuning.ReduceParallel = cross
+	} else {
+		p.Tuning.ReduceParallel = core.Dim(opts.QubitsMax + 1)
+	}
+}
+
+// calibLetters spreads X/Y/Z letters deterministically over the
+// synthetic observables the expectation benchmark uses.
+var calibLetters = []byte{'X', 'Y', 'Z', 'Z'}
+
+func syntheticOp(n, terms int) *pauli.Op {
+	op := pauli.NewOp()
+	for t := 0; t < terms; t++ {
+		s := make([]byte, n)
+		for q := range s {
+			s[q] = 'I'
+		}
+		// Two non-identity letters per term, varied by term index, so
+		// every term lands in its own X-mask group (worst case for the
+		// batched engine, the honest comparison point).
+		s[t%n] = calibLetters[t%len(calibLetters)]
+		s[(t*5+1)%n] = calibLetters[(t/2)%len(calibLetters)]
+		op.Add(pauli.MustParse(string(s)), complex(0.3+0.1*float64(t), 0))
+	}
+	return op
+}
+
+// measureExpectationCrossover times the per-term evaluator against
+// plan-build-plus-batched-evaluate over growing term counts and fits
+// NaiveMaxTerms to the largest count where per-term still wins.
+func (p *Profile) measureExpectationCrossover(opts Options) {
+	n := opts.QubitsMin + 2
+	if n > opts.QubitsMax {
+		n = opts.QubitsMax
+	}
+	s := state.New(n, state.Options{Workers: 1})
+	s.Run(superpositionCircuit(n))
+	naiveMax := 0
+	naiveStillAhead := true
+	for _, terms := range []int{1, 2, 4, 8, 16} {
+		op := syntheticOp(n, terms)
+		naiveNs := bestOf(opts.Reps, func() {
+			_ = pauli.ExpectationNaive(s, op, pauli.ExpectationOptions{Workers: 1})
+		})
+		batchedNs := bestOf(opts.Reps, func() {
+			_ = pauli.NewPlan(op).Evaluate(s, pauli.ExpectationOptions{Workers: 1})
+		})
+		p.Samples = append(p.Samples,
+			Sample{Kernel: "expect_naive", Qubits: n, Terms: terms, Ns: naiveNs},
+			Sample{Kernel: "expect_batched", Qubits: n, Terms: terms, Ns: batchedNs})
+		// Largest prefix of term counts where per-term stays ahead; once
+		// batched wins we stop raising the threshold.
+		if naiveStillAhead && naiveNs < batchedNs {
+			naiveMax = terms
+		} else {
+			naiveStillAhead = false
+		}
+	}
+	p.Tuning.NaiveMaxTerms = naiveMax
+}
+
+// superpositionCircuit spreads amplitude over every basis state so the
+// benchmark kernels see no zero-skip shortcuts.
+func superpositionCircuit(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+		c.RZ(0.1*float64(q+1), q)
+	}
+	return c
+}
+
+// calibAnsatz is the fusion-friendly deep circuit used to measure the
+// fused-vs-unfused crossover: hardware-efficient layers with each
+// logical 1q rotation lowered to the native RZ·SX·RZ·SX·RZ Euler chain
+// (the shape compiled VQE ansatz circuits actually execute) plus CX
+// entangler blocks.
+func calibAnsatz(n, layers int) *circuit.Circuit {
+	c := circuit.New(n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.RZ(0.3+0.07*float64(l*n+q), q)
+			c.SX(q)
+			c.RZ(0.1+0.05*float64(q), q)
+			c.SX(q)
+			c.RZ(0.2+0.01*float64(l), q)
+		}
+		for q := 0; q+1 < n; q++ {
+			c.CX(q, q+1)
+			c.RZ(0.2+0.03*float64(q), q+1)
+			c.CX(q, q+1)
+		}
+	}
+	return c
+}
+
+// measureFusionCrossover times gate-at-a-time execution against
+// compile-plus-fused execution (compile included — a VQE iteration
+// pays it per parameter set) and fits MinFuseAmps to the smallest
+// amplitude count where fusion wins.
+func (p *Profile) measureFusionCrossover(opts Options) {
+	cross := 0
+	for n := opts.QubitsMin; n <= opts.QubitsMax; n++ {
+		c := calibAnsatz(n, 4)
+		unfusedNs := bestOf(opts.Reps, func() {
+			s := state.New(n, state.Options{Workers: 1})
+			s.Run(c)
+		})
+		fusedNs := bestOf(opts.Reps, func() {
+			s := state.New(n, state.Options{Workers: 1})
+			s.RunFused(state.CompileFused(c))
+		})
+		p.Samples = append(p.Samples,
+			Sample{Kernel: "unfused", Qubits: n, Ns: unfusedNs},
+			Sample{Kernel: "fused", Qubits: n, Ns: fusedNs})
+		if cross == 0 && fusedNs < unfusedNs {
+			cross = core.Dim(n)
+		}
+	}
+	if cross > 0 {
+		p.Tuning.MinFuseAmps = cross
+	} else {
+		p.Tuning.MinFuseAmps = core.Dim(opts.QubitsMax + 1)
+	}
+}
+
+// Save writes the profile as indented JSON.
+func (p *Profile) Save(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a profile and validates that it applies to this process:
+// same schema version and same GOMAXPROCS (pool crossovers measured
+// under a different core budget are wrong here).
+func Load(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("calib: parse %s: %w", path, err)
+	}
+	if p.Version != Version {
+		return nil, fmt.Errorf("calib: %s has schema version %d, want %d", path, p.Version, Version)
+	}
+	//vqelint:ignore workerssemantics comparing against the profile's recorded cache key, not resolving a worker count
+	if got := runtime.GOMAXPROCS(0); p.GoMaxProcs != got {
+		return nil, fmt.Errorf("calib: %s was measured at GOMAXPROCS=%d, process has %d — recalibrate", path, p.GoMaxProcs, got)
+	}
+	cLoads.Inc()
+	return &p, nil
+}
+
+// LoadOrMeasure loads a cached profile, or measures and (when path is
+// non-empty) saves a fresh one if the file is missing or stale.
+// measured reports whether a fresh measurement ran.
+func LoadOrMeasure(path string, opts Options) (p *Profile, measured bool, err error) {
+	if path != "" {
+		if p, err := Load(path); err == nil {
+			return p, false, nil
+		}
+	}
+	p = Measure(opts)
+	if path != "" {
+		if err := p.Save(path); err != nil {
+			return p, true, err
+		}
+	}
+	return p, true, nil
+}

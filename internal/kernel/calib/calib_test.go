@@ -1,0 +1,187 @@
+package calib
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/kernel/tuning"
+)
+
+// fastOptions keeps the micro-benchmarks tiny so the test suite stays
+// quick; the fit logic is what's under test, not the numbers.
+func fastOptions() Options {
+	return Options{QubitsMin: 4, QubitsMax: 6, Reps: 1, Workers: 2}
+}
+
+func TestMeasureProducesSaneProfile(t *testing.T) {
+	p := Measure(fastOptions())
+	if p.Version != Version {
+		t.Fatalf("Version = %d, want %d", p.Version, Version)
+	}
+	if p.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Fatalf("GoMaxProcs = %d, want %d", p.GoMaxProcs, runtime.GOMAXPROCS(0))
+	}
+	if len(p.Samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	kernels := map[string]int{}
+	for _, s := range p.Samples {
+		kernels[s.Kernel]++
+		if s.Ns <= 0 {
+			t.Fatalf("sample %+v has non-positive timing", s)
+		}
+	}
+	for _, k := range []string{"gate_serial", "gate_pool", "reduce_serial", "reduce_pool",
+		"expect_naive", "expect_batched", "unfused", "fused"} {
+		if kernels[k] == 0 {
+			t.Errorf("no samples for kernel %q", k)
+		}
+	}
+	// Fitted thresholds must be installable (sanitize-clean).
+	if p.Tuning.GateParallel <= 0 || p.Tuning.ReduceParallel <= 0 ||
+		p.Tuning.MinFuseAmps <= 0 || p.Tuning.NaiveMaxTerms < 0 {
+		t.Fatalf("unusable fitted tuning: %+v", p.Tuning)
+	}
+}
+
+func TestProfileSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "calib.json")
+	p := Measure(fastOptions())
+	p.Tuning.GateParallel = 12345
+	p.Tuning.NaiveMaxTerms = 2
+	if err := p.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Version != p.Version || got.GoMaxProcs != p.GoMaxProcs ||
+		got.Workers != p.Workers || got.QubitsMin != p.QubitsMin || got.QubitsMax != p.QubitsMax {
+		t.Fatalf("header mismatch: got %+v want %+v", got, p)
+	}
+	if got.Tuning != p.Tuning {
+		t.Fatalf("tuning mismatch: got %+v want %+v", got.Tuning, p.Tuning)
+	}
+	if len(got.Samples) != len(p.Samples) {
+		t.Fatalf("sample count mismatch: got %d want %d", len(got.Samples), len(p.Samples))
+	}
+	for i := range got.Samples {
+		if got.Samples[i] != p.Samples[i] {
+			t.Fatalf("sample %d mismatch: got %+v want %+v", i, got.Samples[i], p.Samples[i])
+		}
+	}
+}
+
+func TestLoadRejectsWrongGoMaxProcs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "calib.json")
+	p := Measure(fastOptions())
+	p.GoMaxProcs = runtime.GOMAXPROCS(0) + 7
+	if err := p.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a profile measured under a different GOMAXPROCS")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "calib.json")
+	p := Measure(fastOptions())
+	p.Version = Version + 1
+	if err := p.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a profile with a future schema version")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "calib.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}
+
+func TestLoadOrMeasureMeasuresThenCaches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "calib.json")
+	p1, measured, err := LoadOrMeasure(path, fastOptions())
+	if err != nil {
+		t.Fatalf("first LoadOrMeasure: %v", err)
+	}
+	if !measured {
+		t.Fatal("first call should have measured")
+	}
+	p2, measured, err := LoadOrMeasure(path, fastOptions())
+	if err != nil {
+		t.Fatalf("second LoadOrMeasure: %v", err)
+	}
+	if measured {
+		t.Fatal("second call should have loaded the cached file")
+	}
+	if p2.Tuning != p1.Tuning {
+		t.Fatalf("cached tuning drifted: got %+v want %+v", p2.Tuning, p1.Tuning)
+	}
+}
+
+func TestApplyInstallsTuning(t *testing.T) {
+	defer tuning.Reset()
+	p := Measure(fastOptions())
+	p.Tuning.GateParallel = 4242
+	p.Apply("file")
+	if got := tuning.GateParallel(); got != 4242 {
+		t.Fatalf("tuning.GateParallel() = %d after Apply, want 4242", got)
+	}
+	if tuning.Source() != "file" {
+		t.Fatalf("tuning.Source() = %q, want \"file\"", tuning.Source())
+	}
+}
+
+func TestFlagsSetup(t *testing.T) {
+	defer tuning.Reset()
+	path := filepath.Join(t.TempDir(), "calib.json")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-calibration", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Flags.Setup uses default (slower) Options, so exercise the
+	// missing-file path with a pre-measured fast profile instead.
+	p := Measure(fastOptions())
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Setup(); err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if tuning.Source() != "file" {
+		t.Fatalf("tuning.Source() = %q after loading profile, want \"file\"", tuning.Source())
+	}
+	if tuning.Current() != p.Tuning {
+		t.Fatalf("installed tuning %+v, want %+v", tuning.Current(), p.Tuning)
+	}
+}
+
+func TestFlagsSetupNoop(t *testing.T) {
+	defer tuning.Reset()
+	tuning.Reset()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Setup(); err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if tuning.Source() != "default" {
+		t.Fatalf("no-op Setup changed tuning source to %q", tuning.Source())
+	}
+}

@@ -1,0 +1,59 @@
+package calib
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flags is the shared command-line surface for calibration: every
+// binary that executes circuits registers the same two flags so the
+// kernel-choice model is controlled uniformly across cmd/vqe,
+// cmd/nwqsim, cmd/benchfigs, and cmd/vqed.
+type Flags struct {
+	// File is a calibration profile to load (and, with -calibrate, to
+	// write after measuring).
+	File string
+	// Calibrate forces a fresh measurement even when File exists.
+	Calibrate bool
+}
+
+// AddFlags registers -calibration and -calibrate on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.File, "calibration", "", "kernel calibration profile to load (measured and written if missing)")
+	fs.BoolVar(&f.Calibrate, "calibrate", false, "micro-benchmark kernel crossovers at startup and install the result (writes -calibration file if set)")
+	return f
+}
+
+// Setup applies the flags after flag.Parse: a no-op when neither flag
+// was used, otherwise it loads or measures a profile and installs it as
+// the process-wide kernel tuning. Progress goes to stderr because
+// several callers reserve stdout for machine-readable output.
+func (f *Flags) Setup() error {
+	if f.File == "" && !f.Calibrate {
+		return nil
+	}
+	if f.Calibrate {
+		p := Measure(Options{})
+		p.Apply("measured")
+		if f.File != "" {
+			if err := p.Save(f.File); err != nil {
+				return fmt.Errorf("calib: save: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "calib: measured and saved %s\n", f.File)
+		}
+		return nil
+	}
+	p, measured, err := LoadOrMeasure(f.File, Options{})
+	if err != nil {
+		return err
+	}
+	if measured {
+		p.Apply("measured")
+		fmt.Fprintf(os.Stderr, "calib: no usable profile at %s, measured and saved a fresh one\n", f.File)
+	} else {
+		p.Apply("file")
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/kernel/tuning"
 	"repro/internal/state"
 	"repro/internal/telemetry"
 )
@@ -60,10 +61,27 @@ type Plan struct {
 // NewPlan groups op's terms by X mask. The identity term needs no special
 // case: it lands in the diagonal group with Z mask 0.
 func NewPlan(op *Op) *Plan {
+	return NewPlanFromTerms(op.Terms()) // canonical order → deterministic plan
+}
+
+// NewPlanFromTerms compiles an explicit term list (in the caller's
+// order, which must be deterministic for reproducible summation). This
+// is how a qubit-wise-commuting measurement group becomes a batched
+// pair-sweep: evaluating the group's original terms directly on the
+// post-ansatz state is mathematically identical to rotating into the
+// group's measurement basis and reading the diagonal expectations, but
+// fuses the whole basis-change layer into the sweep — no rotation
+// circuit pass, no probability vector (see MeasurementBasis.Plan).
+func NewPlanFromTerms(terms []Term) *Plan {
 	start := telemetry.Now()
-	pl := &Plan{maxQubit: op.MaxQubit(), nTerms: op.NumTerms()}
+	pl := &Plan{maxQubit: -1, nTerms: len(terms)}
+	for _, t := range terms {
+		if q := t.P.MaxQubit(); q > pl.maxQubit {
+			pl.maxQubit = q
+		}
+	}
 	byX := map[uint64]int{}
-	for _, t := range op.Terms() { // canonical order → deterministic plan
+	for _, t := range terms {
 		x, z := t.P.X, t.P.Z
 		gi, ok := byX[x]
 		if !ok {
@@ -121,7 +139,7 @@ func (pl *Plan) Evaluate(s *state.State, opts ExpectationOptions) float64 {
 // 1 = serial.
 func expectationPool(s *state.State, opts ExpectationOptions, dim int) (*state.Pool, int) {
 	w := opts.resolveWorkers()
-	if w <= 1 || dim < 1<<12 {
+	if w <= 1 || dim < tuning.ReduceParallel() {
 		return nil, 0
 	}
 	return s.EnsurePool(w), w

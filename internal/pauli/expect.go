@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/kernel/tuning"
 	"repro/internal/state"
 	"repro/internal/telemetry"
 )
@@ -67,14 +68,22 @@ func (o ExpectationOptions) resolveWorkers() int {
 }
 
 // Expectation computes ⟨ψ|H|ψ⟩ for a Pauli-sum observable using the
-// direct method, batched by X mask: every group of terms sharing an index
-// permutation is scored during one pass over the amplitudes (see
-// batched.go). The result is real for Hermitian H; the real part is
-// returned. Callers that evaluate the same observable repeatedly should
-// build the Plan once with NewPlan and call Evaluate to amortize the
-// grouping.
+// direct method. The strategy is chosen by the calibrated kernel model
+// (internal/kernel/tuning): observables at or below NaiveMaxTerms run
+// the per-term evaluator (plan construction doesn't repay itself for a
+// handful of strings), everything larger is batched by X mask so every
+// group of terms sharing an index permutation is scored during one pass
+// over the amplitudes (see batched.go). The result is real for
+// Hermitian H; the real part is returned. Callers that evaluate the
+// same observable repeatedly should build the Plan once with NewPlan
+// and call Evaluate to amortize the grouping.
 func Expectation(s *state.State, op *Op, opts ExpectationOptions) float64 {
 	checkWidth(s, op)
+	if op.NumTerms() <= tuning.NaiveMaxTerms() {
+		mChoiceNaive.Inc()
+		return ExpectationNaive(s, op, opts)
+	}
+	mChoiceBatched.Inc()
 	return NewPlan(op).Evaluate(s, opts)
 }
 
@@ -110,6 +119,25 @@ type MeasurementBasis struct {
 	// of term i is E[(−1)^{|outcome ∧ ZMasks[i]|}].
 	ZMasks []uint64
 	Terms  []Term
+}
+
+// Plan compiles the group's terms (identity excluded, matching the
+// rotated readout which skips it) into a batched pair-sweep plan. For a
+// qubit-wise-commuting group, evaluating this plan on the post-ansatz
+// state equals rotating a state copy with mb.Rotation and reading the
+// diagonal ZMasks expectations — the basis-change layer is fused into
+// the sweep, so a rotated-measurement evaluation costs one pass per
+// X mask instead of a rotation circuit plus a probability pass per
+// group (TestGroupPlanMatchesRotatedSweep pins the equivalence).
+func (mb *MeasurementBasis) Plan() *Plan {
+	terms := make([]Term, 0, len(mb.Terms))
+	for _, t := range mb.Terms {
+		if t.P.IsIdentity() {
+			continue
+		}
+		terms = append(terms, t)
+	}
+	return NewPlanFromTerms(terms)
 }
 
 // BasisRotation builds the rotation circuit for a single string: H for X,

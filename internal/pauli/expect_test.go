@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/kernel/tuning"
 	"repro/internal/state"
 )
 
@@ -191,4 +192,56 @@ func TestExpectationWidthGuard(t *testing.T) {
 	}()
 	s := state.New(1, state.Options{})
 	Expectation(s, NewOp().Add(MustParse("IZ"), 1), ExpectationOptions{})
+}
+
+// TestGroupPlanMatchesRotatedSweep pins the basis-change fusion
+// equivalence: summing every QWC group's batched plan on the raw state
+// (plus the identity coefficient) must equal the rotate-then-read
+// evaluation to 1e-12.
+func TestGroupPlanMatchesRotatedSweep(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		s := randomState(seed)
+		h := testHamiltonian()
+		want := ExpectationViaRotation(s, h, 4)
+		got := real(h.Coeff(Identity))
+		for _, mb := range GroupQWC(h, 4) {
+			got += mb.Plan().Evaluate(s, ExpectationOptions{Workers: 1})
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("seed %d: group plans %.15f != rotated %.15f", seed, got, want)
+		}
+	}
+}
+
+// TestNewPlanFromTermsMatchesNewPlan: the term-list constructor must
+// agree with the Op constructor on the same observable.
+func TestNewPlanFromTermsMatchesNewPlan(t *testing.T) {
+	s := randomState(11)
+	h := testHamiltonian()
+	a := NewPlan(h).Evaluate(s, ExpectationOptions{Workers: 1})
+	b := NewPlanFromTerms(h.Terms()).Evaluate(s, ExpectationOptions{Workers: 1})
+	if math.Abs(a-b) > 1e-13 {
+		t.Fatalf("NewPlanFromTerms %.15f != NewPlan %.15f", b, a)
+	}
+}
+
+// TestExpectationStrategyChoice: the calibrated NaiveMaxTerms threshold
+// must steer Expectation without changing its value.
+func TestExpectationStrategyChoice(t *testing.T) {
+	defer tuning.Reset()
+	s := randomState(3)
+	h := testHamiltonian()
+	want := denseExpectation(s, h)
+
+	tt := tuning.Defaults()
+	tt.NaiveMaxTerms = 0 // always batched
+	tuning.Install(tt, "test")
+	if got := Expectation(s, h, ExpectationOptions{Workers: 1}); math.Abs(got-want) > 1e-10 {
+		t.Fatalf("batched choice: %v want %v", got, want)
+	}
+	tt.NaiveMaxTerms = 1 << 20 // always naive
+	tuning.Install(tt, "test")
+	if got := Expectation(s, h, ExpectationOptions{Workers: 1}); math.Abs(got-want) > 1e-10 {
+		t.Fatalf("naive choice: %v want %v", got, want)
+	}
 }

@@ -12,4 +12,10 @@ var (
 	mPlanEval   = telemetry.GetTimer("pauli.plan.evaluate")
 	mPlanMatVec = telemetry.GetTimer("pauli.plan.matvec")
 	mNaiveEval  = telemetry.GetTimer("pauli.naive.evaluate")
+
+	// Calibrated strategy-choice counters: which evaluator Expectation
+	// picked per call (kernel.calib.* gauges record the thresholds that
+	// drove the choice).
+	mChoiceNaive   = telemetry.GetCounter("pauli.choice.naive")
+	mChoiceBatched = telemetry.GetCounter("pauli.choice.batched")
 )

@@ -15,6 +15,7 @@ import (
 	"repro/internal/chem"
 	"repro/internal/core"
 	"repro/internal/fermion"
+	"repro/internal/kernel/calib"
 	"repro/internal/opt"
 	"repro/internal/pauli"
 	"repro/internal/qpe"
@@ -222,6 +223,16 @@ func RunOnMolecule(ctx context.Context, m *chem.MolecularData, spec *RunSpec, op
 // run executes a defaulted spec on a built molecule.
 func run(ctx context.Context, m *chem.MolecularData, c *RunSpec, opts RunOptions) (*Result, error) {
 	started := time.Now()
+	if c.Backend.Calibration != "" {
+		// Install the kernel-choice model before any simulation work; a
+		// stale or missing profile is a configuration error, not a
+		// trigger for a surprise multi-second measurement inside a job.
+		p, err := calib.Load(c.Backend.Calibration)
+		if err != nil {
+			return nil, err
+		}
+		p.Apply("file")
+	}
 	if c.Resilience.Walltime != "" {
 		budget, err := resilience.ParseWalltime(c.Resilience.Walltime)
 		if err != nil {

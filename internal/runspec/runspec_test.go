@@ -43,15 +43,16 @@ func TestHashGolden(t *testing.T) {
 func TestHashNormalization(t *testing.T) {
 	base := RunSpec{}
 	same := []RunSpec{
-		{Molecule: MoleculeSpec{Kind: "H2"}},                        // case-folded kind
-		{Molecule: MoleculeSpec{Kind: "h2", Sites: 9, Seed: 77}},    // stale hubbard/synthetic params
-		{Algorithm: "vqe", Mode: "direct", Encoding: "jw"},          // explicit defaults
-		{Shots: 4096},                                               // shots inert in direct mode
-		{DisableCaching: true},                                      // caching inert in direct mode
+		{Molecule: MoleculeSpec{Kind: "H2"}},                     // case-folded kind
+		{Molecule: MoleculeSpec{Kind: "h2", Sites: 9, Seed: 77}}, // stale hubbard/synthetic params
+		{Algorithm: "vqe", Mode: "direct", Encoding: "jw"},       // explicit defaults
+		{Shots: 4096},          // shots inert in direct mode
+		{DisableCaching: true}, // caching inert in direct mode
 		{Backend: BackendSpec{Accelerator: "nwq-sv", Ranks: 16}},    // ranks inert off-cluster
 		{Adapt: AdaptSpec{MaxIterations: 99}},                       // adapt section inert under vqe
 		{QPE: QPESpec{Ancillas: 3}},                                 // qpe section inert under vqe
 		{Resilience: ResilienceSpec{Walltime: "30", Resume: false}}, // lifecycle only
+		{Backend: BackendSpec{Calibration: "calib.json"}},           // kernel tuning never changes results
 	}
 	for i, s := range same {
 		if s.Hash() != base.Hash() {

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/kernel/tuning"
 	"repro/internal/runspec"
 	"repro/internal/state"
 	"repro/internal/telemetry"
@@ -350,6 +351,7 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 		"max_concurrent": s.cfg.MaxConcurrent,
 		"queue_depth":    s.cfg.QueueDepth,
 		"sim_workers":    s.pool.Workers(),
+		"kernel_tuning":  tuning.Snapshot(),
 	})
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/gate"
+	"repro/internal/kernel/tuning"
 	"repro/internal/linalg"
 	"repro/internal/telemetry"
 )
@@ -87,7 +88,9 @@ func New(n int, opts Options) *State {
 	dim := core.Dim(n)
 	opts.Workers = ResolveWorkers(opts.Workers)
 	if opts.ParallelThreshold <= 0 {
-		opts.ParallelThreshold = 1 << 14
+		// Calibrated serial-vs-pool crossover (internal/kernel/tuning);
+		// the compiled-in default matches the old hardcoded 1<<14.
+		opts.ParallelThreshold = tuning.GateParallel()
 	}
 	seed := opts.Seed
 	if seed == 0 {
@@ -104,7 +107,7 @@ func New(n int, opts Options) *State {
 	}
 	s := &State{n: n, amps: make([]complex128, dim), opts: opts, rng: core.NewRNG(seed)}
 	s.amps[0] = 1
-	if opts.Workers > 1 && dim >= expectationParallelThreshold {
+	if opts.Workers > 1 && dim >= tuning.ReduceParallel() {
 		// Large enough that some caller (gates at ParallelThreshold, the
 		// expectation engine at its lower cutoff) will go parallel; start
 		// the persistent pool now rather than per call.
@@ -113,11 +116,11 @@ func New(n int, opts Options) *State {
 	return s
 }
 
-// expectationParallelThreshold is the minimum amplitude count before
-// expectation-style reductions engage the pool — lower than the gate
-// ParallelThreshold default because a reduction touches every amplitude of
-// every term group, amortizing the handoff better than one gate does.
-const expectationParallelThreshold = 1 << 12
+// The expectation-reduction pool threshold lives in
+// internal/kernel/tuning (ReduceParallel): lower than the gate
+// threshold because a reduction touches every amplitude of every term
+// group, amortizing the handoff better than one gate does, and
+// replaceable by a measured crossover from the calibration subsystem.
 
 // WorkerPool returns the state's persistent pool, or nil for states that
 // run serial (Workers ≤ 1 or too small to ever parallelize).
@@ -236,7 +239,7 @@ func (s *State) parallelFor(total uint64, body func(lo, hi uint64)) {
 // below the reduction threshold (which is lower than the gate threshold —
 // see expectationParallelThreshold).
 func (s *State) parallelReduce(total uint64, body func(lo, hi uint64) float64) float64 {
-	if int(total) < expectationParallelThreshold || s.opts.Workers <= 1 || s.pool == nil {
+	if int(total) < tuning.ReduceParallel() || s.opts.Workers <= 1 || s.pool == nil {
 		mPoolInline.Inc()
 		return body(0, total)
 	}

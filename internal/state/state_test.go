@@ -315,20 +315,51 @@ func TestApplyFusedGates(t *testing.T) {
 	}
 }
 
+// order2QConventionCases is the shared qubit-order convention table:
+// every two-qubit execution path — Apply2Q and the fused program kernels
+// (TestFusedOrderConvention) — must match the dense EmbedGate embedding
+// on these ordered pairs and gate shapes, so the 4×4 matrix convention
+// (first listed qubit = high local bit) cannot silently diverge between
+// paths. The gate list covers each fused kernel class: diagonal (RZZ,
+// CZ), sparse (CX, ISWAP, SWAP, RXX), and dense (CH and a fully dense
+// fused product).
+var order2QConventionCases = struct {
+	pairs [][2]int
+	gates func(a, b int) []gate.Gate
+}{
+	pairs: [][2]int{{0, 1}, {1, 0}, {2, 0}, {0, 2}, {1, 2}, {2, 1}},
+	gates: func(a, b int) []gate.Gate {
+		dense := gate.New(gate.CH, 0, 1).Matrix4().
+			Mul(gate.NewP(gate.RXX, []float64{0.6}, 0, 1).Matrix4()).
+			Mul(gate.New(gate.ISWAP, 0, 1).Matrix4())
+		return []gate.Gate{
+			gate.New(gate.CX, a, b),
+			gate.New(gate.CZ, a, b),
+			gate.New(gate.CH, a, b),
+			gate.New(gate.SWAP, a, b),
+			gate.New(gate.ISWAP, a, b),
+			gate.NewP(gate.RXX, []float64{0.7}, a, b),
+			gate.NewP(gate.RZZ, []float64{1.1}, a, b),
+			{Kind: gate.Fused2Q, Qubits: []int{a, b}, Matrix: dense},
+		}
+	},
+}
+
 func TestApply2QOrderConvention(t *testing.T) {
 	// Apply2Q with (a,b) where a is the high local bit must match the
 	// dense embedding for both orders.
-	for _, pair := range [][2]int{{0, 1}, {1, 0}, {2, 0}, {1, 2}} {
-		g := gate.New(gate.CX, pair[0], pair[1])
-		s := New(3, Options{})
-		s.Run(circuit.New(3).H(0).H(1).H(2))
-		ref := s.AmplitudesCopy()
-		s.Apply2Q(g.Matrix4(), pair[0], pair[1])
-		u := circuit.EmbedGate(g, 3)
-		want := u.MulVec(ref)
-		for i := range want {
-			if !core.AlmostEqualC(s.amps[i], want[i], 1e-10) {
-				t.Fatalf("pair %v: index %d", pair, i)
+	for _, pair := range order2QConventionCases.pairs {
+		for _, g := range order2QConventionCases.gates(pair[0], pair[1]) {
+			s := New(3, Options{})
+			s.Run(circuit.New(3).H(0).T(0).H(1).S(1).H(2))
+			ref := s.AmplitudesCopy()
+			s.Apply2Q(g.Matrix4(), pair[0], pair[1])
+			u := circuit.EmbedGate(g, 3)
+			want := u.MulVec(ref)
+			for i := range want {
+				if !core.AlmostEqualC(s.amps[i], want[i], 1e-10) {
+					t.Fatalf("gate %v pair %v: index %d", g, pair, i)
+				}
 			}
 		}
 	}

@@ -16,4 +16,10 @@ var (
 	mEnergyEval    = telemetry.GetTimer("vqe.energy")
 	mEnergyRecent  = telemetry.GetRing("vqe.energy.recent_ns", 256)
 	mAdaptIter     = telemetry.GetTimer("vqe.adapt.iteration")
+
+	// Rotated-mode strategy counters: fused group-plan sweeps (the
+	// basis-change layer folded into the pair sweep) vs the classic
+	// rotate-then-read walk.
+	mRotatedFused   = telemetry.GetCounter("vqe.rotated.fused_evals")
+	mRotatedClassic = telemetry.GetCounter("vqe.rotated.classic_evals")
 )

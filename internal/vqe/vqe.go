@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"repro/internal/ansatz"
-	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/noise"
 	"repro/internal/opt"
@@ -109,10 +108,16 @@ type Driver struct {
 	Ansatz ansatz.Ansatz
 	opts   Options
 
-	n          int
-	sim        *state.State
-	scratch    *state.State
-	plan       *pauli.Plan // batched X-mask-grouped evaluation plan for H
+	n       int
+	sim     *state.State
+	scratch *state.State
+	plan    *pauli.Plan // batched X-mask-grouped evaluation plan for H
+	// groupPlans (Rotated mode with Transpile) holds one batched plan
+	// per measurement group, built once: the group's basis-change layer
+	// is fused into the pair sweep, so an energy evaluation reads every
+	// group directly off the post-ansatz amplitudes — no per-group
+	// clone, rotation circuit, or probability vector.
+	groupPlans []*pauli.Plan
 	shotPlan   []int
 	groupSD    []float64
 	readoutRNG *core.RNG
@@ -144,6 +149,12 @@ func New(h *pauli.Op, a ansatz.Ansatz, opts Options) (*Driver, error) {
 			d.groups = perTermBases(h, n)
 		} else {
 			d.groups = pauli.GroupQWC(h, n)
+		}
+	}
+	if opts.Mode == Rotated && opts.Transpile {
+		d.groupPlans = make([]*pauli.Plan, len(d.groups))
+		for i := range d.groups {
+			d.groupPlans[i] = d.groups[i].Plan()
 		}
 	}
 	return d, nil
@@ -186,11 +197,15 @@ func (d *Driver) CacheStats() state.CacheStats { return d.cache.Stats() }
 func (d *Driver) prepareAnsatz(params []float64) {
 	start := telemetry.Now()
 	c := d.Ansatz.Circuit(params)
-	if d.opts.Transpile {
-		c = circuit.Transpile(c, circuit.DefaultTranspileOptions())
-	}
 	d.sim.ResetZero()
-	d.sim.Run(c)
+	if d.opts.Transpile {
+		// Fused kernel path: compile through the transpiler and execute
+		// layered fused sweeps (falls back to the plain transpiled gate
+		// list below the calibrated cutoff).
+		d.sim.RunOptimized(c)
+	} else {
+		d.sim.Run(c)
+	}
 	d.stats.AnsatzExecutions++
 	mPhasePrepare.Since(start)
 }
@@ -216,7 +231,15 @@ func (d *Driver) Energy(params []float64) float64 {
 		e = d.plan.Evaluate(d.sim, pauli.ExpectationOptions{Workers: d.opts.Workers})
 		mPhaseExpect.Since(readStart)
 	case Rotated, Sampled:
-		e = d.energyViaGroups(params)
+		if d.groupPlans != nil {
+			mRotatedFused.Inc()
+			e = d.energyViaGroupPlans(params)
+		} else {
+			if d.opts.Mode == Rotated {
+				mRotatedClassic.Inc()
+			}
+			e = d.energyViaGroups(params)
+		}
 	default:
 		panic(fmt.Errorf("%w: unknown energy mode %v", core.ErrInvalidArgument, d.opts.Mode))
 	}
@@ -226,6 +249,22 @@ func (d *Driver) Energy(params []float64) float64 {
 		mEnergyRecent.Observe(float64(elapsed))
 	}
 	return e
+}
+
+// energyViaGroupPlans is the fused Rotated path: one ansatz execution,
+// then every measurement group's plan sweeps the post-ansatz amplitudes
+// directly. Mathematically identical to the rotate-then-read walk
+// (pauli.TestGroupPlanMatchesRotatedSweep), but the basis-change layers
+// never execute — the rotation is folded into the X-mask pair sweep.
+func (d *Driver) energyViaGroupPlans(params []float64) float64 {
+	d.prepareAnsatz(params)
+	readStart := telemetry.Now()
+	total := real(d.H.Coeff(pauli.Identity))
+	for _, pl := range d.groupPlans {
+		total += pl.Evaluate(d.sim, pauli.ExpectationOptions{Workers: d.opts.Workers})
+	}
+	mPhaseExpect.Since(readStart)
+	return total
 }
 
 // energyViaGroups walks the measurement groups, re-preparing or restoring
@@ -333,11 +372,12 @@ func (d *Driver) groupShots(i int) int {
 func (d *Driver) prepareAnsatzInto(s *state.State, params []float64) {
 	start := telemetry.Now()
 	c := d.Ansatz.Circuit(params)
-	if d.opts.Transpile {
-		c = circuit.Transpile(c, circuit.DefaultTranspileOptions())
-	}
 	s.ResetZero()
-	s.Run(c)
+	if d.opts.Transpile {
+		s.RunOptimized(c)
+	} else {
+		s.Run(c)
+	}
 	d.stats.AnsatzExecutions++
 	mPhasePrepare.Since(start)
 }

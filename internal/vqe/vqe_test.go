@@ -525,3 +525,35 @@ func TestReadoutErrorBiasesAndMitigationRecovers(t *testing.T) {
 		t.Errorf("mitigation weak: raw bias %v, mitigated %v", rawErr, mitErr)
 	}
 }
+
+func TestRotatedFusedGroupPlansMatchClassic(t *testing.T) {
+	// Rotated mode with Transpile evaluates every measurement group as a
+	// fused pair-sweep plan on the post-ansatz state; it must agree with
+	// the classic rotate-then-read walk to 1e-10.
+	h, u, _ := h2Setup(t)
+	params := []float64{0.07, -0.02, 0.11}
+	classic, _ := New(h, u, Options{Mode: Rotated})
+	fused, _ := New(h, u, Options{Mode: Rotated, Transpile: true})
+	e1, e2 := classic.Energy(params), fused.Energy(params)
+	if math.Abs(e1-e2) > 1e-10 {
+		t.Fatalf("fused rotated %v vs classic %v", e2, e1)
+	}
+	// The fused path runs the ansatz once per evaluation and never
+	// executes rotation circuits.
+	if fused.Stats().AnsatzExecutions != 1 {
+		t.Errorf("fused rotated ran ansatz %d times, want 1", fused.Stats().AnsatzExecutions)
+	}
+	if classic.Stats().AnsatzExecutions <= 1 {
+		t.Errorf("classic rotated should re-prepare per group, got %d", classic.Stats().AnsatzExecutions)
+	}
+}
+
+func TestRotatedFusedPerTermMatches(t *testing.T) {
+	h, u, _ := h2Setup(t)
+	params := []float64{0.03, 0.09, -0.04}
+	classic, _ := New(h, u, Options{Mode: Rotated, PerTermMeasurement: true})
+	fused, _ := New(h, u, Options{Mode: Rotated, PerTermMeasurement: true, Transpile: true})
+	if e1, e2 := classic.Energy(params), fused.Energy(params); math.Abs(e1-e2) > 1e-10 {
+		t.Fatalf("per-term fused rotated %v vs classic %v", e2, e1)
+	}
+}

@@ -71,12 +71,12 @@ func (a *SVAccelerator) Execute(ctx context.Context, c *circuit.Circuit, shots i
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	run := c
-	if a.Transpile {
-		run = circuit.Transpile(c, circuit.DefaultTranspileOptions())
-	}
 	s := state.New(c.NumQubits, state.Options{Workers: a.Workers, Seed: a.Seed})
-	s.Run(run)
+	if a.Transpile {
+		s.RunOptimized(c)
+	} else {
+		s.Run(c)
+	}
 	res := &ExecutionResult{Probabilities: s.Probabilities()}
 	if shots > 0 {
 		res.Counts = s.SampleCounts(shots)
@@ -95,12 +95,12 @@ func (a *SVAccelerator) Expectation(ctx context.Context, prep *circuit.Circuit, 
 	if obs.MaxQubit() >= prep.NumQubits {
 		return 0, core.QubitError(obs.MaxQubit(), prep.NumQubits)
 	}
-	run := prep
-	if a.Transpile {
-		run = circuit.Transpile(prep, circuit.DefaultTranspileOptions())
-	}
 	s := state.New(prep.NumQubits, state.Options{Workers: a.Workers, Seed: a.Seed})
-	s.Run(run)
+	if a.Transpile {
+		s.RunOptimized(prep)
+	} else {
+		s.Run(prep)
+	}
 	return pauli.NewPlan(obs).Evaluate(s, pauli.ExpectationOptions{Workers: a.Workers}), nil
 }
 
