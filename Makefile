@@ -11,7 +11,7 @@ GOVULNCHECK_VERSION = v1.1.4
 # Coverage floor for the telemetry package (CI enforces the same number).
 TELEMETRY_COVER_MIN = 60
 
-.PHONY: all build test vet vqelint lint vuln race bench bench-smoke chaos vqed-smoke cover figures check ci
+.PHONY: all build test vet vqelint lint vuln race bench bench-smoke chaos vqed-smoke load-smoke cover figures check ci
 
 all: check
 
@@ -73,6 +73,15 @@ vqed-smoke:
 	$(GO) build -race -o bin/vqed ./cmd/vqed
 	VQED_BIN=bin/vqed sh scripts/vqed_smoke.sh
 
+# load-smoke is the serving latency gate: boot vqed on a free port, drive
+# it with a closed-loop vqeload run over the smoke mix, and fail the build
+# if end-to-end p99 exceeds LOAD_FAIL_P99 (2s) or SLO attainment drops
+# below LOAD_MIN_SLO (0.95). Writes load_report.json.
+load-smoke:
+	$(GO) build -o bin/vqed ./cmd/vqed
+	$(GO) build -o bin/vqeload ./cmd/vqeload
+	VQED_BIN=bin/vqed VQELOAD_BIN=bin/vqeload sh scripts/vqeload_smoke.sh
+
 bench:
 	$(GO) test -bench BenchmarkBatchedExpectation -benchtime 1x -run ^$$ .
 
@@ -101,6 +110,6 @@ figures:
 check: build vet test race bench figures
 
 # ci mirrors the GitHub Actions workflow jobs (test, lint, vqelint, vuln,
-# coverage, bench-smoke, chaos-smoke, vqed-smoke) so `make ci` locally
-# means green CI.
-ci: build lint vuln test race cover bench-smoke chaos vqed-smoke
+# coverage, bench-smoke, chaos-smoke, vqed-smoke, load-smoke) so
+# `make ci` locally means green CI.
+ci: build lint vuln test race cover bench-smoke chaos vqed-smoke load-smoke

@@ -5,6 +5,15 @@
 //
 //	vqed -addr :8080 -jobs 4 -workers 0 -spool /tmp/vqed-spool
 //
+// Passing `-addr 127.0.0.1:0` binds an OS-assigned free port; the chosen
+// address is printed on the "serving on" log line so scripts (and
+// vqeload) can discover it without racing other processes for a port.
+//
+// With `-costmodel <profile.json>` the daemon quotes Retry-After on
+// queue-full 503s from a calibrated per-spec runtime model (see
+// internal/load/costmodel); without it the quote falls back to an EWMA of
+// observed run times.
+//
 // SIGINT/SIGTERM trigger a graceful drain: in-flight optimizers halt at
 // the next iteration boundary, write resumable checkpoints into the
 // spool, and a manifest.json records what can be resubmitted.
@@ -16,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -23,45 +33,69 @@ import (
 	"time"
 
 	"repro/internal/kernel/calib"
+	"repro/internal/load/costmodel"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "listen address (port 0 picks a free port, logged at startup)")
 	jobs := flag.Int("jobs", 4, "maximum concurrently running jobs")
 	queue := flag.Int("queue", 64, "queued-job capacity before submissions get 503")
 	workers := flag.Int("workers", 0, "shared simulation pool width (0 = GOMAXPROCS)")
 	spool := flag.String("spool", "", "checkpoint spool directory (default: vqed-spool under the OS temp dir)")
 	cache := flag.Int("cache", 256, "result cache capacity (completed specs)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	metrics := flag.Bool("metrics", true, "record scheduler telemetry for /v1/metrics")
+	costModel := flag.String("costmodel", "", "cost-model profile for Retry-After quoting (from `vqeload probe`)")
 	calibFlags := calib.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := calibFlags.Setup(); err != nil {
 		log.Fatalf("vqed: %v", err)
 	}
+	if *metrics {
+		telemetry.Enable()
+	}
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		MaxConcurrent: *jobs,
 		QueueDepth:    *queue,
 		SimWorkers:    *workers,
 		SpoolDir:      *spool,
 		CacheCapacity: *cache,
-	})
+	}
+	if *costModel != "" {
+		model, err := costmodel.Load(*costModel)
+		if err != nil {
+			log.Fatalf("vqed: %v", err)
+		}
+		cfg.Estimator = model.Estimator()
+		log.Printf("vqed: wait quotes from cost model %s (rmsle %.3f, %d samples)",
+			*costModel, model.RMSLE, model.Samples)
+	}
+
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("vqed: %v", err)
 	}
 
+	// Listen explicitly (rather than ListenAndServe) so `-addr :0` works:
+	// the kernel-assigned port is known before the first request and goes
+	// on the startup log line that scripts parse.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("vqed: listen: %v", err)
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("vqed: serving on %s (jobs=%d queue=%d workers=%d)",
-			*addr, *jobs, *queue, srv.Pool().Workers())
-		errCh <- httpSrv.ListenAndServe()
+			ln.Addr(), *jobs, *queue, srv.Pool().Workers())
+		errCh <- httpSrv.Serve(ln)
 	}()
 
 	sig := make(chan os.Signal, 1)
@@ -70,7 +104,7 @@ func main() {
 	case s := <-sig:
 		log.Printf("vqed: %s received, draining (budget %s)", s, *drain)
 	case err := <-errCh:
-		log.Fatalf("vqed: listen: %v", err)
+		log.Fatalf("vqed: serve: %v", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)

@@ -1,0 +1,357 @@
+// Command vqeload is the serving-scale load harness and capacity planner
+// for vqed. It drives a live daemon with open-loop (poisson, mmpp,
+// diurnal) or closed-loop (fixed concurrency) traffic over weighted
+// RunSpec mixes, records per-job latency/queue/SLO outcomes plus periodic
+// /v1/metrics snapshots, and writes a machine-readable load_report.json.
+//
+//	vqeload run   -self -mode closed -concurrency 4 -duration 30s -mix smoke -report load_report.json
+//	vqeload run   -addr http://127.0.0.1:8931 -mode open -arrival poisson -rate 20 -duration 60s -mix serving
+//	vqeload probe -out costmodel.json
+//	vqeload plan  -model costmodel.json -rate 50 -p99 500ms -mix serving -validate
+//	vqeload report -in load_report.json -md
+//
+// `run` exits non-zero when -fail-p99 / -min-slo gates trip, which is how
+// CI turns a latency regression into a red build. `plan` answers "how
+// many workers for this rate and p99 target" from the calibrated cost
+// model via an M/G/c approximation; -validate replays the mix against a
+// real in-process fleet at the planned size and reports prediction error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/load/costmodel"
+	"repro/internal/runspec"
+	"repro/internal/server"
+	"repro/internal/state"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(ctx, os.Args[2:])
+	case "probe":
+		err = cmdProbe(ctx, os.Args[2:])
+	case "plan":
+		err = cmdPlan(ctx, os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "vqeload: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqeload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: vqeload <subcommand> [flags]
+
+  run     generate load against a vqed and write a latency/SLO report
+  probe   calibrate the per-spec cost model from short measurement runs
+  plan    answer worker-count questions from the cost model (M/G/c)
+  report  render an existing load_report.json as a table or markdown
+
+run 'vqeload <subcommand> -h' for flags.
+`)
+}
+
+func cmdRun(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("vqeload run", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon base URL (e.g. http://127.0.0.1:8931)")
+	self := fs.Bool("self", false, "boot an in-process vqed instead of targeting -addr")
+	selfJobs := fs.Int("self-jobs", 4, "worker count for the -self daemon")
+	selfQueue := fs.Int("self-queue", 64, "queue depth for the -self daemon")
+	selfNoCache := fs.Bool("self-nocache", false, "disable the -self daemon's result cache (measure cold-path latency)")
+	mode := fs.String("mode", "closed", "closed (fixed concurrency) or open (arrival-driven)")
+	concurrency := fs.Int("concurrency", 4, "closed-loop worker count")
+	arrival := fs.String("arrival", "poisson", "open-loop arrival process: poisson, mmpp, diurnal")
+	rate := fs.Float64("rate", 10, "open-loop base arrival rate (jobs/s)")
+	burst := fs.Float64("burst-rate", 0, "mmpp burst-state rate (default 4x -rate)")
+	peak := fs.Float64("peak-rate", 0, "diurnal crest rate (default 3x -rate)")
+	period := fs.Duration("period", 0, "diurnal cycle length (default 1m)")
+	duration := fs.Duration("duration", 30*time.Second, "load generation window")
+	mixName := fs.String("mix", runspec.MixSmoke, "spec mix: smoke, serving, sweep")
+	seed := fs.Int64("seed", 1, "workload seed (spec sampling + arrival gaps)")
+	slo := fs.Duration("slo", 5*time.Second, "per-job end-to-end latency objective")
+	metricsEvery := fs.Duration("metrics-every", 5*time.Second, "/v1/metrics sampling cadence (0 disables)")
+	reportPath := fs.String("report", "", "write the JSON report here")
+	outcomes := fs.Bool("outcomes", false, "embed raw per-job outcomes in the report")
+	failP99 := fs.Duration("fail-p99", 0, "exit non-zero if end-to-end p99 exceeds this (0 disables)")
+	minSLO := fs.Float64("min-slo", 0, "exit non-zero if SLO attainment falls below this fraction (0 disables)")
+	markdown := fs.Bool("md", false, "print the markdown summary (for $GITHUB_STEP_SUMMARY) after the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mix, err := runspec.MixByName(*mixName)
+	if err != nil {
+		return err
+	}
+	cfg := load.Config{
+		Mode:         *mode,
+		Concurrency:  *concurrency,
+		Duration:     *duration,
+		Mix:          mix,
+		Seed:         *seed,
+		SLOTarget:    *slo,
+		MetricsEvery: *metricsEvery,
+		KeepOutcomes: *outcomes,
+	}
+	if *mode == "open" {
+		arr, err := load.ArrivalByName(*arrival, *rate, *burst, *peak, *period)
+		if err != nil {
+			return err
+		}
+		cfg.Arrival = arr
+	}
+
+	switch {
+	case *self:
+		telemetry.Enable()
+		base, stop, err := load.StartLocal(server.Config{
+			MaxConcurrent: *selfJobs,
+			QueueDepth:    *selfQueue,
+			DisableCache:  *selfNoCache,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stop() }()
+		cfg.BaseURL = base
+		fmt.Fprintf(os.Stderr, "vqeload: self-hosted vqed at %s (jobs=%d queue=%d)\n", base, *selfJobs, *selfQueue)
+	case *addr != "":
+		cfg.BaseURL = *addr
+	default:
+		return fmt.Errorf("run needs -addr or -self")
+	}
+
+	runner, err := load.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		return err
+	}
+
+	fmt.Print(rep.Table())
+	if *markdown {
+		fmt.Print(rep.MarkdownSummary())
+	}
+	if *reportPath != "" {
+		if err := rep.WriteFile(*reportPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "vqeload: report written to %s\n", *reportPath)
+	}
+	return rep.Gate(*failP99, *minSLO)
+}
+
+func cmdProbe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("vqeload probe", flag.ExitOnError)
+	out := fs.String("out", "costmodel.json", "where to save the fitted model")
+	reps := fs.Int("reps", 3, "measurement repetitions per class (median kept)")
+	force := fs.Bool("force", false, "re-probe even if a valid profile exists")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*force {
+		if model, err := costmodel.Load(*out); err == nil {
+			fmt.Printf("existing profile %s is valid (rmsle %.3f, %d samples); use -force to re-probe\n",
+				*out, model.RMSLE, model.Samples)
+			return nil
+		}
+	}
+	entries, err := costmodel.DefaultProbeEntries()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	samples, err := costmodel.Probe(ctx, entries, costmodel.ProbeOptions{Repetitions: *reps})
+	if err != nil {
+		return err
+	}
+	model, err := costmodel.Fit(samples)
+	if err != nil {
+		return err
+	}
+	if err := model.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("probed %d classes in %s, fit rmsle %.3f, saved to %s\n",
+		len(samples), time.Since(start).Round(time.Millisecond), model.RMSLE, *out)
+	for _, s := range samples {
+		pred := model.PredictNs(s.Features)
+		fmt.Printf("  %-16s q=%-3d terms=%-5d iters=%-5d measured=%-10s predicted=%s\n",
+			s.Class, s.Features.Qubits, s.Features.Terms, s.Features.Iters,
+			time.Duration(s.RunNs).Round(time.Microsecond),
+			time.Duration(pred).Round(time.Microsecond))
+	}
+	return nil
+}
+
+func cmdPlan(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("vqeload plan", flag.ExitOnError)
+	modelPath := fs.String("model", "costmodel.json", "cost-model profile (from `vqeload probe`; probed on demand if absent)")
+	rate := fs.Float64("rate", 10, "offered arrival rate (jobs/s)")
+	p99 := fs.Duration("p99", 500*time.Millisecond, "end-to-end p99 objective")
+	mixName := fs.String("mix", runspec.MixServing, "spec mix the plan is for")
+	maxWorkers := fs.Int("max-workers", 256, "worker-count search ceiling")
+	validate := fs.Bool("validate", false, "replay the mix against an in-process fleet at the planned size")
+	validateFor := fs.Duration("validate-duration", 20*time.Second, "replay window for -validate")
+	reportPath := fs.String("report", "", "write the validation load report here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	model, probed, err := costmodel.LoadOrProbe(ctx, *modelPath, costmodel.ProbeOptions{})
+	if err != nil {
+		return err
+	}
+	if probed {
+		fmt.Fprintf(os.Stderr, "vqeload: no valid profile at %s — probed and saved one (rmsle %.3f)\n", *modelPath, model.RMSLE)
+	}
+	mix, err := runspec.MixByName(*mixName)
+	if err != nil {
+		return err
+	}
+	svc, err := costmodel.MixService(model, mix)
+	if err != nil {
+		return err
+	}
+	res, err := costmodel.Plan(costmodel.PlanInput{
+		RatePerSec: *rate,
+		TargetP99:  *p99,
+		MaxWorkers: *maxWorkers,
+	}, svc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("mix %q service: mean %s, scv %.2f, p99 %s\n", *mixName,
+		time.Duration(svc.MeanNs).Round(time.Microsecond), svc.SCV,
+		time.Duration(svc.P99Ns).Round(time.Microsecond))
+	if !res.Feasible {
+		fmt.Printf("INFEASIBLE: no worker count ≤ %d meets p99 ≤ %s at %.3g jobs/s", *maxWorkers, *p99, *rate)
+		//vqelint:ignore workerssemantics PlanResult.Workers is the planner's answer, not a pool-width sentinel
+		if res.Workers > 0 {
+			fmt.Printf(" (best: %d workers → predicted p99 %.1fms)", res.Workers, res.PredictedP99Ms)
+		}
+		fmt.Println()
+		return fmt.Errorf("plan infeasible")
+	}
+	fmt.Printf("plan: %d workers for %.3g jobs/s at p99 ≤ %s\n", res.Workers, *rate, *p99)
+	fmt.Printf("  utilization %.0f%%, P(wait) %.3f, mean wait %.2fms, p99 wait %.2fms, predicted e2e p99 %.1fms\n",
+		res.Utilization*100, res.PWait, res.MeanWaitMs, res.P99WaitMs, res.PredictedP99Ms)
+
+	if !*validate {
+		return nil
+	}
+
+	telemetry.Enable()
+	if cores := state.ResolveWorkers(0); res.Workers > cores {
+		fmt.Printf("note: %d workers exceed the %d-core process budget — a single-machine replay\n"+
+			"      timeshares the CPU, so measured service times will run above the solo-probe model\n",
+			res.Workers, cores)
+	}
+	// The planner models every job paying full service time, so the
+	// validation fleet runs cache-disabled — otherwise repeated specs
+	// answer from the result cache and the comparison means nothing. The
+	// queue is deep so shedding doesn't mask queueing delay.
+	queueDepth := 4 * res.Workers
+	if queueDepth < 256 {
+		queueDepth = 256
+	}
+	base, stop, err := load.StartLocal(server.Config{
+		MaxConcurrent: res.Workers,
+		QueueDepth:    queueDepth,
+		DisableCache:  true,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = stop() }()
+	arr, err := load.NewPoisson(*rate)
+	if err != nil {
+		return err
+	}
+	runner, err := load.NewRunner(load.Config{
+		BaseURL:      base,
+		Mode:         "open",
+		Arrival:      arr,
+		Duration:     *validateFor,
+		Mix:          mix,
+		SLOTarget:    *p99,
+		MetricsEvery: 5 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("validating: replaying %q at %.3g jobs/s for %s against %d in-process workers...\n",
+		*mixName, *rate, *validateFor, res.Workers)
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Table())
+	if *reportPath != "" {
+		if err := rep.WriteFile(*reportPath); err != nil {
+			return err
+		}
+	}
+	if rep.Completed == 0 {
+		return fmt.Errorf("validation run completed zero jobs")
+	}
+	measured := rep.E2E.P99Ms
+	errPct := 100 * (res.PredictedP99Ms - measured) / measured
+	fmt.Printf("validation: measured e2e p99 %.1fms vs predicted %.1fms (%+.0f%% prediction error)\n",
+		measured, res.PredictedP99Ms, errPct)
+	if measured > float64(*p99)/1e6 {
+		fmt.Printf("validation: measured p99 misses the %s objective — the analytic plan was optimistic here\n", *p99)
+	} else {
+		fmt.Printf("validation: objective met at the planned size\n")
+	}
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("vqeload report", flag.ExitOnError)
+	in := fs.String("in", "load_report.json", "report to render")
+	markdown := fs.Bool("md", false, "emit the markdown summary instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := load.ReadReport(*in)
+	if err != nil {
+		return err
+	}
+	if *markdown {
+		fmt.Print(rep.MarkdownSummary())
+	} else {
+		fmt.Print(rep.Table())
+	}
+	return nil
+}

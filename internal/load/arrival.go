@@ -1,0 +1,176 @@
+// Package load is the serving-scale load harness for the vqed daemon: a
+// ServeGen-style workload generator that drives a live daemon over HTTP
+// with open-loop (Poisson, bursty MMPP, diurnal ramp) or closed-loop
+// (fixed-concurrency) arrival processes over weighted runspec mixes,
+// records per-job latency/queue/SLO outcomes plus periodic /v1/metrics
+// snapshots, and emits a machine-readable load report with latency
+// percentiles, throughput, cache hit rate, 503 rate, and SLO attainment.
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Arrival generates inter-arrival gaps for an open-loop run. Gap receives
+// the elapsed time since the run started so time-varying processes
+// (diurnal) can modulate their instantaneous rate. Implementations are
+// driven from a single dispatcher goroutine and may keep state; they must
+// draw randomness only from the supplied source so seeded runs replay.
+type Arrival interface {
+	Name() string
+	Gap(r *rand.Rand, elapsed time.Duration) time.Duration
+}
+
+// expGap draws an exponential inter-arrival gap for a Poisson process at
+// ratePerSec.
+func expGap(r *rand.Rand, ratePerSec float64) time.Duration {
+	// ExpFloat64 has mean 1; scale to the requested rate.
+	return time.Duration(r.ExpFloat64() / ratePerSec * float64(time.Second))
+}
+
+// Poisson is a stationary open-loop process: exponential gaps at Rate
+// jobs/second.
+type Poisson struct {
+	Rate float64 // jobs per second, > 0
+}
+
+// NewPoisson validates the rate.
+func NewPoisson(rate float64) (*Poisson, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("%w: load: poisson rate must be > 0 (got %g)", core.ErrInvalidArgument, rate)
+	}
+	return &Poisson{Rate: rate}, nil
+}
+
+func (p *Poisson) Name() string { return fmt.Sprintf("poisson(%.3g/s)", p.Rate) }
+
+func (p *Poisson) Gap(r *rand.Rand, _ time.Duration) time.Duration {
+	return expGap(r, p.Rate)
+}
+
+// MMPP is a two-state Markov-modulated Poisson process — the standard
+// bursty-traffic model: a calm state at CalmRate and a burst state at
+// BurstRate, with exponentially distributed dwell times in each. It
+// produces the squared-coefficient-of-variation > 1 arrival streams that
+// stress queues far harder than a stationary Poisson at the same mean.
+type MMPP struct {
+	CalmRate  float64       // jobs/s in the calm state
+	BurstRate float64       // jobs/s in the burst state
+	MeanCalm  time.Duration // mean dwell in the calm state
+	MeanBurst time.Duration // mean dwell in the burst state
+
+	burst bool
+	dwell time.Duration // remaining dwell in the current state
+}
+
+// NewMMPP validates and seeds the process in the calm state.
+func NewMMPP(calmRate, burstRate float64, meanCalm, meanBurst time.Duration) (*MMPP, error) {
+	if calmRate <= 0 || burstRate <= 0 {
+		return nil, fmt.Errorf("%w: load: mmpp rates must be > 0", core.ErrInvalidArgument)
+	}
+	if meanCalm <= 0 || meanBurst <= 0 {
+		return nil, fmt.Errorf("%w: load: mmpp dwell times must be > 0", core.ErrInvalidArgument)
+	}
+	return &MMPP{CalmRate: calmRate, BurstRate: burstRate, MeanCalm: meanCalm, MeanBurst: meanBurst}, nil
+}
+
+func (m *MMPP) Name() string {
+	return fmt.Sprintf("mmpp(%.3g/s calm, %.3g/s burst)", m.CalmRate, m.BurstRate)
+}
+
+func (m *MMPP) Gap(r *rand.Rand, _ time.Duration) time.Duration {
+	for {
+		rate, mean := m.CalmRate, m.MeanCalm
+		if m.burst {
+			rate, mean = m.BurstRate, m.MeanBurst
+		}
+		if m.dwell <= 0 {
+			m.dwell = time.Duration(r.ExpFloat64() * float64(mean))
+		}
+		gap := expGap(r, rate)
+		if gap <= m.dwell {
+			m.dwell -= gap
+			return gap
+		}
+		// The state flips before the next arrival: consume the remaining
+		// dwell and redraw in the other state.
+		m.burst = !m.burst
+		m.dwell = 0
+	}
+}
+
+// Diurnal is a non-stationary Poisson process whose rate ramps
+// sinusoidally between Base and Peak over Period — a compressed
+// day/night traffic cycle. The run starts at the trough.
+type Diurnal struct {
+	Base   float64 // jobs/s at the trough
+	Peak   float64 // jobs/s at the crest
+	Period time.Duration
+}
+
+// NewDiurnal validates the ramp.
+func NewDiurnal(base, peak float64, period time.Duration) (*Diurnal, error) {
+	if base <= 0 || peak < base {
+		return nil, fmt.Errorf("%w: load: diurnal needs 0 < base ≤ peak (got %g, %g)",
+			core.ErrInvalidArgument, base, peak)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("%w: load: diurnal period must be > 0", core.ErrInvalidArgument)
+	}
+	return &Diurnal{Base: base, Peak: peak, Period: period}, nil
+}
+
+func (d *Diurnal) Name() string {
+	return fmt.Sprintf("diurnal(%.3g→%.3g/s over %s)", d.Base, d.Peak, d.Period)
+}
+
+// RateAt returns the instantaneous rate at elapsed time t.
+func (d *Diurnal) RateAt(t time.Duration) float64 {
+	phase := 2 * math.Pi * float64(t) / float64(d.Period)
+	return d.Base + (d.Peak-d.Base)*(1-math.Cos(phase))/2
+}
+
+func (d *Diurnal) Gap(r *rand.Rand, elapsed time.Duration) time.Duration {
+	// Thinning (Lewis–Shedler): draw from the peak rate and accept with
+	// probability rate(t)/peak, so the non-stationary intensity is exact
+	// rather than stepwise.
+	t := elapsed
+	for {
+		gap := expGap(r, d.Peak)
+		t += gap
+		if r.Float64()*d.Peak <= d.RateAt(t) {
+			return t - elapsed
+		}
+	}
+}
+
+// ArrivalByName builds a named arrival process from the generator flags.
+// Closed-loop mode has no arrival process and is handled by the Runner.
+func ArrivalByName(name string, rate, burstRate, peak float64, period time.Duration) (Arrival, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "poisson":
+		return NewPoisson(rate)
+	case "mmpp":
+		if burstRate <= 0 {
+			burstRate = 4 * rate
+		}
+		// Dwell defaults give ~20% burst duty cycle.
+		return NewMMPP(rate, burstRate, 8*time.Second, 2*time.Second)
+	case "diurnal":
+		if peak <= 0 {
+			peak = 3 * rate
+		}
+		if period <= 0 {
+			period = time.Minute
+		}
+		return NewDiurnal(rate, peak, period)
+	}
+	return nil, fmt.Errorf("%w: load: unknown arrival process %q (want poisson|mmpp|diurnal)",
+		core.ErrInvalidArgument, name)
+}

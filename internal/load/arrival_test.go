@@ -1,0 +1,115 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPoissonMeanGap(t *testing.T) {
+	p, err := NewPoisson(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := p.Gap(r, 0)
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		total += g
+	}
+	mean := total.Seconds() / n
+	if math.Abs(mean-1.0/50) > 0.002 {
+		t.Fatalf("mean gap %.5fs, want ≈ 0.02s", mean)
+	}
+}
+
+func TestArrivalDeterministicBySeed(t *testing.T) {
+	build := func() []Arrival {
+		p, _ := NewPoisson(10)
+		m, _ := NewMMPP(5, 50, time.Second, 200*time.Millisecond)
+		d, _ := NewDiurnal(2, 20, 10*time.Second)
+		return []Arrival{p, m, d}
+	}
+	a, b := build(), build()
+	for i := range a {
+		r1, r2 := rand.New(rand.NewSource(42)), rand.New(rand.NewSource(42))
+		elapsed := time.Duration(0)
+		for j := 0; j < 200; j++ {
+			g1, g2 := a[i].Gap(r1, elapsed), b[i].Gap(r2, elapsed)
+			if g1 != g2 {
+				t.Fatalf("%s: gap %d differs under equal seeds: %s vs %s", a[i].Name(), j, g1, g2)
+			}
+			elapsed += g1
+		}
+	}
+}
+
+func TestMMPPBurstierThanPoisson(t *testing.T) {
+	// The MMPP's inter-arrival coefficient of variation must exceed the
+	// exponential's CV of 1 — that is the whole point of the model.
+	m, err := NewMMPP(2, 80, 2*time.Second, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	var sum, sumSq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		g := m.Gap(r, 0).Seconds()
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	cv2 := (sumSq/n - mean*mean) / (mean * mean)
+	if cv2 <= 1.1 {
+		t.Fatalf("MMPP squared CV = %.3f, want > 1.1 (burstier than Poisson)", cv2)
+	}
+}
+
+func TestDiurnalRateRamp(t *testing.T) {
+	d, err := NewDiurnal(2, 20, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := d.RateAt(0); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("trough rate = %g, want 2", r)
+	}
+	if r := d.RateAt(5 * time.Second); math.Abs(r-20) > 1e-9 {
+		t.Fatalf("crest rate = %g, want 20", r)
+	}
+	// Thinning produces more arrivals near the crest than the trough.
+	r := rand.New(rand.NewSource(7))
+	count := func(at time.Duration) int {
+		n := 0
+		var t0 time.Duration
+		for t0 < 2*time.Second {
+			t0 += d.Gap(r, at+t0)
+			n++
+		}
+		return n
+	}
+	trough, crest := count(0), count(4*time.Second)
+	if crest <= trough {
+		t.Fatalf("crest arrivals (%d) not above trough (%d)", crest, trough)
+	}
+}
+
+func TestArrivalByName(t *testing.T) {
+	for _, name := range []string{"poisson", "mmpp", "diurnal"} {
+		a, err := ArrivalByName(name, 5, 0, 0, 0)
+		if err != nil || a == nil {
+			t.Fatalf("ArrivalByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ArrivalByName("nope", 5, 0, 0, 0); err == nil {
+		t.Fatal("unknown arrival accepted")
+	}
+	if _, err := NewPoisson(0); err == nil {
+		t.Fatal("zero-rate poisson accepted")
+	}
+}

@@ -1,0 +1,191 @@
+package costmodel
+
+// The capacity planner: an M/G/c queueing approximation over the cost
+// model's per-class runtime predictions. For a target arrival rate and
+// end-to-end p99 objective it walks the worker count upward until the
+// predicted p99 — Erlang-C waiting probability, Allen–Cunneen mean wait
+// for general service times, an exponential waiting-tail approximation,
+// plus the mix's service-time p99 — meets the objective. The numbers are
+// approximations by construction; `vqeload plan -validate` replays the
+// mix against a real in-process fleet at the planned size and reports the
+// prediction error, which is what makes the analytic answer trustworthy.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runspec"
+)
+
+// ServiceStats summarizes the mix's service-time distribution under the
+// model.
+type ServiceStats struct {
+	// MeanNs is the weighted mean predicted runtime E[S].
+	MeanNs float64 `json:"mean_ns"`
+	// SCV is the squared coefficient of variation Var[S]/E[S]² — > 1 for
+	// the heavy-tailed mixes, which inflates queueing delay beyond M/M/c.
+	SCV float64 `json:"scv"`
+	// P99Ns is the 99th percentile of the discrete class distribution.
+	P99Ns float64 `json:"p99_ns"`
+}
+
+// MixService evaluates the model over a mix's weighted classes.
+func MixService(m *Model, mix *runspec.Mix) (ServiceStats, error) {
+	entries := mix.Entries()
+	type wp struct {
+		w, s float64
+	}
+	points := make([]wp, 0, len(entries))
+	var mean, m2 float64
+	for i := range entries {
+		f, err := FeaturesFor(&entries[i].Spec)
+		if err != nil {
+			return ServiceStats{}, fmt.Errorf("costmodel: mix %q entry %q: %w", mix.Name(), entries[i].Name, err)
+		}
+		s := m.PredictNs(f)
+		w := entries[i].Weight
+		mean += w * s
+		m2 += w * s * s
+		points = append(points, wp{w, s})
+	}
+	stats := ServiceStats{MeanNs: mean}
+	if mean > 0 {
+		stats.SCV = math.Max(0, (m2-mean*mean)/(mean*mean))
+	}
+	// p99 of the discrete class distribution: smallest s with cumulative
+	// weight ≥ 0.99.
+	for i := 1; i < len(points); i++ {
+		for j := i; j > 0 && points[j].s < points[j-1].s; j-- {
+			points[j], points[j-1] = points[j-1], points[j]
+		}
+	}
+	cum := 0.0
+	for _, p := range points {
+		cum += p.w
+		stats.P99Ns = p.s
+		if cum >= 0.99 {
+			break
+		}
+	}
+	return stats, nil
+}
+
+// PlanInput is a capacity question.
+type PlanInput struct {
+	// RatePerSec is the offered arrival rate λ.
+	RatePerSec float64
+	// TargetP99 is the end-to-end latency objective.
+	TargetP99 time.Duration
+	// MaxWorkers caps the search (default 256).
+	MaxWorkers int
+}
+
+// PlanResult is the planner's answer for one worker count.
+type PlanResult struct {
+	Workers     int     `json:"workers"`
+	Feasible    bool    `json:"feasible"`
+	Utilization float64 `json:"utilization"`
+	// PWait is the Erlang-C probability an arriving job queues.
+	PWait          float64 `json:"p_wait"`
+	MeanWaitMs     float64 `json:"mean_wait_ms"`
+	P99WaitMs      float64 `json:"p99_wait_ms"`
+	PredictedP99Ms float64 `json:"predicted_p99_ms"`
+
+	Service ServiceStats `json:"service"`
+}
+
+// Plan returns the smallest worker count whose predicted end-to-end p99
+// meets the target, or the MaxWorkers result marked infeasible.
+func Plan(in PlanInput, svc ServiceStats) (PlanResult, error) {
+	if in.RatePerSec <= 0 {
+		return PlanResult{}, fmt.Errorf("%w: costmodel: plan rate must be > 0", core.ErrInvalidArgument)
+	}
+	if in.TargetP99 <= 0 {
+		return PlanResult{}, fmt.Errorf("%w: costmodel: plan target p99 must be > 0", core.ErrInvalidArgument)
+	}
+	if svc.MeanNs <= 0 {
+		return PlanResult{}, fmt.Errorf("%w: costmodel: service mean must be > 0", core.ErrInvalidArgument)
+	}
+	maxWorkers := in.MaxWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = 256
+	}
+	lambda := in.RatePerSec / 1e9  // arrivals per ns
+	offered := lambda * svc.MeanNs // erlangs
+	var last PlanResult
+	for c := int(math.Ceil(offered)); c <= maxWorkers; c++ {
+		if c < 1 {
+			c = 1
+		}
+		rho := offered / float64(c)
+		if rho >= 1 {
+			continue
+		}
+		res := evaluate(c, lambda, rho, svc)
+		last = res
+		if res.PredictedP99Ms <= float64(in.TargetP99)/1e6 {
+			res.Feasible = true
+			return res, nil
+		}
+	}
+	return last, nil
+}
+
+// Evaluate predicts latency for a fixed worker count (the replay
+// validator uses it to score the chosen size without re-searching).
+func Evaluate(workers int, ratePerSec float64, svc ServiceStats) (PlanResult, error) {
+	if workers < 1 || ratePerSec <= 0 || svc.MeanNs <= 0 {
+		return PlanResult{}, fmt.Errorf("%w: costmodel: evaluate needs workers ≥ 1, rate > 0", core.ErrInvalidArgument)
+	}
+	lambda := ratePerSec / 1e9
+	rho := lambda * svc.MeanNs / float64(workers)
+	if rho >= 1 {
+		return PlanResult{Workers: workers, Utilization: rho, Service: svc}, nil
+	}
+	res := evaluate(workers, lambda, rho, svc)
+	res.Feasible = true
+	return res, nil
+}
+
+func evaluate(c int, lambda, rho float64, svc ServiceStats) PlanResult {
+	pw := erlangC(c, rho*float64(c))
+	// Allen–Cunneen M/G/c mean wait: the M/M/c wait scaled by the
+	// service-time variability.
+	meanWaitNs := pw * (1 + svc.SCV) / 2 * svc.MeanNs / (float64(c) * (1 - rho))
+	// Exponential waiting-tail approximation calibrated to the mean:
+	// P(W > t) ≈ pw·exp(-t/θ) with θ chosen so E[W] matches.
+	p99WaitNs := 0.0
+	if pw > 0.01 && meanWaitNs > 0 {
+		theta := meanWaitNs / pw
+		p99WaitNs = theta * math.Log(pw/0.01)
+	}
+	return PlanResult{
+		Workers:        c,
+		Utilization:    rho,
+		PWait:          pw,
+		MeanWaitMs:     meanWaitNs / 1e6,
+		P99WaitMs:      p99WaitNs / 1e6,
+		PredictedP99Ms: (p99WaitNs + svc.P99Ns) / 1e6,
+		Service:        svc,
+	}
+}
+
+// erlangC computes the probability of queueing in an M/M/c system with
+// offered load a erlangs, via the numerically stable Erlang-B recursion.
+func erlangC(c int, a float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	denom := float64(c) - a*(1-b)
+	if denom <= 0 {
+		return 1
+	}
+	pc := float64(c) * b / denom
+	return math.Min(1, math.Max(0, pc))
+}

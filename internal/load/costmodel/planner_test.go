@@ -1,0 +1,141 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/runspec"
+)
+
+func TestErlangC(t *testing.T) {
+	// Known value: M/M/1 at ρ=0.5 queues with probability ρ.
+	if got := erlangC(1, 0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("erlangC(1, 0.5) = %g, want 0.5", got)
+	}
+	// c=2, a=1 → P(wait) = 1/3 (standard table value).
+	if got := erlangC(2, 1); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("erlangC(2, 1) = %g, want 1/3", got)
+	}
+	if got := erlangC(4, 0); got != 0 {
+		t.Fatalf("zero load must not queue: %g", got)
+	}
+	// Overload clamps to certainty.
+	if got := erlangC(2, 5); got != 1 {
+		t.Fatalf("overload must clamp to 1: %g", got)
+	}
+	// More servers at fixed load → less queueing.
+	prev := 1.1
+	for c := 2; c <= 8; c++ {
+		pw := erlangC(c, 1.8)
+		if pw >= prev {
+			t.Fatalf("erlangC not decreasing in c: c=%d pw=%g prev=%g", c, pw, prev)
+		}
+		prev = pw
+	}
+}
+
+func TestPlanMonotonicAndFeasible(t *testing.T) {
+	svc := ServiceStats{MeanNs: 50e6, SCV: 2.0, P99Ns: 200e6} // 50ms mean, heavy tail
+	res, err := Plan(PlanInput{RatePerSec: 100, TargetP99: 400 * time.Millisecond}, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("plan infeasible: %+v", res)
+	}
+	// Offered load is 5 erlangs — need more than 5 workers for stability.
+	if res.Workers <= 5 {
+		t.Fatalf("planned %d workers below offered load", res.Workers)
+	}
+	if res.Utilization <= 0 || res.Utilization >= 1 {
+		t.Fatalf("utilization out of range: %+v", res)
+	}
+	if res.PredictedP99Ms > 400 {
+		t.Fatalf("feasible plan misses target: %+v", res)
+	}
+
+	// A stricter target can never need fewer workers.
+	tight, err := Plan(PlanInput{RatePerSec: 100, TargetP99: 210 * time.Millisecond}, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Feasible && tight.Workers < res.Workers {
+		t.Fatalf("stricter target planned fewer workers: %d < %d", tight.Workers, res.Workers)
+	}
+
+	// An impossible target (below the service p99 floor) is infeasible.
+	impossible, err := Plan(PlanInput{RatePerSec: 100, TargetP99: 100 * time.Millisecond, MaxWorkers: 64}, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impossible.Feasible {
+		t.Fatalf("target below service p99 reported feasible: %+v", impossible)
+	}
+
+	// Evaluate at the planned size agrees with the plan.
+	ev, err := Evaluate(res.Workers, 100, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.PredictedP99Ms-res.PredictedP99Ms) > 1e-9 {
+		t.Fatalf("Evaluate disagrees with Plan: %g vs %g", ev.PredictedP99Ms, res.PredictedP99Ms)
+	}
+
+	// More workers strictly shrink predicted wait.
+	more, err := Evaluate(res.Workers+4, 100, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more.MeanWaitMs > ev.MeanWaitMs {
+		t.Fatalf("more workers increased wait: %g > %g", more.MeanWaitMs, ev.MeanWaitMs)
+	}
+}
+
+func TestPlanInputValidation(t *testing.T) {
+	svc := ServiceStats{MeanNs: 1e6}
+	if _, err := Plan(PlanInput{RatePerSec: 0, TargetP99: time.Second}, svc); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Plan(PlanInput{RatePerSec: 1, TargetP99: 0}, svc); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := Plan(PlanInput{RatePerSec: 1, TargetP99: time.Second}, ServiceStats{}); err == nil {
+		t.Fatal("zero service mean accepted")
+	}
+	if _, err := Evaluate(0, 1, svc); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	// Overloaded Evaluate returns an infeasible result, not an error.
+	over, err := Evaluate(1, 2000, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Feasible || over.Utilization < 1 {
+		t.Fatalf("overload not flagged: %+v", over)
+	}
+}
+
+func TestMixService(t *testing.T) {
+	m, err := Fit(synthSamples(9, 0.3, 0.7, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := runspec.MixByName(runspec.MixServing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := MixService(m, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.MeanNs <= 0 {
+		t.Fatalf("non-positive mean: %+v", svc)
+	}
+	if svc.P99Ns < svc.MeanNs {
+		t.Fatalf("p99 below mean for a heavy-tailed mix: %+v", svc)
+	}
+	if svc.SCV < 0 {
+		t.Fatalf("negative SCV: %+v", svc)
+	}
+}

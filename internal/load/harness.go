@@ -1,0 +1,313 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runspec"
+	"repro/internal/telemetry"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the daemon under test (e.g. http://127.0.0.1:8931).
+	BaseURL string
+	// Mode: "closed" (fixed concurrency, each worker submits its next job
+	// when the previous settles) or "open" (arrival-process driven,
+	// concurrency unbounded up to MaxInFlight — queueing delay does not
+	// slow the generator, which is what makes open loop honest about
+	// overload).
+	Mode string
+	// Arrival drives open-loop submission times (required in open mode).
+	Arrival Arrival
+	// Concurrency is the closed-loop worker count (default 4).
+	Concurrency int
+	// MaxInFlight caps open-loop outstanding jobs so a stalled daemon
+	// degrades the generator instead of exhausting client memory; beyond
+	// the cap, arrivals are recorded as client-shed rejections (default
+	// 512).
+	MaxInFlight int
+	// Duration is how long to generate load (required).
+	Duration time.Duration
+	// Mix is the spec distribution (required).
+	Mix *runspec.Mix
+	// Seed makes the spec/arrival sequence reproducible (default 1).
+	Seed int64
+	// SLOTarget is the per-job end-to-end latency objective (default 5s).
+	SLOTarget time.Duration
+	// PollInterval is the job status polling cadence (default 25ms).
+	PollInterval time.Duration
+	// JobTimeout bounds one job's settle wait (default 120s).
+	JobTimeout time.Duration
+	// MetricsEvery samples /v1/metrics periodically (0 disables).
+	MetricsEvery time.Duration
+	// KeepOutcomes embeds the raw per-job records in the report.
+	KeepOutcomes bool
+}
+
+func (c *Config) applyDefaults() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("%w: load: BaseURL required", core.ErrInvalidArgument)
+	}
+	if c.Mix == nil {
+		return fmt.Errorf("%w: load: Mix required", core.ErrInvalidArgument)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("%w: load: Duration must be > 0", core.ErrInvalidArgument)
+	}
+	switch c.Mode {
+	case "closed":
+	case "open":
+		if c.Arrival == nil {
+			return fmt.Errorf("%w: load: open mode needs an Arrival process", core.ErrInvalidArgument)
+		}
+	default:
+		return fmt.Errorf("%w: load: unknown mode %q (want closed|open)", core.ErrInvalidArgument, c.Mode)
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 512
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SLOTarget <= 0 {
+		c.SLOTarget = 5 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 25 * time.Millisecond
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 120 * time.Second
+	}
+	return nil
+}
+
+// Runner executes load runs against one daemon.
+type Runner struct {
+	cfg    Config
+	client *Client
+
+	mu       sync.Mutex
+	outcomes []Outcome
+	samples  []MetricsSample
+}
+
+// NewRunner validates the config.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg, client: NewClient(cfg.BaseURL)}, nil
+}
+
+// Run generates load for the configured duration, waits for in-flight
+// jobs to settle, and returns the aggregated report.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	if !r.client.Healthy(ctx) {
+		return nil, fmt.Errorf("load: daemon at %s is not healthy", r.cfg.BaseURL)
+	}
+	start := time.Now()
+	end := start.Add(r.cfg.Duration)
+
+	// Jobs submitted just before the deadline still get their full settle
+	// wait; the run context only caps the pathological case.
+	runCtx, cancel := context.WithDeadline(ctx, end.Add(r.cfg.JobTimeout+30*time.Second))
+	defer cancel()
+
+	samplerDone := make(chan struct{})
+	if r.cfg.MetricsEvery > 0 {
+		go r.sampleMetrics(runCtx, start, end, samplerDone)
+	} else {
+		close(samplerDone)
+	}
+
+	var wg sync.WaitGroup
+	switch r.cfg.Mode {
+	case "closed":
+		for i := 0; i < r.cfg.Concurrency; i++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(r.cfg.Seed + int64(worker)))
+				for time.Now().Before(end) && runCtx.Err() == nil {
+					entry := r.cfg.Mix.Sample(rng)
+					r.doJob(runCtx, start, entry)
+				}
+			}(i)
+		}
+		wg.Wait()
+	case "open":
+		rng := rand.New(rand.NewSource(r.cfg.Seed))
+		sem := make(chan struct{}, r.cfg.MaxInFlight)
+		for runCtx.Err() == nil {
+			gap := r.cfg.Arrival.Gap(rng, time.Since(start))
+			next := time.Now().Add(gap)
+			if next.After(end) {
+				break
+			}
+			sleepUntil(runCtx, next)
+			if runCtx.Err() != nil {
+				break
+			}
+			entry := r.cfg.Mix.Sample(rng)
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func(entry runspec.MixEntry) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					r.doJob(runCtx, start, entry)
+				}(entry)
+			default:
+				// Client-side shed: the generator refuses to buffer more
+				// in-flight work; count it like an admission rejection.
+				r.record(Outcome{Class: entry.Name, Status: "rejected",
+					OffsetMs: msSince(start, time.Now())})
+			}
+		}
+		wg.Wait()
+	}
+	cancel()
+	<-samplerDone
+
+	var final *telemetry.Snapshot
+	if snap, err := r.client.Metrics(ctx); err == nil {
+		final = snap
+	}
+
+	r.mu.Lock()
+	outcomes := r.outcomes
+	samples := r.samples
+	r.mu.Unlock()
+
+	rep := buildReport(outcomes, r.cfg.Duration, r.cfg.SLOTarget)
+	rep.Mode = r.cfg.Mode
+	if r.cfg.Arrival != nil {
+		rep.Arrival = r.cfg.Arrival.Name()
+	}
+	rep.Mix = r.cfg.Mix.Name()
+	rep.Seed = r.cfg.Seed
+	rep.Target = r.cfg.BaseURL
+	rep.Concurrency = r.cfg.Concurrency
+	if r.cfg.Mode == "open" {
+		rep.Concurrency = 0
+	}
+	rep.Samples = samples
+	rep.ServerMetrics = final
+	if r.cfg.KeepOutcomes {
+		rep.Outcomes = outcomes
+	}
+	return rep, nil
+}
+
+// doJob submits one spec, waits for it to settle, and records the
+// outcome.
+func (r *Runner) doJob(ctx context.Context, start time.Time, entry runspec.MixEntry) {
+	submitted := time.Now()
+	o := Outcome{Class: entry.Name, OffsetMs: msSince(start, submitted)}
+	spec := entry.Spec // copy; the runner never mutates mix templates
+	sub, err := r.client.Submit(ctx, &spec)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // run shutdown, not a daemon outcome
+		}
+		o.Status = "failed"
+		r.record(o)
+		return
+	}
+	if sub.Rejected {
+		o.Status = "rejected"
+		o.RetryAfterS = sub.RetryAfter.Seconds()
+		r.record(o)
+		return
+	}
+	view := sub.View
+	if !view.terminal() {
+		view, err = r.client.WaitTerminal(ctx, view.ID, r.cfg.PollInterval, r.cfg.JobTimeout)
+		if err != nil && (view == nil || !view.terminal()) {
+			if ctx.Err() != nil && !errors.Is(err, context.DeadlineExceeded) {
+				return
+			}
+			o.Status = "timeout"
+			r.record(o)
+			return
+		}
+	}
+	settled := time.Now()
+	o.Status = view.Status
+	o.CacheHit = view.CacheHit
+	o.E2EMs = msSince(submitted, settled)
+	if view.Started != nil {
+		o.QueueWaitMs = msSince(view.Submitted, *view.Started)
+	}
+	if view.Started != nil && view.Finished != nil {
+		o.RunMs = msSince(*view.Started, *view.Finished)
+	}
+	o.SLOOK = view.Status == "done" && o.E2EMs <= float64(r.cfg.SLOTarget)/float64(time.Millisecond)
+	r.record(o)
+}
+
+func (r *Runner) record(o Outcome) {
+	r.mu.Lock()
+	r.outcomes = append(r.outcomes, o)
+	r.mu.Unlock()
+}
+
+// sampleMetrics polls /v1/metrics on the configured cadence until the run
+// window closes.
+func (r *Runner) sampleMetrics(ctx context.Context, start, end time.Time, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(r.cfg.MetricsEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-ticker.C:
+			if now.After(end) {
+				return
+			}
+			snap, err := r.client.Metrics(ctx)
+			if err != nil {
+				continue
+			}
+			sample := MetricsSample{
+				AtS:        now.Sub(start).Seconds(),
+				QueueDepth: snap.Gauges["server.queue.depth"],
+				Running:    snap.Gauges["server.jobs.running"],
+				Completed:  snap.Counters["server.jobs.completed"],
+				CacheHits:  snap.Counters["server.cache.hits"],
+				Rejected:   snap.Counters["server.jobs.rejected"],
+			}
+			r.mu.Lock()
+			r.samples = append(r.samples, sample)
+			r.mu.Unlock()
+		}
+	}
+}
+
+// sleepUntil blocks until t or context cancellation.
+func sleepUntil(ctx context.Context, t time.Time) {
+	d := time.Until(t)
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+}
+
+func msSince(from, to time.Time) float64 {
+	return float64(to.Sub(from)) / float64(time.Millisecond)
+}

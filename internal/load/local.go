@@ -1,0 +1,42 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// StartLocal boots an in-process vqed daemon on an ephemeral loopback
+// port and returns its base URL plus a stop function. This is what lets
+// `vqeload run -self` and `vqeload plan -validate` characterize a
+// candidate configuration without an external daemon: the planner can
+// stand up "a fleet of c workers", replay the mix against it, and tear it
+// down, all inside one process.
+func StartLocal(cfg server.Config) (string, func() error, error) {
+	srv, err := server.New(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = srv.Shutdown(context.Background())
+		return "", nil, fmt.Errorf("load: listen: %w", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = httpSrv.Serve(ln) }()
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drainErr := srv.Shutdown(ctx)
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) && drainErr == nil {
+			drainErr = err
+		}
+		return drainErr
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,333 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Outcome records one job attempt end to end, timestamped relative to the
+// run start.
+type Outcome struct {
+	// Class is the mix entry name the spec was drawn from.
+	Class string `json:"class"`
+	// OffsetMs is the submission time relative to run start.
+	OffsetMs float64 `json:"offset_ms"`
+	// Status is the terminal job status, or "rejected" (503 admission),
+	// or "timeout" (not terminal when the harness drained).
+	Status string `json:"status"`
+	// E2EMs is submit-to-settled latency (the client-observed latency a
+	// user would see). Unset for rejected jobs.
+	E2EMs float64 `json:"e2e_ms,omitempty"`
+	// QueueWaitMs and RunMs come from the daemon's own job timestamps.
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	RunMs       float64 `json:"run_ms,omitempty"`
+	CacheHit    bool    `json:"cache_hit,omitempty"`
+	// RetryAfterS is the daemon's quoted wait on a 503.
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
+	// SLOOK marks an accepted job that settled within the SLO target.
+	SLOOK bool `json:"slo_ok"`
+}
+
+// LatencySummary is the percentile digest reported for one latency kind.
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Summarize computes the digest of a latency sample in milliseconds.
+func Summarize(ms []float64) LatencySummary {
+	s := LatencySummary{Count: len(ms)}
+	if len(ms) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	s.MeanMs = sum / float64(len(sorted))
+	s.P50Ms = Percentile(sorted, 0.50)
+	s.P90Ms = Percentile(sorted, 0.90)
+	s.P95Ms = Percentile(sorted, 0.95)
+	s.P99Ms = Percentile(sorted, 0.99)
+	s.P999Ms = Percentile(sorted, 0.999)
+	s.MaxMs = sorted[len(sorted)-1]
+	return s
+}
+
+// Percentile returns the q-th quantile of a sorted sample by linear
+// interpolation between order statistics.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ClassStats breaks the run down by mix entry.
+type ClassStats struct {
+	Class     string         `json:"class"`
+	Completed int            `json:"completed"`
+	CacheHits int            `json:"cache_hits"`
+	Rejected  int            `json:"rejected"`
+	Failed    int            `json:"failed"`
+	E2E       LatencySummary `json:"e2e"`
+}
+
+// MetricsSample is one periodic /v1/metrics observation.
+type MetricsSample struct {
+	AtS        float64 `json:"at_s"`
+	QueueDepth int64   `json:"queue_depth"`
+	Running    int64   `json:"running"`
+	Completed  int64   `json:"completed"`
+	CacheHits  int64   `json:"cache_hits"`
+	Rejected   int64   `json:"rejected"`
+}
+
+// SLOReport is the attainment section: the fraction of all attempted jobs
+// (rejections count as misses — shed load is violated load) that settled
+// within the target.
+type SLOReport struct {
+	TargetMs   float64 `json:"target_ms"`
+	Attainment float64 `json:"attainment"`
+}
+
+// Report is the machine-readable outcome of one load run
+// (load_report.json).
+type Report struct {
+	Tool      string  `json:"tool"`
+	Mode      string  `json:"mode"` // "closed" or "open"
+	Arrival   string  `json:"arrival,omitempty"`
+	Mix       string  `json:"mix"`
+	Seed      int64   `json:"seed"`
+	Target    string  `json:"target"` // daemon base URL
+	DurationS float64 `json:"duration_s"`
+	// Concurrency is the closed-loop worker count (closed mode only).
+	Concurrency int `json:"concurrency,omitempty"`
+
+	Attempted int `json:"attempted"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Rejected  int `json:"rejected"`
+	TimedOut  int `json:"timed_out"`
+
+	// ThroughputPerSec counts settled (done) jobs per second of run time.
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	// OfferedPerSec counts submission attempts per second.
+	OfferedPerSec float64 `json:"offered_per_sec"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	Rate503       float64 `json:"rate_503"`
+
+	SLO SLOReport `json:"slo"`
+
+	E2E       LatencySummary `json:"e2e"`
+	QueueWait LatencySummary `json:"queue_wait"`
+	Run       LatencySummary `json:"run"`
+
+	Classes []ClassStats    `json:"classes"`
+	Samples []MetricsSample `json:"samples,omitempty"`
+	// ServerMetrics is the daemon's final telemetry snapshot.
+	ServerMetrics *telemetry.Snapshot `json:"server_metrics,omitempty"`
+	// Outcomes carries the raw per-job records when requested (-raw).
+	Outcomes []Outcome `json:"outcomes,omitempty"`
+}
+
+// buildReport aggregates outcomes into the report digest.
+func buildReport(outcomes []Outcome, duration time.Duration, sloTarget time.Duration) *Report {
+	rep := &Report{
+		Tool:      "vqeload",
+		DurationS: duration.Seconds(),
+		SLO:       SLOReport{TargetMs: float64(sloTarget) / float64(time.Millisecond)},
+	}
+	var e2e, queueWait, run []float64
+	perClass := map[string]*ClassStats{}
+	classE2E := map[string][]float64{}
+	sloOK := 0
+	for _, o := range outcomes {
+		cs := perClass[o.Class]
+		if cs == nil {
+			cs = &ClassStats{Class: o.Class}
+			perClass[o.Class] = cs
+		}
+		rep.Attempted++
+		switch o.Status {
+		case "rejected":
+			rep.Rejected++
+			cs.Rejected++
+		case "timeout":
+			rep.TimedOut++
+		case "done":
+			rep.Completed++
+			cs.Completed++
+			if o.CacheHit {
+				cs.CacheHits++
+			}
+			e2e = append(e2e, o.E2EMs)
+			classE2E[o.Class] = append(classE2E[o.Class], o.E2EMs)
+			if o.QueueWaitMs > 0 {
+				queueWait = append(queueWait, o.QueueWaitMs)
+			}
+			if o.RunMs > 0 {
+				run = append(run, o.RunMs)
+			}
+		default: // failed, interrupted
+			rep.Failed++
+			cs.Failed++
+		}
+		if o.SLOOK {
+			sloOK++
+		}
+	}
+	secs := duration.Seconds()
+	if secs > 0 {
+		rep.ThroughputPerSec = float64(rep.Completed) / secs
+		rep.OfferedPerSec = float64(rep.Attempted) / secs
+	}
+	if rep.Attempted > 0 {
+		rep.Rate503 = float64(rep.Rejected) / float64(rep.Attempted)
+		rep.SLO.Attainment = float64(sloOK) / float64(rep.Attempted)
+	}
+	if rep.Completed > 0 {
+		hits := 0
+		for _, cs := range perClass {
+			hits += cs.CacheHits
+		}
+		rep.CacheHitRate = float64(hits) / float64(rep.Completed)
+	}
+	rep.E2E = Summarize(e2e)
+	rep.QueueWait = Summarize(queueWait)
+	rep.Run = Summarize(run)
+	names := make([]string, 0, len(perClass))
+	for name := range perClass {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cs := perClass[name]
+		cs.E2E = Summarize(classE2E[name])
+		rep.Classes = append(rep.Classes, *cs)
+	}
+	return rep
+}
+
+// Gate enforces the CI thresholds: a p99 ceiling (0 disables) and a
+// minimum SLO attainment (0 disables). A run with no completed jobs
+// always fails a non-trivial gate.
+func (rep *Report) Gate(failP99 time.Duration, minSLO float64) error {
+	if failP99 <= 0 && minSLO <= 0 {
+		return nil
+	}
+	if rep.Completed == 0 {
+		return fmt.Errorf("load: gate: no jobs completed")
+	}
+	if failP99 > 0 {
+		limit := float64(failP99) / float64(time.Millisecond)
+		if rep.E2E.P99Ms > limit {
+			return fmt.Errorf("load: gate: e2e p99 %.1fms exceeds limit %.1fms", rep.E2E.P99Ms, limit)
+		}
+	}
+	if minSLO > 0 && rep.SLO.Attainment < minSLO {
+		return fmt.Errorf("load: gate: SLO attainment %.4f below minimum %.4f", rep.SLO.Attainment, minSLO)
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (rep *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a load_report.json.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := new(Report)
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("load: parse report %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Table renders the human-readable run summary.
+func (rep *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vqeload %s  mix=%s  seed=%d  duration=%.1fs\n", rep.describeMode(), rep.Mix, rep.Seed, rep.DurationS)
+	fmt.Fprintf(&b, "  attempted=%d completed=%d failed=%d rejected=%d timed_out=%d\n",
+		rep.Attempted, rep.Completed, rep.Failed, rep.Rejected, rep.TimedOut)
+	fmt.Fprintf(&b, "  throughput=%.2f/s offered=%.2f/s cache_hit=%.1f%% 503=%.2f%% slo(≤%.0fms)=%.2f%%\n",
+		rep.ThroughputPerSec, rep.OfferedPerSec, 100*rep.CacheHitRate, 100*rep.Rate503,
+		rep.SLO.TargetMs, 100*rep.SLO.Attainment)
+	row := func(name string, s LatencySummary) {
+		if s.Count == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  %-10s n=%-6d mean=%-8.1f p50=%-8.1f p95=%-8.1f p99=%-8.1f p999=%-8.1f max=%.1f (ms)\n",
+			name, s.Count, s.MeanMs, s.P50Ms, s.P95Ms, s.P99Ms, s.P999Ms, s.MaxMs)
+	}
+	row("e2e", rep.E2E)
+	row("queue_wait", rep.QueueWait)
+	row("run", rep.Run)
+	return b.String()
+}
+
+// MarkdownSummary renders the report as a GitHub-flavored markdown table
+// for $GITHUB_STEP_SUMMARY.
+func (rep *Report) MarkdownSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### vqeload %s — mix `%s`, %.0fs\n\n", rep.describeMode(), rep.Mix, rep.DurationS)
+	fmt.Fprintf(&b, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| completed / attempted | %d / %d |\n", rep.Completed, rep.Attempted)
+	fmt.Fprintf(&b, "| throughput | %.2f jobs/s |\n", rep.ThroughputPerSec)
+	fmt.Fprintf(&b, "| cache hit rate | %.1f%% |\n", 100*rep.CacheHitRate)
+	fmt.Fprintf(&b, "| 503 rate | %.2f%% |\n", 100*rep.Rate503)
+	fmt.Fprintf(&b, "| SLO attainment (≤ %.0f ms) | %.2f%% |\n\n", rep.SLO.TargetMs, 100*rep.SLO.Attainment)
+	fmt.Fprintf(&b, "| latency (ms) | p50 | p95 | p99 | p999 | max |\n|---|---|---|---|---|---|\n")
+	row := func(name string, s LatencySummary) {
+		if s.Count == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "| %s (n=%d) | %.1f | %.1f | %.1f | %.1f | %.1f |\n",
+			name, s.Count, s.P50Ms, s.P95Ms, s.P99Ms, s.P999Ms, s.MaxMs)
+	}
+	row("end-to-end", rep.E2E)
+	row("queue wait", rep.QueueWait)
+	row("run", rep.Run)
+	return b.String()
+}
+
+func (rep *Report) describeMode() string {
+	if rep.Mode == "closed" {
+		return fmt.Sprintf("closed-loop(c=%d)", rep.Concurrency)
+	}
+	return "open-loop " + rep.Arrival
+}

@@ -1,0 +1,121 @@
+package load
+
+import (
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.5, 5.5}, {1, 10}, {0.9, 9.1},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%.2f) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty sample must yield 0")
+	}
+	if Percentile([]float64{7}, 0.99) != 7 {
+		t.Error("singleton sample must yield its value")
+	}
+}
+
+func TestBuildReportAggregation(t *testing.T) {
+	outcomes := []Outcome{
+		{Class: "a", Status: "done", E2EMs: 10, QueueWaitMs: 2, RunMs: 8, CacheHit: true, SLOOK: true},
+		{Class: "a", Status: "done", E2EMs: 20, QueueWaitMs: 5, RunMs: 15, SLOOK: true},
+		{Class: "b", Status: "done", E2EMs: 200, SLOOK: false},
+		{Class: "b", Status: "rejected", RetryAfterS: 2},
+		{Class: "b", Status: "failed"},
+		{Class: "a", Status: "timeout"},
+	}
+	rep := buildReport(outcomes, 10*time.Second, 100*time.Millisecond)
+	if rep.Attempted != 6 || rep.Completed != 3 || rep.Rejected != 1 || rep.Failed != 1 || rep.TimedOut != 1 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if math.Abs(rep.ThroughputPerSec-0.3) > 1e-9 {
+		t.Fatalf("throughput = %g", rep.ThroughputPerSec)
+	}
+	if math.Abs(rep.CacheHitRate-1.0/3) > 1e-9 {
+		t.Fatalf("cache hit rate = %g", rep.CacheHitRate)
+	}
+	if math.Abs(rep.Rate503-1.0/6) > 1e-9 {
+		t.Fatalf("503 rate = %g", rep.Rate503)
+	}
+	if math.Abs(rep.SLO.Attainment-2.0/6) > 1e-9 {
+		t.Fatalf("SLO attainment = %g", rep.SLO.Attainment)
+	}
+	if rep.E2E.Count != 3 || rep.E2E.MaxMs != 200 {
+		t.Fatalf("e2e summary = %+v", rep.E2E)
+	}
+	if len(rep.Classes) != 2 || rep.Classes[0].Class != "a" || rep.Classes[0].CacheHits != 1 {
+		t.Fatalf("classes = %+v", rep.Classes)
+	}
+}
+
+func TestReportGate(t *testing.T) {
+	rep := buildReport([]Outcome{
+		{Class: "a", Status: "done", E2EMs: 50, SLOOK: true},
+		{Class: "a", Status: "done", E2EMs: 80, SLOOK: true},
+	}, time.Second, time.Second)
+	if err := rep.Gate(0, 0); err != nil {
+		t.Fatalf("disabled gate failed: %v", err)
+	}
+	if err := rep.Gate(100*time.Millisecond, 0.9); err != nil {
+		t.Fatalf("passing gate failed: %v", err)
+	}
+	if err := rep.Gate(60*time.Millisecond, 0); err == nil {
+		t.Fatal("p99 gate did not trip")
+	}
+	rep2 := buildReport([]Outcome{{Class: "a", Status: "rejected"}}, time.Second, time.Second)
+	if err := rep2.Gate(time.Second, 0.5); err == nil {
+		t.Fatal("gate must fail with zero completed jobs")
+	}
+	rep3 := buildReport([]Outcome{
+		{Class: "a", Status: "done", E2EMs: 10, SLOOK: true},
+		{Class: "a", Status: "rejected"},
+	}, time.Second, time.Second)
+	if err := rep3.Gate(0, 0.9); err == nil {
+		t.Fatal("SLO gate must count rejections as misses")
+	}
+}
+
+func TestReportRoundTripAndRender(t *testing.T) {
+	rep := buildReport([]Outcome{
+		{Class: "h2", Status: "done", E2EMs: 12.5, QueueWaitMs: 1, RunMs: 11, SLOOK: true},
+	}, 2*time.Second, time.Second)
+	rep.Mode = "closed"
+	rep.Concurrency = 4
+	rep.Mix = "smoke"
+	path := filepath.Join(t.TempDir(), "load_report.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(back)
+	if string(a) != string(b) {
+		t.Fatal("report did not round-trip through JSON")
+	}
+	if txt := rep.Table(); !strings.Contains(txt, "closed-loop(c=4)") || !strings.Contains(txt, "p99") {
+		t.Fatalf("table missing fields:\n%s", txt)
+	}
+	md := rep.MarkdownSummary()
+	for _, want := range []string{"| metric | value |", "SLO attainment", "end-to-end"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown summary missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package runspec
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestMixPresetsValidateAndNormalize(t *testing.T) {
+	for _, name := range []string{MixSmoke, MixServing, MixSweep} {
+		m, err := MixByName(name)
+		if err != nil {
+			t.Fatalf("MixByName(%q): %v", name, err)
+		}
+		total := 0.0
+		for _, e := range m.Entries() {
+			if e.Weight <= 0 {
+				t.Fatalf("%s entry %q has weight %g", name, e.Name, e.Weight)
+			}
+			if err := e.Spec.Validate(); err != nil {
+				t.Fatalf("%s entry %q invalid: %v", name, e.Name, err)
+			}
+			total += e.Weight
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("%s weights sum to %g, want 1", name, total)
+		}
+	}
+}
+
+func TestMixUnknownName(t *testing.T) {
+	if _, err := MixByName("nope"); !errors.Is(err, core.ErrInvalidArgument) {
+		t.Fatalf("err = %v, want ErrInvalidArgument", err)
+	}
+}
+
+func TestMixSampleDeterministicAndWeighted(t *testing.T) {
+	m, err := NewMix("t", []MixEntry{
+		{Name: "a", Weight: 9, Spec: RunSpec{Molecule: MoleculeSpec{Kind: "h2"}}},
+		{Name: "b", Weight: 1, Spec: RunSpec{Molecule: MoleculeSpec{Kind: "hubbard"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same sequence.
+	r1, r2 := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		if m.Sample(r1).Name != m.Sample(r2).Name {
+			t.Fatal("seeded sampling must be deterministic")
+		}
+	}
+	// Weights respected within sampling noise.
+	r := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(r).Name]++
+	}
+	if frac := float64(counts["a"]) / n; frac < 0.85 || frac > 0.95 {
+		t.Fatalf("entry a sampled %.3f of draws, want ~0.9", frac)
+	}
+}
+
+func TestMixRejectsBadEntries(t *testing.T) {
+	cases := []struct {
+		name    string
+		entries []MixEntry
+	}{
+		{"empty", nil},
+		{"zero weight", []MixEntry{{Name: "a", Weight: 0, Spec: RunSpec{}}}},
+		{"unnamed", []MixEntry{{Weight: 1, Spec: RunSpec{}}}},
+		{"invalid spec", []MixEntry{{Name: "a", Weight: 1,
+			Spec: RunSpec{Molecule: MoleculeSpec{Kind: "no-such"}}}}},
+	}
+	for _, c := range cases {
+		if _, err := NewMix("t", c.entries); err == nil {
+			t.Fatalf("%s: NewMix accepted bad entries", c.name)
+		}
+	}
+}

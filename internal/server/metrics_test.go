@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestMetricsShape pins the /v1/metrics wire contract: the payload must
+// decode into telemetry.Snapshot with no unknown fields, and after a job
+// completes it must carry the scheduler counters and latency rings the
+// vqeload snapshot parser reads. If either side drifts, this fails before
+// the load harness silently reports zeros.
+func TestMetricsShape(t *testing.T) {
+	telemetry.Enable()
+	t.Cleanup(func() { telemetry.Disable(); telemetry.Reset() })
+
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	v := submitSpec(t, ts, `{"molecule":{"kind":"h2"}}`)
+	pollDone(t, ts, v.ID, 30*time.Second)
+	// Resubmit so the cache-hit counter is exercised too.
+	submitSpec(t, ts, `{"molecule":{"kind":"h2"}}`)
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var snap telemetry.Snapshot
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("payload no longer matches telemetry.Snapshot: %v\n%s", err, body)
+	}
+
+	for _, counter := range []string{
+		"server.jobs.submitted",
+		"server.jobs.completed",
+		"server.cache.hits",
+	} {
+		if snap.Counters[counter] == 0 {
+			t.Errorf("counter %q missing or zero after a completed job", counter)
+		}
+	}
+	for _, ring := range []string{
+		"server.job.queue_wait_ms",
+		"server.job.run_ms",
+		"server.job.e2e_ms",
+	} {
+		st, ok := snap.Rings[ring]
+		if !ok {
+			t.Errorf("ring %q missing from snapshot", ring)
+			continue
+		}
+		if st.Count == 0 || st.P99 < st.P50 || st.P999 < st.P99 {
+			t.Errorf("ring %q stats implausible: %+v", ring, st)
+		}
+	}
+}

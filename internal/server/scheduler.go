@@ -30,6 +30,13 @@ var (
 	mQueueDepth      = telemetry.GetGauge("server.queue.depth")
 	mJobsRunning     = telemetry.GetGauge("server.jobs.running")
 	mJobRun          = telemetry.GetTimer("server.job.run")
+
+	// Latency rings feed the load harness and capacity planner: recent
+	// per-job queue wait, execution time, and end-to-end latency in
+	// milliseconds, exported with percentiles through /v1/metrics.
+	mQueueWaitMs = telemetry.GetRing("server.job.queue_wait_ms", 512)
+	mRunMs       = telemetry.GetRing("server.job.run_ms", 512)
+	mE2EMs       = telemetry.GetRing("server.job.e2e_ms", 512)
 )
 
 // ErrQueueFull is returned by Submit when admission control rejects a
@@ -56,7 +63,10 @@ func (s *Server) Submit(spec *runspec.RunSpec) (*Job, error) {
 	job := newJob(id, spec)
 	s.jobs[id] = job
 	s.order = append(s.order, id)
-	cached := s.cache[job.SpecHash]
+	var cached *runspec.Result
+	if !s.cfg.DisableCache {
+		cached = s.cache[job.SpecHash]
+	}
 	s.mu.Unlock()
 	mJobsSubmitted.Inc()
 
@@ -72,7 +82,9 @@ func (s *Server) Submit(spec *runspec.RunSpec) (*Job, error) {
 		job.result = cached
 		now := time.Now()
 		job.started, job.finished = now, now
+		e2e := now.Sub(job.submitted)
 		job.mu.Unlock()
+		mE2EMs.Observe(float64(e2e) / float64(time.Millisecond))
 		mJobsCompleted.Inc()
 		job.publish(Event{Type: string(StatusDone)})
 		return job, nil
@@ -91,6 +103,47 @@ func (s *Server) Submit(spec *runspec.RunSpec) (*Job, error) {
 		mJobsRejected.Inc()
 		return nil, ErrQueueFull
 	}
+}
+
+// observeRunTime folds one measured job execution time into the EWMA
+// (α = 1/8) the admission controller falls back to for wait quoting when
+// no cost model is installed.
+func (s *Server) observeRunTime(d time.Duration) {
+	for {
+		old := s.avgRunNs.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if s.avgRunNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// EstimateWait quotes how long a newly arriving job would wait before a
+// worker picks it up: the queue backlog divided across the fleet, priced
+// per-job by the installed cost model (Config.Estimator) when present,
+// else by the measured EWMA of recent executions, else a nominal second.
+// The admission controller sends this as Retry-After on 503 rejections so
+// clients back off proportionally to actual load instead of thundering
+// back on a fixed timer.
+func (s *Server) EstimateWait(spec *runspec.RunSpec) time.Duration {
+	var svc time.Duration
+	if s.cfg.Estimator != nil && spec != nil {
+		if d, ok := s.cfg.Estimator(spec); ok && d > 0 {
+			svc = d
+		}
+	}
+	if svc <= 0 {
+		svc = time.Duration(s.avgRunNs.Load())
+	}
+	if svc <= 0 {
+		svc = time.Second
+	}
+	backlog := len(s.queue) + 1
+	waves := (backlog + s.cfg.MaxConcurrent - 1) / s.cfg.MaxConcurrent
+	return time.Duration(waves) * svc
 }
 
 // worker is one scheduler slot: it drains the queue until shutdown.
@@ -139,6 +192,9 @@ func (s *Server) runJob(job *Job) {
 
 	job.mu.Lock()
 	job.finished = time.Now()
+	queueWait := job.started.Sub(job.submitted)
+	runTime := job.finished.Sub(job.started)
+	e2e := job.finished.Sub(job.submitted)
 	switch {
 	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 		// Cancellation surfaced as an error before the optimizer could
@@ -159,10 +215,15 @@ func (s *Server) runJob(job *Job) {
 	terminal := job.status
 	job.mu.Unlock()
 
+	mQueueWaitMs.Observe(float64(queueWait) / float64(time.Millisecond))
+	mRunMs.Observe(float64(runTime) / float64(time.Millisecond))
+	mE2EMs.Observe(float64(e2e) / float64(time.Millisecond))
+	s.observeRunTime(runTime)
+
 	switch terminal {
 	case StatusDone:
 		s.mu.Lock()
-		if _, ok := s.cache[job.SpecHash]; !ok {
+		if _, ok := s.cache[job.SpecHash]; !ok && !s.cfg.DisableCache {
 			s.cache[job.SpecHash] = res
 			s.cacheOrder = append(s.cacheOrder, job.SpecHash)
 			if len(s.cacheOrder) > s.cfg.CacheCapacity {

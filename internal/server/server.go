@@ -26,8 +26,10 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kernel/tuning"
@@ -52,8 +54,16 @@ type Config struct {
 	SpoolDir string
 	// CacheCapacity bounds the result cache entries (default 256).
 	CacheCapacity int
+	// DisableCache turns the result cache off entirely, so repeated
+	// specs pay full service time — load validation uses this to measure
+	// cold-path latency the capacity planner can be scored against.
+	DisableCache bool
 	// Registry resolves accelerator names (default xacc.DefaultRegistry).
 	Registry *xacc.Registry
+	// Estimator predicts a spec's runtime for admission-control wait
+	// quoting (nil falls back to a measured EWMA of recent jobs). The
+	// vqed CLI wires internal/load/costmodel here.
+	Estimator func(*runspec.RunSpec) (time.Duration, bool)
 }
 
 // Server is the daemon core: scheduler, job store, result cache, and the
@@ -68,6 +78,9 @@ type Server struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	running atomic.Int64
+	// avgRunNs is the EWMA of recent job execution times backing
+	// EstimateWait when no cost model is configured.
+	avgRunNs atomic.Int64
 
 	mu         sync.Mutex
 	draining   bool
@@ -232,8 +245,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
+		// Quote a wait proportional to actual load: backlog ÷ fleet,
+		// priced by the cost model (or the measured job-time EWMA).
+		wait := s.EstimateWait(spec)
+		retryAfter := int64((wait + time.Second - 1) / time.Second)
+		if retryAfter < 1 {
+			retryAfter = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter, 10))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"kind":              "queue_full",
+			"error":             err.Error(),
+			"estimated_wait_ms": wait.Milliseconds(),
+			"retry_after_s":     retryAfter,
+		})
 		return
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)

@@ -26,7 +26,9 @@ type RingStat struct {
 	Mean   float64 `json:"mean"`
 	P50    float64 `json:"p50"`
 	P90    float64 `json:"p90"`
+	P95    float64 `json:"p95"`
 	P99    float64 `json:"p99"`
+	P999   float64 `json:"p999"`
 }
 
 // Snapshot is a consistent-enough copy of a scope's instruments (each
@@ -115,8 +117,8 @@ func (sn Snapshot) WriteText(w io.Writer) error {
 		p("rings:\n")
 		for _, name := range sortedKeys(sn.Rings) {
 			r := sn.Rings[name]
-			p("  %-36s n=%-8d window=%-5d mean=%-12.4g p50=%-12.4g p90=%-12.4g p99=%.4g\n",
-				name, r.Count, r.Window, r.Mean, r.P50, r.P90, r.P99)
+			p("  %-36s n=%-8d window=%-5d mean=%-12.4g p50=%-12.4g p95=%-12.4g p99=%-12.4g p999=%.4g\n",
+				name, r.Count, r.Window, r.Mean, r.P50, r.P95, r.P99, r.P999)
 		}
 	}
 	return err

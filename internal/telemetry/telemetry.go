@@ -234,7 +234,9 @@ func (r *Ring) Stat() RingStat {
 	s.Mean = sum / float64(n)
 	s.P50 = quantile(window, 0.50)
 	s.P90 = quantile(window, 0.90)
+	s.P95 = quantile(window, 0.95)
 	s.P99 = quantile(window, 0.99)
+	s.P999 = quantile(window, 0.999)
 	return s
 }
 

@@ -114,6 +114,10 @@ func TestRingWindowAndQuantiles(t *testing.T) {
 	if st.P50 < 4 || st.P50 > 5 || st.P99 != 6 {
 		t.Fatalf("quantiles = %+v", st)
 	}
+	// The high-percentile exports are monotone and bounded by the max.
+	if st.P95 < st.P50 || st.P99 < st.P95 || st.P999 < st.P99 || st.P999 > st.Max {
+		t.Fatalf("percentile ordering violated: %+v", st)
+	}
 }
 
 func TestScopeGetOrCreate(t *testing.T) {

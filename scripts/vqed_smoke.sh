@@ -1,32 +1,19 @@
 #!/bin/sh
-# vqed end-to-end smoke: start the daemon (race-instrumented), submit an
-# H2 job over HTTP, poll it to completion, check the energy against the
-# known FCI value, prove the content-addressed cache answers a duplicate
-# spec, then SIGTERM and require a clean drain. No jq dependency — the
-# assertions are plain grep over the JSON.
+# vqed end-to-end smoke: start the daemon (race-instrumented) on a free
+# port, submit an H2 job over HTTP, poll it to completion, check the
+# energy against the known FCI value, prove the content-addressed cache
+# answers a duplicate spec, then SIGTERM and require a clean drain. No jq
+# dependency — the assertions are plain grep over the JSON.
 set -eu
 
 BIN=${VQED_BIN:-bin/vqed}
-ADDR=${VQED_ADDR:-127.0.0.1:8931}
-BASE="http://$ADDR"
-SPOOL=$(mktemp -d)
-LOG=$(mktemp)
-trap 'kill "$PID" 2>/dev/null || true; rm -rf "$SPOOL" "$LOG"' EXIT
+VQED_BIN=$BIN
 
-"$BIN" -addr "$ADDR" -jobs 2 -spool "$SPOOL" >"$LOG" 2>&1 &
-PID=$!
+. "$(dirname "$0")/daemon_lib.sh"
+trap cleanup_vqed EXIT INT TERM HUP
 
-# Wait for the daemon to answer.
-i=0
-until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -ge 100 ]; then
-        echo "vqed did not come up; log:" >&2
-        cat "$LOG" >&2
-        exit 1
-    fi
-    sleep 0.2
-done
+start_vqed -jobs 2
+BASE=$VQED_BASE
 
 submit() {
     curl -fsS -X POST -H 'Content-Type: application/json' \
@@ -77,17 +64,5 @@ case "$dup" in
 esac
 
 # Graceful drain: SIGTERM must exit 0 and report a clean drain.
-kill -TERM "$PID"
-rc=0
-wait "$PID" || rc=$?
-if [ "$rc" -ne 0 ]; then
-    echo "vqed exited $rc on SIGTERM; log:" >&2
-    cat "$LOG" >&2
-    exit 1
-fi
-grep -q 'drained cleanly' "$LOG" || {
-    echo "missing clean-drain message; log:" >&2
-    cat "$LOG" >&2
-    exit 1
-}
+stop_vqed
 echo "vqed smoke: ok"
