@@ -11,7 +11,7 @@ GOVULNCHECK_VERSION = v1.1.4
 # Coverage floor for the telemetry package (CI enforces the same number).
 TELEMETRY_COVER_MIN = 60
 
-.PHONY: all build test vet vqelint lint vuln race bench bench-smoke chaos vqed-smoke load-smoke cover figures check ci
+.PHONY: all build test vet vqelint lint-baseline lint vuln race bench bench-smoke chaos vqed-smoke load-smoke cover figures check ci
 
 all: check
 
@@ -24,12 +24,22 @@ test:
 vet:
 	$(GO) vet ./...
 
-# vqelint runs the repo's own analyzer suite (internal/analysis) over the
-# whole module through the go vet driver, so _test.go files are checked
-# too. Self-contained: builds from this module, no network needed.
+# vqelint runs the repo's own analyzer suite (internal/analysis) twice:
+# through the go vet driver (so _test.go files are checked too) and
+# standalone against the committed baseline, which also reports stale
+# //vqelint:ignore directives. Self-contained: builds from this module,
+# no network needed.
 vqelint:
 	$(GO) build -o bin/vqelint ./cmd/vqelint
 	$(GO) vet -vettool=$$(pwd)/bin/vqelint ./...
+	./bin/vqelint -baseline lint_baseline.json -unused-ignores ./...
+
+# lint-baseline regenerates lint_baseline.json from the current findings.
+# Use it when a PR deliberately accepts a pre-existing finding; new code
+# should fix or //vqelint:ignore instead of growing the baseline.
+lint-baseline:
+	$(GO) build -o bin/vqelint ./cmd/vqelint
+	./bin/vqelint -update-baseline ./...
 
 # lint runs go vet, the vqelint suite, and staticcheck. Fetching
 # staticcheck needs network access; without it (air-gapped dev boxes) the
@@ -54,8 +64,12 @@ vuln:
 		echo "govulncheck unavailable or failed (offline?) — skipping locally" >&2; \
 	fi
 
+# race runs the whole module under the race detector, then re-runs the
+# load harness uncached: its closed/open-loop tests are the heaviest
+# goroutine churn in the repo and must never ride a stale test cache.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/load/...
 
 # chaos is the resilience smoke: the fault drills (seeded injectors behind
 # every cluster transfer), the crash/resume equivalence properties, and the

@@ -1,21 +1,34 @@
 // Command vqelint runs the project's static-analysis suite (see
 // internal/analysis): hotpathalloc, workerssemantics, timerpair,
-// panicdiscipline, and floatcompare — the machine-checked form of the
-// invariants the engine's performance claims rest on.
+// panicdiscipline, floatcompare, lockdiscipline, ctxflow, and
+// goroutinelife — the machine-checked form of the invariants the
+// engine's performance and concurrency claims rest on.
 //
 // Standalone over package patterns:
 //
 //	go run ./cmd/vqelint ./...
 //	go run ./cmd/vqelint -fix ./internal/...   # apply suggested fixes
-//	go run ./cmd/vqelint -only hotpathalloc,timerpair ./internal/state/
+//	go run ./cmd/vqelint -only lockdiscipline,ctxflow ./internal/server/
+//	go run ./cmd/vqelint -sarif vqelint.sarif ./...
+//	go run ./cmd/vqelint -update-baseline ./...
+//	go run ./cmd/vqelint -unused-ignores ./...
+//
+// Findings recorded in lint_baseline.json at the module root are
+// accepted debt: they are counted but do not fail the run. The baseline
+// is keyed by analyzer + file + function + message hash (never line
+// numbers), loaded automatically (-baseline auto) or from an explicit
+// path; -baseline none disables it. -update-baseline rewrites the file
+// from the current findings.
 //
 // As a go vet tool (the form CI uses, so vet's caching and test-file
-// coverage apply):
+// coverage apply; the baseline is auto-discovered at the module root
+// because vet forwards no tool flags):
 //
 //	go build -o bin/vqelint ./cmd/vqelint
 //	go vet -vettool=bin/vqelint ./...
 //
-// Exit status: 0 clean, 1 internal error, 2 findings reported.
+// Exit status: 0 clean, 1 internal error, 2 findings reported (or stale
+// ignores with -unused-ignores).
 package main
 
 import (
@@ -23,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,11 +45,14 @@ import (
 	"repro/internal/analysis"
 )
 
+// baselineFile is the committed baseline's name at the module root.
+const baselineFile = "lint_baseline.json"
+
 func main() {
 	// `go vet -vettool` handshakes: version/cache fingerprint and flag
 	// discovery happen before any cfg is passed.
 	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V=") {
-		fmt.Println("vqelint version 1.0.0")
+		fmt.Println("vqelint version 1.1.0")
 		return
 	}
 	if len(os.Args) == 2 && os.Args[1] == "-flags" {
@@ -44,10 +61,14 @@ func main() {
 	}
 
 	var (
-		fix  = flag.Bool("fix", false, "apply suggested fixes to the source files")
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list = flag.Bool("list", false, "list the suite's analyzers and exit")
-		js   = flag.Bool("json", false, "emit diagnostics as JSON")
+		fix       = flag.Bool("fix", false, "apply suggested fixes to the source files")
+		only      = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list      = flag.Bool("list", false, "list the suite's analyzers and exit")
+		js        = flag.Bool("json", false, "emit diagnostics as JSON")
+		sarifPath = flag.String("sarif", "", "write findings as SARIF 2.1.0 to this file")
+		baseline  = flag.String("baseline", "auto", `baseline file: "auto" finds lint_baseline.json at the module root, "none" disables`)
+		update    = flag.Bool("update-baseline", false, "rewrite the baseline from the current findings and exit")
+		unused    = flag.Bool("unused-ignores", false, "report //vqelint:ignore directives that suppress nothing")
 	)
 	flag.Parse()
 
@@ -66,7 +87,23 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVetTool(args[0], analyzers))
 	}
-	os.Exit(runStandalone(args, analyzers, *fix, *js))
+	os.Exit(runStandalone(args, analyzers, options{
+		fix:       *fix,
+		js:        *js,
+		sarifPath: *sarifPath,
+		baseline:  *baseline,
+		update:    *update,
+		unused:    *unused,
+	}))
+}
+
+type options struct {
+	fix       bool
+	js        bool
+	sarifPath string
+	baseline  string
+	update    bool
+	unused    bool
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
@@ -84,9 +121,51 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 	return out, nil
 }
 
+// isFullSuite reports whether the selection covers every suite analyzer
+// (which is what judging `//vqelint:ignore all` staleness requires).
+func isFullSuite(analyzers []*analysis.Analyzer) bool {
+	if len(analyzers) != len(analysis.Suite()) {
+		return false
+	}
+	have := map[string]bool{}
+	for _, a := range analyzers {
+		have[a.Name] = true
+	}
+	for _, a := range analysis.Suite() {
+		if !have[a.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveBaselinePath turns the -baseline flag into a file path ("" = no
+// baseline). mode "auto" walks up from dir to the module root.
+func resolveBaselinePath(mode, dir string) string {
+	switch mode {
+	case "", "none":
+		return ""
+	case "auto":
+		if root := analysis.FindModuleRoot(dir); root != "" {
+			return filepath.Join(root, baselineFile)
+		}
+		return ""
+	default:
+		return mode
+	}
+}
+
+// A finding is one kept diagnostic with its resolved position and
+// baseline key material.
+type finding struct {
+	pos   token.Position
+	diag  analysis.Diagnostic
+	entry analysis.BaselineEntry
+}
+
 // runStandalone loads packages by pattern with the loader and analyzes
 // them in place.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer, fix, js bool) int {
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts options) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -95,47 +174,131 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, fix, js bo
 	if err != nil {
 		fatal(err)
 	}
-	exit := 0
-	var all []jsonDiag
-	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers)
+
+	baselinePath := resolveBaselinePath(opts.baseline, ".")
+	var base *analysis.Baseline
+	if baselinePath != "" && !opts.update {
+		base, err = analysis.LoadBaseline(baselinePath)
 		if err != nil {
 			fatal(err)
 		}
-		if len(diags) == 0 {
-			continue
+	} else {
+		base = &analysis.Baseline{Version: analysis.BaselineVersion}
+	}
+	matcher := analysis.NewBaselineMatcher(base)
+	modRoot := analysis.FindModuleRoot(".")
+	complete := isFullSuite(analyzers)
+
+	var (
+		kept       []finding
+		baselined  int
+		suppressed int
+		stale      []finding // position-resolved stale directives
+	)
+	for _, pkg := range pkgs {
+		res, err := analysis.RunDetailed(pkg, analyzers, complete)
+		if err != nil {
+			fatal(err)
 		}
-		exit = 2
-		if fix {
-			fixed, err := applyFixes(pkg, diags)
+		suppressed += res.Suppressed
+		for _, s := range res.Stale {
+			stale = append(stale, finding{
+				pos:  pkg.Fset.Position(s.Pos),
+				diag: analysis.Diagnostic{Category: "unused-ignore", Message: fmt.Sprintf("stale //vqelint:ignore %s: it suppresses nothing; delete it", strings.Join(s.Names, ","))},
+			})
+		}
+		diags := res.Diagnostics
+		if opts.fix && len(diags) > 0 {
+			diags, err = applyFixes(pkg, diags)
 			if err != nil {
 				fatal(err)
 			}
-			diags = fixed
-			if len(diags) == 0 {
-				exit = 0
-			}
 		}
 		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			if js {
-				all = append(all, jsonDiag{
-					File: pos.Filename, Line: pos.Line, Col: pos.Column,
-					Analyzer: d.Category, Message: d.Message,
-				})
-			} else {
-				fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, d.Category, d.Message)
+			f := finding{
+				pos:   pkg.Fset.Position(d.Pos),
+				diag:  d,
+				entry: analysis.EntryFor(pkg.Fset, pkg.Files, modRoot, d),
 			}
+			if !opts.update && matcher.Match(f.entry) {
+				baselined++
+				continue
+			}
+			kept = append(kept, f)
 		}
 	}
-	if js {
+
+	if opts.update {
+		if baselinePath == "" {
+			baselinePath = baselineFile
+		}
+		out := &analysis.Baseline{Version: analysis.BaselineVersion}
+		agg := map[string]*analysis.BaselineEntry{}
+		for _, f := range kept {
+			e := f.entry
+			key := e.Analyzer + "\x00" + e.File + "\x00" + e.Func + "\x00" + e.Hash
+			if prev, ok := agg[key]; ok {
+				prev.Count++
+			} else {
+				copy := e
+				agg[key] = &copy
+			}
+		}
+		for _, e := range agg {
+			out.Findings = append(out.Findings, *e)
+		}
+		if err := analysis.WriteBaseline(baselinePath, out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vqelint: wrote %d baseline entr%s to %s\n",
+			len(out.Findings), plural(len(out.Findings), "y", "ies"), baselinePath)
+		return 0
+	}
+
+	if opts.sarifPath != "" {
+		if err := writeSARIF(opts.sarifPath, modRoot, analyzers, kept); err != nil {
+			fatal(err)
+		}
+	}
+
+	if opts.js {
+		all := make([]jsonDiag, 0, len(kept))
+		for _, f := range kept {
+			all = append(all, jsonDiag{
+				File: f.pos.Filename, Line: f.pos.Line, Col: f.pos.Column,
+				Analyzer: f.diag.Category, Message: f.diag.Message,
+			})
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(all); err != nil {
 			fatal(err)
 		}
+	} else {
+		for _, f := range kept {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.pos, f.diag.Category, f.diag.Message)
+		}
 	}
-	return exit
+	if opts.unused {
+		for _, f := range stale {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", f.pos, f.diag.Message)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "vqelint: %d finding%s, %d baselined, %d suppressed by directives, %d stale ignore%s\n",
+		len(kept), plural(len(kept), "", "s"), baselined, suppressed,
+		len(stale), plural(len(stale), "", "s"))
+
+	if len(kept) > 0 || (opts.unused && len(stale) > 0) {
+		return 2
+	}
+	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 type jsonDiag struct {
@@ -254,13 +417,24 @@ func runVetTool(cfgPath string, analyzers []*analysis.Analyzer) int {
 	if err != nil {
 		fatal(err)
 	}
+	// go vet forwards no tool flags, so the baseline is auto-discovered
+	// at the module root (same default as standalone -baseline auto).
+	modRoot := analysis.FindModuleRoot(cfg.Dir)
+	matcher := analysis.NewBaselineMatcher(&analysis.Baseline{Version: analysis.BaselineVersion})
+	if modRoot != "" {
+		if base, err := analysis.LoadBaseline(filepath.Join(modRoot, baselineFile)); err == nil {
+			matcher = analysis.NewBaselineMatcher(base)
+		}
+	}
+	exit := 0
 	for _, d := range diags {
+		if matcher.Match(analysis.EntryFor(pkg.Fset, pkg.Files, modRoot, d)) {
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Category, d.Message)
+		exit = 2
 	}
-	if len(diags) > 0 {
-		return 2
-	}
-	return 0
+	return exit
 }
 
 // writeEmptyVetx satisfies the protocol's facts output: the go command

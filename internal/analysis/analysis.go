@@ -102,13 +102,38 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.Info.Defs[id]
 }
 
+// A RunResult carries one package's findings plus the suppression
+// accounting the CLI surfaces (-unused-ignores, summary counts).
+type RunResult struct {
+	// Diagnostics are the kept findings, sorted by position.
+	Diagnostics []Diagnostic
+	// Suppressed counts findings removed by //vqelint:ignore directives.
+	Suppressed int
+	// Stale lists ignore directives that suppressed nothing, judged
+	// against the set of analyzers that actually ran.
+	Stale []StaleIgnore
+}
+
 // Run type-checks nothing itself: it applies every analyzer to the
 // already-loaded package and returns the findings with ignore directives
 // filtered out, sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var out []Diagnostic
+	res, err := RunDetailed(pkg, analyzers, false)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// RunDetailed is Run plus suppression accounting. complete must be true
+// when analyzers is the full suite; it gates staleness judgment of
+// `//vqelint:ignore all` directives.
+func RunDetailed(pkg *Package, analyzers []*Analyzer, complete bool) (*RunResult, error) {
+	res := &RunResult{}
 	ig := collectIgnores(pkg.Fset, pkg.Files)
+	ran := map[string]bool{}
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -120,18 +145,21 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
 		}
 		for _, d := range pass.diagnostics {
-			if !ig.ignored(pkg.Fset, d) {
-				out = append(out, d)
+			if ig.ignored(pkg.Fset, d) {
+				res.Suppressed++
+			} else {
+				res.Diagnostics = append(res.Diagnostics, d)
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pos != out[j].Pos {
-			return out[i].Pos < out[j].Pos
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		if res.Diagnostics[i].Pos != res.Diagnostics[j].Pos {
+			return res.Diagnostics[i].Pos < res.Diagnostics[j].Pos
 		}
-		return out[i].Category < out[j].Category
+		return res.Diagnostics[i].Category < res.Diagnostics[j].Category
 	})
-	return out, nil
+	res.Stale = ig.stale(ran, complete)
+	return res, nil
 }
 
 // calleeObject resolves the object called by e's function expression

@@ -1,0 +1,192 @@
+package analysis
+
+// Baseline suppression: a committed lint_baseline.json records accepted
+// findings so new code is held to the full bar while legacy debt is
+// paid down deliberately. Entries are keyed by analyzer + module-root-
+// relative file + enclosing function + a hash of the message — never by
+// line number, so unrelated edits to a file do not invalidate the
+// baseline. Each entry carries a count; a run may match at most that
+// many findings with the same key, so *new* instances of a baselined
+// pattern in the same function still fail the gate.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A BaselineEntry is one accepted finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root relative, slash separated
+	Func     string `json:"func"` // enclosing function, "Recv.Method" for methods
+	Hash     string `json:"hash"` // fnv-1a/64 of the message, hex
+	// Message is informational for reviewers; matching uses Hash.
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// A Baseline is the decoded lint_baseline.json.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineVersion is bumped if the key derivation changes.
+const BaselineVersion = 1
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Func + "\x00" + e.Hash
+}
+
+// LoadBaseline reads a baseline file. A missing file yields an empty
+// baseline, not an error: the gate then requires a fully clean tree.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: BaselineVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("%s: baseline version %d, tool expects %d (regenerate with -update-baseline)", path, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// WriteBaseline serializes b with stable ordering.
+func WriteBaseline(path string, b *Baseline) error {
+	sort.Slice(b.Findings, func(i, j int) bool { return b.Findings[i].key() < b.Findings[j].key() })
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// A BaselineMatcher consumes baseline entries as findings match them.
+type BaselineMatcher struct {
+	remaining map[string]int
+}
+
+// NewBaselineMatcher builds a matcher over the baseline's counts.
+func NewBaselineMatcher(b *Baseline) *BaselineMatcher {
+	m := &BaselineMatcher{remaining: map[string]int{}}
+	for _, e := range b.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		m.remaining[e.key()] += n
+	}
+	return m
+}
+
+// Match reports whether the entry is baselined, consuming one count.
+func (m *BaselineMatcher) Match(e BaselineEntry) bool {
+	if m.remaining[e.key()] > 0 {
+		m.remaining[e.key()]--
+		return true
+	}
+	return false
+}
+
+// EntryFor derives the baseline key material for a diagnostic: the
+// module-root-relative file, the enclosing function, and the message
+// hash.
+func EntryFor(fset *token.FileSet, files []*ast.File, modRoot string, d Diagnostic) BaselineEntry {
+	pos := fset.Position(d.Pos)
+	file := pos.Filename
+	if modRoot != "" {
+		if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return BaselineEntry{
+		Analyzer: d.Category,
+		File:     filepath.ToSlash(file),
+		Func:     FuncFor(files, d.Pos),
+		Hash:     messageHash(d.Message),
+		Message:  d.Message,
+		Count:    1,
+	}
+}
+
+func messageHash(msg string) string {
+	h := fnv.New64a()
+	h.Write([]byte(msg))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// FuncFor names the function declaration enclosing pos ("Recv.Method"
+// for methods, "Name" for functions, "" at package scope). Function
+// literals are attributed to their enclosing declaration.
+func FuncFor(files []*ast.File, pos token.Pos) string {
+	for _, f := range files {
+		if pos < f.Pos() || pos >= f.End() {
+			continue
+		}
+		name := ""
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return name == "" // don't descend past the first match
+			}
+			if pos < fd.Pos() || pos >= fd.End() {
+				return false
+			}
+			name = fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				name = recvTypeName(fd.Recv.List[0].Type) + "." + name
+			}
+			return false
+		})
+		return name
+	}
+	return ""
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(x.X)
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(x.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(x.X)
+	}
+	return "?"
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod, so
+// baseline file paths stay stable regardless of the working directory.
+// Returns "" when no module root is found.
+func FindModuleRoot(dir string) string {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}

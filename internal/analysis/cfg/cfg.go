@@ -1,0 +1,461 @@
+// Package cfg builds intra-procedural control-flow graphs for Go
+// function bodies and provides a small fixed-point dataflow driver over
+// them (dataflow.go). Like the parent analysis framework it is built on
+// the standard library alone, so the lint suite keeps its
+// zero-dependency property.
+//
+// The graph is statement-granular: every basic block is a maximal
+// straight-line run of statements (guard expressions of if/for/switch
+// appear as the last node of the block that evaluates them), and edges
+// follow Go control-flow semantics for if/for/range/switch/select,
+// labeled break/continue, goto, and fallthrough. Return statements and
+// the fall-off-the-end path edge into a synthetic Exit block. Statements
+// after a terminator land in fresh blocks with no predecessors, so dead
+// code never feeds a dataflow solution seeded at Entry.
+//
+// Two deliberate approximations keep the graph useful for linting:
+//
+//   - Deferred calls are not spliced into every exit edge; they are
+//     collected in Graph.Defers (source order) and analyses model them
+//     as running on each path into Exit. Conditionally registered defers
+//     are therefore treated as always registered — the usual vet-style
+//     approximation.
+//   - panic and the well-known no-return calls (os.Exit, log.Fatal*,
+//     runtime.Goexit, testing's Fatal/FailNow/Skip family) terminate
+//     their block with no successors: abnormal unwinding is invisible to
+//     forward analyses, which lets lock- and timer-discipline checks
+//     reason about normal paths without drowning in panic edges.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is Blocks[0]; execution starts here.
+	Entry *Block
+	// Exit is Blocks[1]; every return and the fall-off-the-end path lead
+	// here. A function whose every path ends in panic has an unreachable
+	// Exit.
+	Exit *Block
+	// Blocks holds every block, reachable or not.
+	Blocks []*Block
+	// Defers lists defer statements in source order. Analyses treat them
+	// as running (last first) on every edge into Exit.
+	Defers []*ast.DeferStmt
+}
+
+// A Block is one basic block: Nodes execute in order, then control
+// transfers to one of Succs.
+type Block struct {
+	Index int
+	// Kind labels the block's role for debugging and tests: "entry",
+	// "exit", "if.then", "for.head", "select.case", "label.L", ...
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// New builds the control-flow graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*labelBlocks{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	b.current = g.Entry
+	b.stmtList(body.List)
+	b.jumpTo(g.Exit)
+	return g
+}
+
+// ReversePostorder returns the blocks reachable from Entry in reverse
+// postorder — the canonical iteration order for forward dataflow.
+func (g *Graph) ReversePostorder() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				visit(s)
+			}
+		}
+		post = append(post, b)
+	}
+	visit(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// labelBlocks tracks the control targets a label can name.
+type labelBlocks struct {
+	// land is where `goto L` and the labeled statement itself enter.
+	land *Block
+	// brk/cont are set while the labeled loop/switch/select is being
+	// built, for `break L` / `continue L`.
+	brk, cont *Block
+}
+
+// A target is one enclosing breakable/continuable construct.
+type target struct {
+	label string // "" if unlabeled
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type builder struct {
+	g       *Graph
+	current *Block
+	targets []*target
+	labels  map[string]*labelBlocks
+	// pendingLabel names the label attached to the next loop/switch/
+	// select statement, if any.
+	pendingLabel string
+	// fallFrom is the block ending in `fallthrough`, consumed by the
+	// next case clause.
+	fallFrom *Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jumpTo edges the current block into to and continues in a fresh
+// unreachable block (callers that fall through instead use setCurrent).
+func (b *builder) jumpTo(to *Block) {
+	b.edge(b.current, to)
+	b.current = b.newBlock("unreachable")
+}
+
+// enter edges the current block into to and continues building in to.
+func (b *builder) enter(to *Block) {
+	b.edge(b.current, to)
+	b.current = to
+}
+
+func (b *builder) add(n ast.Node) {
+	b.current.Nodes = append(b.current.Nodes, n)
+}
+
+func (b *builder) label(name string) *labelBlocks {
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &labelBlocks{land: b.newBlock("label." + name)}
+		b.labels[name] = lb
+	}
+	return lb
+}
+
+// takeLabel consumes the pending label for a loop/switch/select and
+// returns it (registering break/continue targets happens at pushTarget).
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) pushTarget(label string, brk, cont *Block) {
+	b.targets = append(b.targets, &target{label: label, brk: brk, cont: cont})
+	if label != "" {
+		lb := b.label(label)
+		lb.brk, lb.cont = brk, cont
+	}
+}
+
+func (b *builder) popTarget() {
+	t := b.targets[len(b.targets)-1]
+	b.targets = b.targets[:len(b.targets)-1]
+	if t.label != "" {
+		lb := b.labels[t.label]
+		lb.brk, lb.cont = nil, nil
+	}
+}
+
+// findTarget resolves an unlabeled or labeled break/continue.
+func (b *builder) findTarget(label string, wantCont bool) *Block {
+	if label != "" {
+		lb := b.labels[label]
+		if lb == nil {
+			return nil
+		}
+		if wantCont {
+			return lb.cont
+		}
+		return lb.brk
+	}
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if wantCont {
+			if t.cont != nil {
+				return t.cont
+			}
+			continue
+		}
+		return t.brk
+	}
+	return nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.label(s.Label.Name)
+		b.enter(lb.land)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jumpTo(b.g.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK, token.CONTINUE:
+			if t := b.findTarget(labelName(s.Label), s.Tok == token.CONTINUE); t != nil {
+				b.add(s)
+				b.jumpTo(t)
+			}
+		case token.GOTO:
+			b.add(s)
+			b.jumpTo(b.label(s.Label.Name).land)
+		case token.FALLTHROUGH:
+			b.fallFrom = b.current
+			b.current = b.newBlock("unreachable")
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.current
+		join := b.newBlock("if.done")
+		then := b.newBlock("if.then")
+		b.edge(cond, then)
+		b.current = then
+		b.stmt(s.Body)
+		b.edge(b.current, join)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.current = els
+			b.stmt(s.Else)
+			b.edge(b.current, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.current = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.enter(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		done := b.newBlock("for.done")
+		if s.Cond != nil {
+			// A nil condition loops forever: done is reachable only
+			// through break.
+			b.edge(head, done)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			cont = post
+		}
+		body := b.newBlock("for.body")
+		b.edge(head, body)
+		b.current = body
+		b.pushTarget(label, done, cont)
+		b.stmt(s.Body)
+		b.popTarget()
+		if post != nil {
+			b.edge(b.current, post)
+			b.current = post
+			b.stmt(s.Post)
+		}
+		b.edge(b.current, head)
+		b.current = done
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		b.enter(head)
+		// The range statement itself stands for the per-iteration
+		// key/value binding and the iterable evaluation.
+		b.add(s)
+		done := b.newBlock("range.done")
+		body := b.newBlock("range.body")
+		b.edge(head, done)
+		b.edge(head, body)
+		b.current = body
+		b.pushTarget(label, done, head)
+		b.stmt(s.Body)
+		b.popTarget()
+		b.edge(b.current, head)
+		b.current = done
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body, "switch")
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body, "typeswitch")
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.current
+		done := b.newBlock("select.done")
+		b.pushTarget(label, done, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			kind := "select.case"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			blk := b.newBlock(kind)
+			b.edge(head, blk)
+			b.current = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.current, done)
+		}
+		b.popTarget()
+		if len(s.Body.List) == 0 {
+			// `select {}` blocks forever.
+			b.current = b.newBlock("unreachable")
+		} else {
+			b.current = done
+		}
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && NoReturn(call) {
+			// panic/os.Exit/...: the path ends without reaching Exit.
+			b.current = b.newBlock("unreachable")
+		}
+
+	case nil:
+		// e.g. an empty else
+
+	default:
+		// Assignments, declarations, sends, go statements, increments,
+		// empty statements: straight-line.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared switch/type-switch clause structure.
+func (b *builder) caseClauses(label string, body *ast.BlockStmt, kind string) {
+	head := b.current
+	done := b.newBlock(kind + ".done")
+	b.pushTarget(label, done, nil)
+	hasDefault := false
+	b.fallFrom = nil
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		blk := b.newBlock(kind + ".case")
+		b.edge(head, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if b.fallFrom != nil {
+			b.edge(b.fallFrom, blk)
+			b.fallFrom = nil
+		}
+		b.current = blk
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		if b.fallFrom == nil {
+			b.edge(b.current, done)
+		}
+	}
+	b.fallFrom = nil
+	b.popTarget()
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	b.current = done
+}
+
+func labelName(id *ast.Ident) string {
+	if id == nil {
+		return ""
+	}
+	return id.Name
+}
+
+// NoReturn reports whether call syntactically never returns: panic, or a
+// name-based match on the well-known terminators (os.Exit, log.Fatal*,
+// runtime.Goexit, testing's Fatal/Fatalf/FailNow/Skip family). The check
+// is untyped on purpose — the cfg package has no type information — and
+// errs toward returning false.
+func NoReturn(call *ast.CallExpr) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		base, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch fn.Sel.Name {
+		case "Exit":
+			return base.Name == "os"
+		case "Goexit":
+			return base.Name == "runtime"
+		case "Fatal", "Fatalf", "Fatalln":
+			return base.Name == "log" || base.Name == "t" || base.Name == "b" || base.Name == "tb"
+		case "FailNow", "Skip", "Skipf", "SkipNow":
+			return base.Name == "t" || base.Name == "b" || base.Name == "tb"
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package cfg
+
+// A ForwardProblem is a monotone forward dataflow problem over a Graph.
+// States of type S flow from Entry along edges; Join merges the
+// out-states of a block's predecessors and Transfer computes a block's
+// out-state from its in-state. Join and Transfer must not mutate their
+// arguments (treat states as immutable values and copy on write), and
+// the framework must be monotone for the iteration to terminate.
+type ForwardProblem[S any] struct {
+	// Entry is the state on function entry.
+	Entry S
+	// Join merges two predecessor out-states (set union for may-
+	// analyses, intersection for must-analyses).
+	Join func(a, b S) S
+	// Equal is the fixed-point test.
+	Equal func(a, b S) bool
+	// Transfer computes the block's out-state from its in-state.
+	Transfer func(b *Block, in S) S
+}
+
+// Solve iterates to a fixed point and returns the in-state of every
+// block reachable from Entry. Blocks absent from the map are dead code.
+func (p *ForwardProblem[S]) Solve(g *Graph) map[*Block]S {
+	rpo := g.ReversePostorder()
+	in := make(map[*Block]S, len(rpo))
+	out := make(map[*Block]S, len(rpo))
+
+	queued := make([]bool, len(g.Blocks))
+	work := make([]*Block, len(rpo))
+	copy(work, rpo)
+	for _, b := range work {
+		queued[b.Index] = true
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		s := p.Entry
+		have := b == g.Entry
+		for _, pred := range b.Preds {
+			o, ok := out[pred]
+			if !ok {
+				continue // predecessor not reached yet (or dead)
+			}
+			if !have {
+				s, have = o, true
+			} else {
+				s = p.Join(s, o)
+			}
+		}
+		if !have {
+			continue // only dead predecessors: skip until one is solved
+		}
+		in[b] = s
+		ns := p.Transfer(b, s)
+		if old, ok := out[b]; ok && p.Equal(old, ns) {
+			continue
+		}
+		out[b] = ns
+		for _, succ := range b.Succs {
+			if !queued[succ.Index] {
+				queued[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,276 @@
+package analysis
+
+// Shared type-resolution helpers for the concurrency analyzers
+// (lockdiscipline, ctxflow, goroutinelife): classifying sync.* method
+// calls, naming lock identities, and recognizing blocking operations.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// isTestFile reports whether the file holding pos is a _test.go file.
+func isTestFile(pass *Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// syncMethod classifies call as a method of the sync package, returning
+// the receiver type name ("Mutex", "RWMutex", "WaitGroup", "Cond", ...)
+// and the method name. Promoted methods of embedded sync types resolve
+// the same way because the method object still belongs to sync.
+func syncMethod(pass *Pass, call *ast.CallExpr) (recv, name string, ok bool) {
+	obj := calleeObject(pass.Info, call)
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil || !pkgPathMatches(fn.Pkg().Path(), "sync") {
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	return named.Obj().Name(), fn.Name(), true
+}
+
+// lockReceiver returns the receiver expression of a selector call
+// (x.Lock() → x), or nil.
+func lockReceiver(call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return sel.X
+}
+
+// exprObjKey names an lvalue expression by the chain of objects its
+// identifiers denote, so `s.mu` in two different statements is the same
+// lock and `a.mu` vs `b.mu` are different ones. Expressions the analysis
+// cannot identify (map indexes, call results) return ok=false and are
+// not tracked.
+func exprObjKey(pass *Pass, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.ObjectOf(x); obj != nil {
+			return fmt.Sprintf("%p", obj), true
+		}
+	case *ast.SelectorExpr:
+		base, ok := exprObjKey(pass, x.X)
+		if !ok {
+			return "", false
+		}
+		if obj := pass.ObjectOf(x.Sel); obj != nil {
+			return base + "." + fmt.Sprintf("%p", obj), true
+		}
+	case *ast.StarExpr:
+		return exprObjKey(pass, x.X)
+	}
+	return "", false
+}
+
+// exprText renders an expression as source text for diagnostics.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && pkgPathMatches(obj.Pkg().Path(), "context")
+}
+
+// isContextMethod reports whether call is ctx.Done() or ctx.Err() on a
+// context.Context value.
+func isContextMethod(pass *Pass, call *ast.CallExpr, names ...string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	return t != nil && isContextType(t)
+}
+
+// httpBlockingFuncs are net/http package-level functions that perform
+// network I/O; accessors and constructors (NewRequest, ...) are not
+// blocking and stay off the list.
+var httpBlockingFuncs = map[string]bool{
+	"Get": true, "Head": true, "Post": true, "PostForm": true,
+	"ListenAndServe": true, "ListenAndServeTLS": true,
+	"Serve": true, "ServeTLS": true,
+}
+
+// httpBlockingMethods maps net/http receiver type names to the methods
+// that do I/O on them. Plain accessors (Request.PathValue, Header.Get)
+// never block and are deliberately absent.
+var httpBlockingMethods = map[string]map[string]bool{
+	"Client":             {"Do": true, "Get": true, "Head": true, "Post": true, "PostForm": true},
+	"ResponseWriter":     {"Write": true, "WriteHeader": true},
+	"Flusher":            {"Flush": true},
+	"ResponseController": {"Flush": true},
+	"Server": {
+		"ListenAndServe": true, "ListenAndServeTLS": true,
+		"Serve": true, "ServeTLS": true, "Shutdown": true, "Close": true,
+	},
+}
+
+// isNetHTTP reports whether call performs net/http I/O: a blocking
+// package function (http.Get, ...) or a blocking method of a net/http
+// type (Client.Do, ResponseWriter.Write, Flusher.Flush, ...).
+func isNetHTTP(pass *Pass, call *ast.CallExpr) bool {
+	obj := calleeObject(pass.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || !pkgPathMatches(fn.Pkg().Path(), "net/http") {
+		return false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return httpBlockingFuncs[fn.Name()]
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	return httpBlockingMethods[named.Obj().Name()][fn.Name()]
+}
+
+// blockingDesc classifies n as a potentially blocking operation,
+// returning a short description or "". softened holds channel operations
+// that appear as comm clauses of a select with a default case (they
+// cannot block; sends there are still reported by lockdiscipline, with a
+// different rationale — see the analyzer doc).
+func blockingDesc(pass *Pass, n ast.Node, softened map[ast.Node]bool) string {
+	switch x := n.(type) {
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW && !softened[n] {
+			return "channel receive"
+		}
+	case *ast.RangeStmt:
+		if t := pass.TypeOf(x.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				return "range over channel"
+			}
+		}
+	case *ast.CallExpr:
+		switch {
+		case isPkgFunc(pass.Info, x, "time", "Sleep"):
+			return "time.Sleep"
+		case isNetHTTP(pass, x):
+			return "net/http call"
+		}
+		if recv, name, ok := syncMethod(pass, x); ok && name == "Wait" {
+			return "sync." + recv + ".Wait"
+		}
+	}
+	return ""
+}
+
+// softenedCommOps collects the comm-clause channel operations of every
+// select that has a default case under root (they cannot block).
+func softenedCommOps(root ast.Node) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, isComm := c.(*ast.CommClause); isComm && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, isComm := c.(*ast.CommClause)
+			if !isComm || cc.Comm == nil {
+				continue
+			}
+			out[cc.Comm] = true
+			// Receives appear as expressions inside assign/expr comm
+			// statements; mark those too.
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				if u, isU := m.(*ast.UnaryExpr); isU && u.Op == token.ARROW {
+					out[u] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// walkBlockNode visits the parts of a CFG block node that execute when
+// the block runs, shallowly (no function literals). The one compound
+// node the CFG stores whole is *ast.RangeStmt in its range.head block:
+// only the per-iteration binding (Key/Value/X) executes there — the loop
+// body belongs to other blocks and must not be walked again.
+func walkBlockNode(node ast.Node, fn func(ast.Node)) {
+	if r, ok := node.(*ast.RangeStmt); ok {
+		fn(r)
+		for _, e := range []ast.Expr{r.Key, r.Value, r.X} {
+			if e != nil {
+				inspectShallow(e, fn)
+			}
+		}
+		return
+	}
+	inspectShallow(node, fn)
+}
+
+// funcBodies walks a file and calls fn once per function body (both
+// declarations and literals). Each body is analyzed independently; use
+// inspectShallow inside fn to stay within the body.
+func funcBodies(file *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			body = d.Body
+		case *ast.FuncLit:
+			body = d.Body
+		default:
+			return true
+		}
+		if body != nil {
+			fn(body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,202 @@
+package analysis
+
+// ctxflow enforces context threading discipline in non-test code:
+//
+//   - context.Background()/context.TODO() may only be called from
+//     package main (wiring the process root) or test files. Anywhere
+//     else the function should accept a context.Context from its
+//     caller. Calling either while a context.Context parameter is in
+//     scope is always flagged, even in main: it silently severs the
+//     caller's cancellation chain.
+//   - An unbounded `for` loop (nil condition) that performs blocking
+//     operations must observe cancellation: a ctx.Done()/ctx.Err() call
+//     somewhere in the loop, or a receive comm clause whose body leaves
+//     the loop (the closed-channel shutdown idiom). Otherwise the
+//     goroutine running it can never be stopped.
+//
+// One auto-exemption keeps compatibility shims honest without
+// directives: a function whose entire body is a single return statement
+// delegating to a context-taking variant (e.g. `func F() { return
+// FCtx(context.Background()) }`) is allowed — it exists precisely to
+// adapt context-free callers.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "check that contexts are threaded to callees and unbounded loops " +
+		"observe cancellation",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	isMain := pass.Pkg != nil && pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		checkBackgroundCalls(pass, file, isMain)
+		funcBodies(file, func(body *ast.BlockStmt) {
+			checkUnboundedLoops(pass, body)
+		})
+	}
+	return nil
+}
+
+// checkBackgroundCalls walks the file tracking the enclosing function
+// stack so each context.Background()/TODO() call can be judged against
+// the parameters in scope.
+func checkBackgroundCalls(pass *Pass, file *ast.File, isMain bool) {
+	type frame struct {
+		ftype *ast.FuncType
+		body  *ast.BlockStmt
+	}
+	var stack []frame
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body == nil {
+				return false
+			}
+			stack = append(stack, frame{x.Type, x.Body})
+			ast.Inspect(x.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.FuncLit:
+			stack = append(stack, frame{x.Type, x.Body})
+			ast.Inspect(x.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.CallExpr:
+			name := ""
+			switch {
+			case isPkgFunc(pass.Info, x, "context", "Background"):
+				name = "context.Background"
+			case isPkgFunc(pass.Info, x, "context", "TODO"):
+				name = "context.TODO"
+			default:
+				return true
+			}
+			ctxInScope := false
+			for _, f := range stack {
+				if funcTypeHasContextParam(pass, f.ftype) {
+					ctxInScope = true
+				}
+			}
+			switch {
+			case ctxInScope:
+				pass.Reportf(x.Pos(), "%s() while a context.Context parameter is in scope: thread the caller's context instead of severing its cancellation chain", name)
+			case isMain:
+				// Package main wires the process root context.
+			case len(stack) > 0 && isDelegationShim(stack[len(stack)-1].body, x):
+				// Single-return adapter for context-free callers.
+			default:
+				pass.Reportf(x.Pos(), "%s() outside main or test: accept a context.Context from the caller so cancellation propagates", name)
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(file, walk)
+}
+
+func funcTypeHasContextParam(pass *Pass, ftype *ast.FuncType) bool {
+	if ftype == nil || ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if t := pass.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDelegationShim reports whether body is exactly `return f(...)` with
+// call somewhere in the returned expression — the context-free adapter
+// idiom.
+func isDelegationShim(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	if body == nil || len(body.List) != 1 {
+		return false
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	for _, res := range ret.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			if n == ast.Node(call) {
+				found = true
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// checkUnboundedLoops flags `for { ... }` loops (nil condition, so the
+// CFG has no head→done edge) that block without observing cancellation.
+func checkUnboundedLoops(pass *Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return
+		}
+		softened := softenedCommOps(loop.Body)
+		blocking := ""
+		observes := false
+		inspectShallow(loop.Body, func(m ast.Node) {
+			if blocking == "" {
+				if d := blockingDesc(pass, m, softened); d != "" {
+					blocking = d
+				}
+				if _, isSel := m.(*ast.SelectStmt); isSel {
+					blocking = "select"
+				}
+			}
+			if call, isCall := m.(*ast.CallExpr); isCall && isContextMethod(pass, call, "Done", "Err") {
+				observes = true
+			}
+		})
+		if !observes {
+			observes = hasEscapingRecvClause(loop.Body)
+		}
+		if blocking != "" && !observes {
+			pass.Reportf(loop.Pos(), "unbounded for loop blocks (%s) without observing ctx.Done() or a channel close: it cannot be cancelled", blocking)
+		}
+	})
+}
+
+// hasEscapingRecvClause reports whether some select receive clause in
+// body leaves the loop (return / break / goto) — the closed-channel
+// shutdown idiom `case <-done: return`.
+func hasEscapingRecvClause(body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) {
+		cc, ok := n.(*ast.CommClause)
+		if !ok || cc.Comm == nil || found {
+			return
+		}
+		if _, isSend := cc.Comm.(*ast.SendStmt); isSend {
+			return
+		}
+		for _, stmt := range cc.Body {
+			switch s := stmt.(type) {
+			case *ast.ReturnStmt:
+				found = true
+			case *ast.BranchStmt:
+				// A bare break inside a select only leaves the select;
+				// escaping the loop needs a label (or goto).
+				if s.Tok == token.GOTO || (s.Tok == token.BREAK && s.Label != nil) {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -17,6 +18,12 @@ import (
 // so it works both as a trailing comment and as a line above the
 // offending statement. A reason after the analyzer list is encouraged
 // but not enforced.
+//
+// Directives that suppress nothing are stale; `vqelint -unused-ignores`
+// reports them so the suppression inventory never outlives the findings
+// it was written for. A directive is only judged stale when every
+// analyzer it names actually ran ("all" requires the full suite), so a
+// partial `-only` run cannot misreport.
 const ignorePrefix = "//vqelint:ignore"
 
 // hotpathDirective marks a function whose body must stay allocation-free;
@@ -24,9 +31,24 @@ const ignorePrefix = "//vqelint:ignore"
 // on the line immediately above a function literal.
 const hotpathDirective = "//vqesim:hotpath"
 
+// A directive is one parsed //vqelint:ignore comment.
+type directive struct {
+	pos   token.Pos
+	names []string
+	used  bool
+}
+
+// A StaleIgnore reports a //vqelint:ignore directive that suppressed no
+// finding of any analyzer it names.
+type StaleIgnore struct {
+	Pos   token.Pos
+	Names []string
+}
+
 type ignoreSet struct {
-	// byLine maps file base + line to the analyzer names suppressed there.
-	byLine map[string]map[string]bool
+	// byLine maps file:line to the directives covering that line.
+	byLine map[string][]*directive
+	all    []*directive
 }
 
 func lineKey(fset *token.FileSet, pos token.Pos) (string, int) {
@@ -35,7 +57,7 @@ func lineKey(fset *token.FileSet, pos token.Pos) (string, int) {
 }
 
 func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
-	ig := &ignoreSet{byLine: map[string]map[string]bool{}}
+	ig := &ignoreSet{byLine: map[string][]*directive{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -48,18 +70,21 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
 				if len(fields) == 0 {
 					continue
 				}
-				names := strings.Split(fields[0], ",")
+				var names []string
+				for _, n := range strings.Split(fields[0], ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names = append(names, n)
+					}
+				}
+				if len(names) == 0 {
+					continue
+				}
+				d := &directive{pos: c.Pos(), names: names}
+				ig.all = append(ig.all, d)
 				file, line := lineKey(fset, c.Pos())
 				for _, ln := range []int{line, line + 1} {
 					key := ignoreKey(file, ln)
-					m := ig.byLine[key]
-					if m == nil {
-						m = map[string]bool{}
-						ig.byLine[key] = m
-					}
-					for _, n := range names {
-						m[strings.TrimSpace(n)] = true
-					}
+					ig.byLine[key] = append(ig.byLine[key], d)
 				}
 			}
 		}
@@ -71,11 +96,42 @@ func ignoreKey(file string, line int) string {
 	return fmt.Sprintf("%s:%d", file, line)
 }
 
+// ignored reports whether d is suppressed by a directive and, if so,
+// marks the first matching directive used (for staleness accounting).
 func (ig *ignoreSet) ignored(fset *token.FileSet, d Diagnostic) bool {
 	file, line := lineKey(fset, d.Pos)
-	m := ig.byLine[ignoreKey(file, line)]
-	if m == nil {
-		return false
+	for _, dir := range ig.byLine[ignoreKey(file, line)] {
+		for _, n := range dir.names {
+			if n == d.Category || n == "all" {
+				dir.used = true
+				return true
+			}
+		}
 	}
-	return m[d.Category] || m["all"]
+	return false
+}
+
+// stale returns the directives that suppressed nothing, restricted to
+// those whose every named analyzer ran (complete means the full suite
+// ran, which is what judging an "all" directive requires).
+func (ig *ignoreSet) stale(ran map[string]bool, complete bool) []StaleIgnore {
+	var out []StaleIgnore
+	for _, d := range ig.all {
+		if d.used {
+			continue
+		}
+		judgeable := true
+		for _, n := range d.names {
+			if n == "all" {
+				judgeable = judgeable && complete
+			} else {
+				judgeable = judgeable && ran[n]
+			}
+		}
+		if judgeable {
+			out = append(out, StaleIgnore{Pos: d.pos, Names: d.names})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
 }

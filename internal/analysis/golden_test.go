@@ -26,7 +26,10 @@ func TestGolden(t *testing.T) {
 
 // TestSuiteNames pins the suite composition and the ByName lookup.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"hotpathalloc", "workerssemantics", "timerpair", "panicdiscipline", "floatcompare"}
+	want := []string{
+		"hotpathalloc", "workerssemantics", "timerpair", "panicdiscipline",
+		"floatcompare", "lockdiscipline", "ctxflow", "goroutinelife",
+	}
 	suite := analysis.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
@@ -58,6 +61,7 @@ func TestSuggestedFixes(t *testing.T) {
 	}{
 		{"panicdiscipline", "panicdiscipline", `"panicdiscipline: negative dimension"`},
 		{"floatcompare", "floatcompare", "real(z)*real(z)+imag(z)*imag(z)"},
+		{"lockdiscipline", "lockdiscipline", "defer s.mu.Unlock()"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer, func(t *testing.T) {

@@ -1,0 +1,219 @@
+package analysis
+
+// goroutinelife requires every `go` statement in non-test code to carry
+// a provable termination or hand-off signal, so no goroutine is
+// fire-and-forget:
+//
+//   - a sync.WaitGroup: Done called in the goroutine body (with an
+//     Add visible before the go statement also accepted for named
+//     calls), and if Done is called inline rather than deferred, a CFG
+//     check proves it runs on every path to the goroutine's exit;
+//   - a context: the body consults ctx.Done()/ctx.Err() or passes a
+//     context on to a callee that will;
+//   - a channel: the body sends, receives, closes, ranges over, or
+//     selects on a channel — its lifetime is then bounded by its peers.
+//
+// Named calls (`go s.worker()`) are accepted when any argument is a
+// context, channel, or *sync.WaitGroup, or when a WaitGroup.Add call
+// appears earlier in the spawning body; receivers can hide the signal
+// (a stored context), so the analyzer deliberately does not chase them
+// — add a //vqelint:ignore with the reason if the lifetime is managed
+// inside the callee.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/cfg"
+)
+
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc: "check that every go statement has a termination signal " +
+		"(WaitGroup, context, or channel)",
+	Run: runGoroutineLife,
+}
+
+func runGoroutineLife(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		funcBodies(file, func(body *ast.BlockStmt) {
+			inspectShallow(body, func(n ast.Node) {
+				if g, ok := n.(*ast.GoStmt); ok {
+					checkGoStmt(pass, body, g)
+				}
+			})
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, enclosing *ast.BlockStmt, g *ast.GoStmt) {
+	wgAdd := wgAddBefore(pass, enclosing, g)
+	lit, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !isLit {
+		if wgAdd || namedCallHasSignal(pass, g.Call) {
+			return
+		}
+		pass.Reportf(g.Pos(), "fire-and-forget goroutine: no WaitGroup, context, or channel ties its lifetime to the caller; it cannot be awaited or cancelled")
+		return
+	}
+
+	sig := goroutineSignals(pass, lit.Body)
+	switch {
+	case sig.deferredDone:
+		return
+	case sig.inlineDone:
+		// Done exists but is not deferred: prove it runs on every path.
+		if mayExitWithoutDone(pass, lit.Body) {
+			pass.Reportf(g.Pos(), "goroutine can reach its exit without calling Done on some path: defer wg.Done() at the top of the goroutine")
+		}
+		return
+	case sig.ctx || sig.channel || wgAdd:
+		return
+	}
+	pass.Reportf(g.Pos(), "fire-and-forget goroutine: no WaitGroup, context, or channel ties its lifetime to the caller; it cannot be awaited or cancelled")
+}
+
+type signals struct {
+	deferredDone bool
+	inlineDone   bool
+	ctx          bool
+	channel      bool
+}
+
+func goroutineSignals(pass *Pass, body *ast.BlockStmt) signals {
+	var sig signals
+	inspectShallowWithDefers := func(fn func(n ast.Node, inDefer bool)) {
+		inspectShallow(body, func(n ast.Node) {
+			d, isDefer := n.(*ast.DeferStmt)
+			if !isDefer {
+				fn(n, false)
+				return
+			}
+			fn(d.Call, true)
+			if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					fn(m, true)
+					return true
+				})
+			}
+		})
+	}
+	inspectShallowWithDefers(func(n ast.Node, inDefer bool) {
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			sig.channel = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				sig.channel = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					sig.channel = true
+				}
+			}
+		case *ast.CallExpr:
+			if recv, name, ok := syncMethod(pass, x); ok && recv == "WaitGroup" && name == "Done" {
+				if inDefer {
+					sig.deferredDone = true
+				} else {
+					sig.inlineDone = true
+				}
+			}
+			if isContextMethod(pass, x, "Done", "Err") {
+				sig.ctx = true
+			}
+			if id, isIdent := ast.Unparen(x.Fun).(*ast.Ident); isIdent && id.Name == "close" {
+				sig.channel = true
+			}
+			for _, arg := range x.Args {
+				if t := pass.TypeOf(arg); t != nil && isContextType(t) {
+					sig.ctx = true
+				}
+			}
+		}
+	})
+	return sig
+}
+
+// mayExitWithoutDone runs a may-analysis over the goroutine body: state
+// true means some path reached this point without a WaitGroup.Done call.
+func mayExitWithoutDone(pass *Pass, body *ast.BlockStmt) bool {
+	g := cfg.New(body)
+	problem := &cfg.ForwardProblem[bool]{
+		Entry: true,
+		Join:  func(a, b bool) bool { return a || b },
+		Equal: func(a, b bool) bool { return a == b },
+		Transfer: func(b *cfg.Block, in bool) bool {
+			missing := in
+			for _, node := range b.Nodes {
+				if _, isDefer := node.(*ast.DeferStmt); isDefer {
+					continue
+				}
+				walkBlockNode(node, func(n ast.Node) {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return
+					}
+					if recv, name, okSync := syncMethod(pass, call); okSync && recv == "WaitGroup" && name == "Done" {
+						missing = false
+					}
+				})
+			}
+			return missing
+		},
+	}
+	in := problem.Solve(g)
+	missing, reachable := in[g.Exit]
+	if !reachable {
+		return false // exit unreachable: the goroutine never returns normally
+	}
+	return missing
+}
+
+// wgAddBefore reports whether a WaitGroup.Add call appears in the
+// spawning body before the go statement.
+func wgAddBefore(pass *Pass, body *ast.BlockStmt, g *ast.GoStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() || found {
+			return
+		}
+		if recv, name, okSync := syncMethod(pass, call); okSync && recv == "WaitGroup" && name == "Add" {
+			found = true
+		}
+	})
+	return found
+}
+
+// namedCallHasSignal reports whether a named go call (`go f(args...)`)
+// passes a context, channel, or *sync.WaitGroup to the callee.
+func namedCallHasSignal(pass *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		t := pass.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if isContextType(t) {
+			return true
+		}
+		if _, isChan := t.Underlying().(*types.Chan); isChan {
+			return true
+		}
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			if named, isNamed := p.Elem().(*types.Named); isNamed {
+				obj := named.Obj()
+				if obj.Name() == "WaitGroup" && obj.Pkg() != nil && pkgPathMatches(obj.Pkg().Path(), "sync") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -10,6 +10,9 @@ func Suite() []*Analyzer {
 		TimerPair,
 		PanicDiscipline,
 		FloatCompare,
+		LockDiscipline,
+		CtxFlow,
+		GoroutineLife,
 	}
 }
 

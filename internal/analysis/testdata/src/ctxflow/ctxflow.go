@@ -1,0 +1,114 @@
+// Package ctxflow is the golden fixture for the ctxflow analyzer:
+// context.Background/TODO discipline and cancellation-observing loops.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func backgroundNoCtx() {
+	ctx := context.Background() // want `context\.Background\(\) outside main or test`
+	_ = ctx
+}
+
+func todoNoCtx() {
+	ctx := context.TODO() // want `context\.TODO\(\) outside main or test`
+	_ = ctx
+}
+
+func backgroundWithCtxInScope(ctx context.Context) {
+	other := context.Background() // want `context\.Background\(\) while a context\.Context parameter is in scope`
+	_ = other
+	_ = ctx
+}
+
+// Even inside a nested literal the outer ctx parameter is in scope.
+func backgroundInClosure(ctx context.Context) func() {
+	return func() {
+		_ = context.Background() // want `context\.Background\(\) while a context\.Context parameter is in scope`
+	}
+}
+
+// The shim exemption does not apply when a context is available.
+func severedChain(ctx context.Context) error {
+	return withCtx(context.Background()) // want `context\.Background\(\) while a context\.Context parameter is in scope`
+}
+
+func spinNoCancel(ch chan int) {
+	for { // want `unbounded for loop blocks \(channel receive\) without observing ctx\.Done`
+		v := <-ch
+		_ = v
+	}
+}
+
+func loopSleeps() {
+	for { // want `unbounded for loop blocks \(time\.Sleep\) without observing ctx\.Done`
+		time.Sleep(time.Second)
+	}
+}
+
+func selectLoopNoExit(a, b chan int) {
+	for { // want `unbounded for loop blocks \(select\) without observing ctx\.Done`
+		select {
+		case v := <-a:
+			_ = v
+		case v := <-b:
+			_ = v
+		}
+	}
+}
+
+// --- negative cases: no diagnostics expected below ---
+
+// Delegation shim: the whole body is one return threading a fresh root;
+// this is the adapter idiom for context-free callers.
+func shimOK() error {
+	return withCtx(context.Background())
+}
+
+func withCtx(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func loopObservesCtx(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// Closed-channel shutdown idiom: a receive clause that leaves the loop.
+func loopClosedChannelOK(done chan struct{}, ch chan int) {
+	for {
+		select {
+		case <-done:
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// Bounded loops may block; they terminate by construction.
+func boundedLoopOK(ch chan int) {
+	for i := 0; i < 3; i++ {
+		<-ch
+	}
+}
+
+// A spin loop with no blocking operation is not ctxflow's concern.
+func busyLoopOK() int {
+	n := 0
+	for {
+		n++
+		if n > 10 {
+			return n
+		}
+	}
+}

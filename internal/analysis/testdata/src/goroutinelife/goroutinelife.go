@@ -1,0 +1,109 @@
+// Package goroutinelife is the golden fixture for the goroutinelife
+// analyzer: every go statement needs a WaitGroup, context, or channel
+// tying its lifetime to the caller.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func compute() int { return 1 }
+
+type worker struct{}
+
+func (w *worker) run() {}
+
+func (w *worker) runCtx(ctx context.Context) { <-ctx.Done() }
+
+func (w *worker) runWG(wg *sync.WaitGroup) { defer wg.Done() }
+
+func fireAndForget() {
+	go func() { // want `fire-and-forget goroutine`
+		work()
+	}()
+}
+
+func namedNoSignal(w *worker) {
+	go w.run() // want `fire-and-forget goroutine`
+}
+
+func inlineDoneBranch(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine can reach its exit without calling Done on some path`
+		if fail {
+			return
+		}
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// --- negative cases: no diagnostics expected below ---
+
+func deferredDoneOK() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func inlineDoneAllPathsOK() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func ctxBoundOK(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+func ctxThreadedOK(ctx context.Context, w *worker) {
+	go func() {
+		w.runCtx(ctx)
+	}()
+}
+
+func channelRangeOK(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func resultChannelOK(ch chan int) {
+	go func() {
+		ch <- compute()
+	}()
+}
+
+func namedCtxOK(ctx context.Context, w *worker) {
+	go w.runCtx(ctx)
+}
+
+func namedWGOK(w *worker, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go w.runWG(wg)
+}
+
+func namedAddBeforeOK(w *worker) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go w.run()
+	wg.Wait()
+}

@@ -1,0 +1,150 @@
+// Package lockdiscipline is the golden fixture for the lockdiscipline
+// analyzer: leaks on early-return paths, self-deadlocks, nested locks,
+// and blocking calls inside critical sections.
+package lockdiscipline
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+)
+
+var errFixture = errors.New("fixture")
+
+type store struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	rw    sync.RWMutex
+	ch    chan int
+	n     int
+}
+
+func leakOnBranch(s *store, fail bool) error {
+	s.mu.Lock() // want `s\.mu\.Lock is not released on every path to the function exit`
+	if fail {
+		return errFixture
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func leakNoUnlock(s *store) {
+	s.mu.Lock() // want `s\.mu\.Lock is not released on every path to the function exit`
+	s.n++
+}
+
+func rlockLeak(s *store, fail bool) int {
+	s.rw.RLock() // want `s\.rw\.RLock is not released on every path to the function exit`
+	if fail {
+		return 0
+	}
+	n := s.n
+	s.rw.RUnlock()
+	return n
+}
+
+func doubleLock(s *store) {
+	s.mu.Lock()
+	s.mu.Lock() // want `Lock of s\.mu while it is already held: this self-deadlocks`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func nestedLocks(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.other.Lock() // want `Lock of s\.other while s\.mu is held: nested locks invite lock-order inversion`
+	defer s.other.Unlock()
+	s.n++
+}
+
+func sendWhileLocked(s *store) {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// Even a select with a default cannot make a send under a lock safe: the
+// hand-off still couples subscribers to the critical section.
+func selectDefaultSendWhileLocked(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1: // want `channel send while s\.mu is held`
+	default:
+	}
+}
+
+func sleepWhileLocked(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while s\.mu is held`
+}
+
+func httpWhileLocked(s *store, c *http.Client, req *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := c.Do(req) // want `net/http call while s\.mu is held`
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+func waitWhileLocked(s *store, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while s\.mu is held`
+}
+
+// --- negative cases: no diagnostics expected below ---
+
+func deferOK(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func deferClosureOK(s *store) {
+	s.mu.Lock()
+	defer func() {
+		s.n++
+		s.mu.Unlock()
+	}()
+}
+
+func bothPathsOK(s *store, fail bool) error {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return errFixture
+	}
+	s.n++
+	s.mu.Unlock()
+	return nil
+}
+
+// A receive guarded by a select default cannot block; only sends stay
+// reportable under a lock.
+func selectDefaultRecvOK(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.n = v
+	default:
+	}
+}
+
+// Unlock-only helpers pair with a Lock in their callers.
+func unlockOnlyOK(s *store) {
+	s.mu.Unlock()
+}
+
+// Blocking after the critical section closes is fine.
+func sendAfterUnlockOK(s *store) {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	s.ch <- n
+}

@@ -64,6 +64,31 @@ func manualElapsed() int64 {
 	return 0
 }
 
+// branchMiss observes the timer in one arm only; the other arm falls
+// off the end of the function with the timer still open. Only the CFG
+// backend can see this — there is no return statement to anchor the old
+// position heuristic.
+func branchMiss(fail bool) {
+	start := telemetry.Now() // want `telemetry\.Now timestamp can reach the end of the function without its Timer\.Since`
+	if fail {
+		mPhase.Since(start)
+	}
+}
+
+// branchReturnOK observes the timer on every path before returning. The
+// old position heuristic flagged the first return because it precedes
+// the second Since in source order; the CFG backend knows the path is
+// covered.
+func branchReturnOK(fail bool) error {
+	start := telemetry.Now()
+	if fail {
+		mPhase.Since(start)
+		return errFixture
+	}
+	mPhase.Since(start)
+	return nil
+}
+
 func work() {}
 
 type fixtureError struct{}

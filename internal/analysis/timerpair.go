@@ -2,8 +2,9 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
+
+	"repro/internal/analysis/cfg"
 )
 
 // TimerPair enforces the telemetry timer protocol: a timestamp taken
@@ -20,8 +21,10 @@ import (
 //     assign): flagged — the call is either dead or a missing pairing;
 //   - `start := telemetry.Now()` where start never reaches a .Since
 //     call and is never used otherwise: flagged;
-//   - a paired, non-deferred Since with a `return` between start and
-//     stop: flagged — the early return skips the observation; use
+//   - a paired, non-deferred Since that can be skipped on some path: a
+//     forward may-analysis over the function's CFG tracks which timers
+//     are still open at each point, and flags any return (or fall off
+//     the end of the function) reachable with the timer open; use
 //     `defer t.Since(start)` (or `defer t.Since(telemetry.Now())`).
 //
 // A start that is consumed by anything other than Since (e.g. compared
@@ -134,6 +137,7 @@ func checkTimerBody(pass *Pass, body *ast.BlockStmt) {
 	}
 	visit(body, false)
 
+	inline := map[types.Object]*timerStart{}
 	for _, ts := range starts {
 		switch {
 		case ts.otherUse:
@@ -141,11 +145,147 @@ func checkTimerBody(pass *Pass, body *ast.BlockStmt) {
 		case len(ts.sinces) == 0:
 			pass.Reportf(ts.assign.Pos(), "timer started with telemetry.Now but never observed: add a %s.Since or defer", "Timer")
 		case !ts.deferred:
-			// All Sinces are inline: any return between start and the
-			// last Since can skip the observation.
-			last := ts.sinces[len(ts.sinces)-1]
-			reportEarlyReturns(pass, body, ts.assign.End(), last.Pos())
+			// All Sinces are inline: some path may skip the observation.
+			inline[ts.obj] = ts
 		}
+	}
+	if len(inline) > 0 {
+		checkInlinePaths(pass, body, inline)
+	}
+}
+
+// checkInlinePaths runs a forward may-analysis over the function's CFG:
+// the state is the set of timers started but not yet observed. A return
+// statement — or a fall off the end of the function — reachable with an
+// open timer means the observation can be skipped on that path.
+func checkInlinePaths(pass *Pass, body *ast.BlockStmt, inline map[types.Object]*timerStart) {
+	g := cfg.New(body)
+
+	sinceOf := map[*ast.CallExpr]types.Object{}
+	assignOf := map[ast.Node][]types.Object{}
+	for obj, ts := range inline {
+		for _, c := range ts.sinces {
+			sinceOf[c] = obj
+		}
+		assignOf[ts.assign] = append(assignOf[ts.assign], obj)
+	}
+
+	// apply mutates open with the effect of executing node: the tracked
+	// assignment opens its timer, a Since call closes one. Deferred
+	// statements run at exit, not here (and deferred Sinces never reach
+	// this check anyway).
+	applyExpr := func(root ast.Node, open map[types.Object]bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if objs, ok := assignOf[n]; ok {
+				for _, o := range objs {
+					open[o] = true
+				}
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if obj, okSince := sinceOf[call]; okSince {
+					delete(open, obj)
+				}
+			}
+			return true
+		})
+	}
+	apply := func(node ast.Node, open map[types.Object]bool) {
+		if _, isDefer := node.(*ast.DeferStmt); isDefer {
+			return
+		}
+		// A range.head block stores the whole RangeStmt, but only the
+		// per-iteration binding executes there — don't walk the body,
+		// whose statements live in other blocks.
+		roots := []ast.Node{node}
+		if r, isRange := node.(*ast.RangeStmt); isRange {
+			roots = roots[:0]
+			for _, e := range []ast.Expr{r.Key, r.Value, r.X} {
+				if e != nil {
+					roots = append(roots, e)
+				}
+			}
+		}
+		for _, root := range roots {
+			applyExpr(root, open)
+		}
+	}
+
+	clone := func(in map[types.Object]bool) map[types.Object]bool {
+		m := make(map[types.Object]bool, len(in))
+		for k := range in {
+			m[k] = true
+		}
+		return m
+	}
+	problem := &cfg.ForwardProblem[map[types.Object]bool]{
+		Entry: map[types.Object]bool{},
+		Join: func(a, b map[types.Object]bool) map[types.Object]bool {
+			m := clone(a)
+			for k := range b {
+				m[k] = true
+			}
+			return m
+		},
+		Equal: func(a, b map[types.Object]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *cfg.Block, in map[types.Object]bool) map[types.Object]bool {
+			open := clone(in)
+			for _, node := range b.Nodes {
+				apply(node, open)
+			}
+			return open
+		},
+	}
+	states := problem.Solve(g)
+
+	reportedRet := map[*ast.ReturnStmt]map[types.Object]bool{}
+	fallOff := map[types.Object]bool{}
+	for _, b := range g.ReversePostorder() {
+		in, ok := states[b]
+		if !ok {
+			continue
+		}
+		open := clone(in)
+		var last ast.Node
+		for _, node := range b.Nodes {
+			last = node
+			// A return's result expressions evaluate before the return
+			// transfers control, so apply the node first either way.
+			apply(node, open)
+			if ret, isRet := node.(*ast.ReturnStmt); isRet {
+				for obj := range open {
+					if reportedRet[ret] == nil {
+						reportedRet[ret] = map[types.Object]bool{}
+					}
+					if reportedRet[ret][obj] {
+						continue
+					}
+					reportedRet[ret][obj] = true
+					pass.ReportRangef(ret, "return between telemetry.Now and Timer.Since skips the observation; use defer t.Since(start)")
+				}
+			}
+		}
+		_, endsInReturn := last.(*ast.ReturnStmt)
+		for _, succ := range b.Succs {
+			if succ == g.Exit && !endsInReturn {
+				for obj := range open {
+					fallOff[obj] = true
+				}
+			}
+		}
+	}
+	for obj := range fallOff {
+		ts := inline[obj]
+		pass.Reportf(ts.assign.Pos(), "telemetry.Now timestamp can reach the end of the function without its Timer.Since; use defer t.Since(start)")
 	}
 }
 
@@ -183,19 +323,6 @@ func sinceTarget(pass *Pass, call *ast.CallExpr, starts map[types.Object]*timerS
 		return nil
 	}
 	return starts[obj]
-}
-
-// reportEarlyReturns flags return statements positioned between a timer
-// start and its (non-deferred) Since, excluding returns inside nested
-// function literals.
-func reportEarlyReturns(pass *Pass, body *ast.BlockStmt, after, before token.Pos) {
-	inspectShallow(body, func(n ast.Node) {
-		ret, ok := n.(*ast.ReturnStmt)
-		if !ok || ret.Pos() <= after || ret.Pos() >= before {
-			return
-		}
-		pass.ReportRangef(ret, "return between telemetry.Now and Timer.Since skips the observation; use defer t.Since(start)")
-	})
 }
 
 // childNodes returns the direct AST children of n.

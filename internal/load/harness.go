@@ -139,7 +139,21 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 				rng := rand.New(rand.NewSource(r.cfg.Seed + int64(worker)))
 				for time.Now().Before(end) && runCtx.Err() == nil {
 					entry := r.cfg.Mix.Sample(rng)
-					r.doJob(runCtx, start, entry)
+					o, recorded := r.doJob(runCtx, start, entry)
+					if !recorded || o.Status != "rejected" {
+						continue
+					}
+					// Honor the daemon's Retry-After quote instead of
+					// hammering an already-full queue; the wait runs
+					// through sleepUntil so shutdown still cancels it.
+					backoff := time.Duration(o.RetryAfterS * float64(time.Second))
+					if backoff <= 0 {
+						backoff = 50 * time.Millisecond
+					}
+					if backoff > maxRejectBackoff {
+						backoff = maxRejectBackoff
+					}
+					sleepUntil(runCtx, time.Now().Add(backoff))
 				}
 			}(i)
 		}
@@ -208,37 +222,43 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	return rep, nil
 }
 
+// maxRejectBackoff caps how long a closed-loop worker honors a
+// Retry-After quote, so a daemon advertising a long queue drain still
+// gets probed within the run window.
+const maxRejectBackoff = 2 * time.Second
+
 // doJob submits one spec, waits for it to settle, and records the
-// outcome.
-func (r *Runner) doJob(ctx context.Context, start time.Time, entry runspec.MixEntry) {
+// outcome. It returns the outcome and whether one was recorded
+// (recorded=false means the run is shutting down, not a daemon result).
+func (r *Runner) doJob(ctx context.Context, start time.Time, entry runspec.MixEntry) (Outcome, bool) {
 	submitted := time.Now()
 	o := Outcome{Class: entry.Name, OffsetMs: msSince(start, submitted)}
 	spec := entry.Spec // copy; the runner never mutates mix templates
 	sub, err := r.client.Submit(ctx, &spec)
 	if err != nil {
 		if ctx.Err() != nil {
-			return // run shutdown, not a daemon outcome
+			return o, false // run shutdown, not a daemon outcome
 		}
 		o.Status = "failed"
 		r.record(o)
-		return
+		return o, true
 	}
 	if sub.Rejected {
 		o.Status = "rejected"
 		o.RetryAfterS = sub.RetryAfter.Seconds()
 		r.record(o)
-		return
+		return o, true
 	}
 	view := sub.View
 	if !view.terminal() {
 		view, err = r.client.WaitTerminal(ctx, view.ID, r.cfg.PollInterval, r.cfg.JobTimeout)
 		if err != nil && (view == nil || !view.terminal()) {
 			if ctx.Err() != nil && !errors.Is(err, context.DeadlineExceeded) {
-				return
+				return o, false
 			}
 			o.Status = "timeout"
 			r.record(o)
-			return
+			return o, true
 		}
 	}
 	settled := time.Now()
@@ -253,6 +273,7 @@ func (r *Runner) doJob(ctx context.Context, start time.Time, entry runspec.MixEn
 	}
 	o.SLOOK = view.Status == "done" && o.E2EMs <= float64(r.cfg.SLOTarget)/float64(time.Millisecond)
 	r.record(o)
+	return o, true
 }
 
 func (r *Runner) record(o Outcome) {

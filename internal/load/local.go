@@ -24,18 +24,28 @@ func StartLocal(cfg server.Config) (string, func() error, error) {
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		//vqelint:ignore ctxflow teardown on a failed boot; no caller context exists to thread
 		_ = srv.Shutdown(context.Background())
 		return "", nil, fmt.Errorf("load: listen: %w", err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	go func() { _ = httpSrv.Serve(ln) }()
+	// serveDone lets stop() join the accept loop: Serve returns once
+	// httpSrv.Shutdown closes the listener, so teardown cannot leave the
+	// goroutine (or its port) behind.
+	serveDone := make(chan struct{})
+	go func() {
+		_ = httpSrv.Serve(ln)
+		close(serveDone)
+	}()
 	stop := func() error {
+		//vqelint:ignore ctxflow stop() outlives any request context; the bound is the local timeout
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		drainErr := srv.Shutdown(ctx)
 		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) && drainErr == nil {
 			drainErr = err
 		}
+		<-serveDone
 		return drainErr
 	}
 	return "http://" + ln.Addr().String(), stop, nil

@@ -1,0 +1,143 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runspec"
+	"repro/internal/server"
+)
+
+// rejectingDaemon is a minimal vqed wire stub that admits nothing: every
+// submission gets a 503 with a Retry-After quote, which is exactly the
+// regime where a closed-loop worker must back off instead of spinning.
+func rejectingDaemon(t *testing.T, submits *atomic.Int64, retryAfter string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		submits.Add(1)
+		w.Header().Set("Retry-After", retryAfter)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestClosedLoopBacksOffOnRetryAfter pins the rejection backoff: a
+// closed-loop worker that is told Retry-After: 1 must sleep (observing
+// cancellation) rather than resubmit immediately. Before the fix each
+// worker hammered the daemon in a tight loop — hundreds of submissions
+// in this window; with the capped backoff, a handful.
+func TestClosedLoopBacksOffOnRetryAfter(t *testing.T) {
+	var submits atomic.Int64
+	srv := rejectingDaemon(t, &submits, "1")
+
+	mix, err := runspec.MixByName(runspec.MixSmoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 2
+	r, err := NewRunner(Config{
+		BaseURL:      srv.URL,
+		Mode:         "closed",
+		Concurrency:  workers,
+		Duration:     600 * time.Millisecond,
+		Mix:          mix,
+		Seed:         5,
+		KeepOutcomes: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := submits.Load()
+	// Each worker submits once, sleeps ~1s (> remaining window), and the
+	// loop condition ends the run; allow generous slack for scheduling.
+	if n > workers*3 {
+		t.Fatalf("closed loop ignored Retry-After: %d submissions from %d workers in 600ms", n, workers)
+	}
+	if int64(rep.Rejected) != n {
+		t.Fatalf("rejections not recorded: %d submits, %d rejected outcomes", n, rep.Rejected)
+	}
+	for _, o := range rep.Outcomes {
+		if o.Status != "rejected" || o.RetryAfterS < 1 {
+			t.Fatalf("outcome lost the rejection quote: %+v", o)
+		}
+	}
+}
+
+// TestClosedLoopBackoffObservesCancellation pins that the backoff sleep
+// runs through sleepUntil: cancelling the run context mid-backoff must
+// end the run promptly instead of finishing the quoted wait.
+func TestClosedLoopBackoffObservesCancellation(t *testing.T) {
+	var submits atomic.Int64
+	srv := rejectingDaemon(t, &submits, "30")
+
+	mix, err := runspec.MixByName(runspec.MixSmoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{
+		BaseURL:     srv.URL,
+		Mode:        "closed",
+		Concurrency: 1,
+		Duration:    10 * time.Second,
+		Mix:         mix,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond) // let the worker enter its backoff
+		cancel()
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = r.Run(ctx)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("run did not stop after cancellation during backoff")
+	}
+}
+
+// TestStopLocalJoinsServeGoroutine pins StartLocal teardown: stop() must
+// wait for the accept-loop goroutine to return, so after stop the port is
+// closed and no goroutine (or listener) is left behind.
+func TestStopLocalJoinsServeGoroutine(t *testing.T) {
+	base, stop, err := StartLocal(server.Config{SimWorkers: 1, SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(base)
+	if !c.Healthy(context.Background()) {
+		t.Fatal("local daemon not healthy before stop")
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	// Serve has returned and the listener is closed: the port must refuse
+	// new connections, not hang or be re-accepted by a leaked loop.
+	if c.Healthy(context.Background()) {
+		t.Fatal("daemon still answering after stop()")
+	}
+}

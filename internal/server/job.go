@@ -89,6 +89,14 @@ func newJob(id string, spec *runspec.RunSpec) *Job {
 // publish appends an event to the history and fans it out to live
 // subscribers. Slow subscribers lose events rather than stalling the
 // simulation (SSE replay from the history covers reconnects).
+//
+// The fan-out happens after j.mu is released: the critical section
+// covers only the sequence/history update plus a snapshot of the
+// subscriber set, so SSE consumers never gate the simulation's lock.
+// The hand-off stays exact because subscribe copies the history under
+// the same lock: a subscriber added after the snapshot already has e in
+// its replay, and one removed before the send just receives into a
+// buffered channel nobody drains.
 func (j *Job) publish(e Event) {
 	j.mu.Lock()
 	j.seq++
@@ -103,14 +111,18 @@ func (j *Job) publish(e Event) {
 		}
 	}
 	j.history = append(j.history, e)
+	subs := make([]chan Event, 0, len(j.subs))
 	for ch := range j.subs {
+		subs = append(subs, ch)
+	}
+	terminal := Status(e.Type).Terminal()
+	j.mu.Unlock()
+	for _, ch := range subs {
 		select {
 		case ch <- e:
 		default:
 		}
 	}
-	terminal := Status(e.Type).Terminal()
-	j.mu.Unlock()
 	if terminal {
 		close(j.done)
 	}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/runspec"
+)
+
+// TestPublishFanoutExactlyOnce pins the lock-free fan-out in publish:
+// the event send happens after j.mu is released, and the hand-off stays
+// exact because subscribe copies the history under the same lock. Every
+// subscriber must see each event exactly once across replay ∪ live,
+// regardless of when it subscribed relative to concurrent publishes.
+func TestPublishFanoutExactlyOnce(t *testing.T) {
+	spec := &runspec.RunSpec{Molecule: runspec.MoleculeSpec{Kind: "synthetic", Orbitals: 4, Seed: 1}}
+	j := newJob("fanout", spec)
+
+	const publishers = 4
+	const perPublisher = 10
+	total := publishers*perPublisher + 1 // + terminal "done"
+
+	// Early subscriber: registered before any publish, so it must see the
+	// full sequence 1..total with no duplicates.
+	earlyReplay, earlyCh := j.subscribe()
+
+	// Mid-stream subscribers race subscribe against the publishers; each
+	// still owes the exactly-once union (history is well under the replay
+	// cap and the 64-slot buffer, so nothing is legitimately dropped).
+	type lateSub struct {
+		replay []Event
+		ch     chan Event
+	}
+	lateSubs := make([]lateSub, 0, 8)
+	var lateMu sync.Mutex
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				j.publish(Event{Type: "progress", Iteration: i})
+			}
+		}()
+	}
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			replay, ch := j.subscribe()
+			lateMu.Lock()
+			lateSubs = append(lateSubs, lateSub{replay, ch})
+			lateMu.Unlock()
+		}()
+	}
+	// Churn: subscribers that leave mid-stream must not deadlock or
+	// duplicate anything for the others.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, ch := j.subscribe()
+			j.unsubscribe(ch)
+		}()
+	}
+	wg.Wait()
+	j.publish(Event{Type: "done"})
+	<-j.done // closed by the terminal publish, after its fan-out
+
+	check := func(name string, replay []Event, ch chan Event) {
+		t.Helper()
+		seen := map[int]bool{}
+		note := func(e Event) {
+			if seen[e.Seq] {
+				t.Fatalf("%s: seq %d delivered twice", name, e.Seq)
+			}
+			seen[e.Seq] = true
+		}
+		for _, e := range replay {
+			note(e)
+		}
+		for {
+			select {
+			case e := <-ch:
+				note(e)
+			default:
+				for want := 1; want <= total; want++ {
+					if !seen[want] {
+						t.Fatalf("%s: seq %d missing (saw %d of %d)", name, want, len(seen), total)
+					}
+				}
+				if len(seen) != total {
+					t.Fatalf("%s: saw %d events, want %d", name, len(seen), total)
+				}
+				return
+			}
+		}
+	}
+	check("early", earlyReplay, earlyCh)
+	for _, s := range lateSubs {
+		check("late", s.replay, s.ch)
+	}
+}

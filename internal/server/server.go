@@ -111,6 +111,7 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: spool dir: %w", err)
 	}
+	//vqelint:ignore ctxflow daemon lifecycle root: New has no caller context; Shutdown cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:    cfg,
@@ -186,10 +187,18 @@ type ManifestJob struct {
 
 // writeManifest records interrupted jobs under the spool dir.
 func (s *Server) writeManifest() error {
+	// Snapshot the job list under s.mu, then inspect each job under its
+	// own lock only after s.mu is released: taking j.mu inside s.mu
+	// would establish a lock order that runJob (which takes them in the
+	// other sequence) could invert.
 	var m Manifest
 	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
 	for _, id := range s.order {
-		j := s.jobs[id]
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
 		j.mu.Lock()
 		if j.status == StatusInterrupted && j.checkpoint != "" {
 			if _, err := os.Stat(j.checkpoint); err == nil {
@@ -201,7 +210,6 @@ func (s *Server) writeManifest() error {
 		}
 		j.mu.Unlock()
 	}
-	s.mu.Unlock()
 	if len(m.Jobs) == 0 {
 		return nil
 	}

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Negative test of the vqelint gate: inject a package with an unpaired
+# mutex Lock and assert the lockdiscipline analyzer fails the build with
+# exit code 2 (findings). Guards against the gate silently going soft —
+# a misloaded baseline or a broken analyzer would otherwise let real
+# findings through while CI stays green.
+#
+# Usage: VQELINT_BIN=bin/vqelint sh scripts/vqelint_negative.sh
+set -eu
+
+VQELINT_BIN=${VQELINT_BIN:-bin/vqelint}
+FIXTURE_DIR=ci_negative_fixture
+
+if [ ! -x "$VQELINT_BIN" ]; then
+    echo "vqelint_negative: $VQELINT_BIN not built" >&2
+    exit 1
+fi
+
+cleanup() { rm -rf "$FIXTURE_DIR"; }
+trap cleanup EXIT INT TERM
+
+mkdir -p "$FIXTURE_DIR"
+cat > "$FIXTURE_DIR/fixture.go" <<'EOF'
+// Package fixture is an injected vqelint negative-gate fixture: the Lock
+// below is not released on the early-return path, which lockdiscipline
+// must report. This package only exists for the duration of the check.
+package fixture
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) bump(limit int) int {
+	b.mu.Lock()
+	if b.n >= limit {
+		return b.n // leaks b.mu
+	}
+	b.n++
+	b.mu.Unlock()
+	return b.n
+}
+EOF
+
+# The fixture must not be matched by the committed baseline either, so
+# run with it, exactly as the gate does.
+status=0
+"$VQELINT_BIN" -baseline lint_baseline.json -only lockdiscipline "./$FIXTURE_DIR/" || status=$?
+
+if [ "$status" -ne 2 ]; then
+    echo "vqelint_negative: expected exit 2 on unpaired Lock, got $status" >&2
+    exit 1
+fi
+echo "vqelint_negative: gate correctly fails the injected unpaired-Lock fixture"

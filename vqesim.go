@@ -192,6 +192,7 @@ func (cfg VQEConfig) Spec() *RunSpec {
 // Deprecated: build a RunSpec and call Run (content-addressable, more
 // backends) or RunOnMolecule. Kept as an adapter for existing callers.
 func GroundStateVQE(m *Molecule, cfg VQEConfig) (*VQEResult, error) {
+	//vqelint:ignore ctxflow deprecated adapter: the legacy signature has no ctx; Run is the cancellable path
 	res, err := runspec.RunOnMolecule(context.Background(), m, cfg.Spec(), runspec.RunOptions{})
 	if err != nil {
 		return nil, err
