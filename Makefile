@@ -11,7 +11,7 @@ GOVULNCHECK_VERSION = v1.1.4
 # Coverage floor for the telemetry package (CI enforces the same number).
 TELEMETRY_COVER_MIN = 60
 
-.PHONY: all build test vet vqelint lint-baseline lint vuln race bench bench-smoke chaos vqed-smoke load-smoke cover figures check ci
+.PHONY: all build test vet vqelint lint-baseline lint vuln race bench bench-smoke chaos chaos-tests vqed-chaos vqed-smoke load-smoke cover figures check ci
 
 all: check
 
@@ -71,14 +71,31 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/load/...
 
-# chaos is the resilience smoke: the fault drills (seeded injectors behind
-# every cluster transfer), the crash/resume equivalence properties, and the
-# watchdog recovery paths, all under the race detector with a tight
-# deadline so a hung retry loop fails fast instead of stalling CI.
-chaos:
+# chaos covers both resilience layers: the in-process fault/crash-resume
+# test suite (chaos-tests) and the kill-the-daemon recovery drill
+# (vqed-chaos). CI runs them as separate jobs; locally `make chaos` is
+# the whole story.
+chaos: chaos-tests vqed-chaos
+
+# chaos-tests is the resilience smoke: the fault drills (seeded injectors
+# behind every cluster transfer), the crash/resume equivalence properties,
+# and the watchdog recovery paths, all under the race detector with a
+# tight deadline so a hung retry loop fails fast instead of stalling CI.
+chaos-tests:
 	$(GO) test -race -timeout 5m \
 		-run 'FaultDrill|Watchdog|CrashResume|Fallback|Walltime|Deadline|Checkpoint|StatsRace' \
 		./internal/cluster/ ./internal/resilience/ ./internal/vqe/ ./internal/xacc/
+
+# vqed-chaos is the kill-the-daemon drill: vqeload drives closed-loop load
+# with worker panics/stalls injected while the script SIGKILLs and
+# restarts vqed three times on the same spool and port. The gate requires
+# zero lost jobs, zero duplicate ids, and energies bit-equal to
+# uninterrupted control runs — i.e. the write-ahead journal actually
+# makes the daemon crash-safe. Writes chaos_report.json + journal.wal.
+vqed-chaos:
+	$(GO) build -o bin/vqed ./cmd/vqed
+	$(GO) build -o bin/vqeload ./cmd/vqeload
+	VQED_BIN=bin/vqed VQELOAD_BIN=bin/vqeload sh scripts/vqed_chaos.sh
 
 # vqed-smoke exercises the job daemon end to end over real HTTP: submit
 # H2, poll to done, assert the FCI energy, hit the result cache with a
@@ -124,6 +141,6 @@ figures:
 check: build vet test race bench figures
 
 # ci mirrors the GitHub Actions workflow jobs (test, lint, vqelint, vuln,
-# coverage, bench-smoke, chaos-smoke, vqed-smoke, load-smoke) so
-# `make ci` locally means green CI.
+# coverage, bench-smoke, chaos-smoke, chaos-recovery, vqed-smoke,
+# load-smoke) so `make ci` locally means green CI.
 ci: build lint vuln test race cover bench-smoke chaos vqed-smoke load-smoke

@@ -14,9 +14,20 @@
 // internal/load/costmodel); without it the quote falls back to an EWMA of
 // observed run times.
 //
+// The daemon is crash-safe: every accepted job is recorded in a
+// write-ahead journal (journal.wal in the spool) before the client sees
+// its 202, and startup replays the journal — re-enqueueing jobs a crash
+// interrupted, resuming them from their latest resilience checkpoint.
 // SIGINT/SIGTERM trigger a graceful drain: in-flight optimizers halt at
-// the next iteration boundary, write resumable checkpoints into the
-// spool, and a manifest.json records what can be resubmitted.
+// the next iteration boundary and checkpoint into the spool; SIGKILL
+// loses nothing but the iterations since the last checkpoint.
+//
+// Workers are fault-isolated: a panicking or stalled job (no progress
+// within -stall-timeout) is recovered, requeued, and retried up to
+// -retries times with jittered backoff before being declared failed.
+// The VQED_FAULTS environment variable ("seed=1,panic=0.05,stall=0.02,
+// stall_ms=400,max=8") injects worker panics and stalls for chaos
+// drills — see scripts/vqed_chaos.sh.
 package main
 
 import (
@@ -47,6 +58,8 @@ func main() {
 	cache := flag.Int("cache", 256, "result cache capacity (completed specs)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	metrics := flag.Bool("metrics", true, "record scheduler telemetry for /v1/metrics")
+	retries := flag.Int("retries", 2, "retry budget for panicked/stalled jobs before they fail")
+	stall := flag.Duration("stall-timeout", 2*time.Minute, "no-progress deadline before the watchdog kills a running job (0 disables)")
 	costModel := flag.String("costmodel", "", "cost-model profile for Retry-After quoting (from `vqeload probe`)")
 	calibFlags := calib.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -64,6 +77,17 @@ func main() {
 		SimWorkers:    *workers,
 		SpoolDir:      *spool,
 		CacheCapacity: *cache,
+		RetryBudget:   *retries,
+		StallTimeout:  *stall,
+		Logf:          log.Printf,
+	}
+	if spec := os.Getenv("VQED_FAULTS"); spec != "" {
+		hook, err := server.FaultHookFromEnv(spec)
+		if err != nil {
+			log.Fatalf("vqed: VQED_FAULTS: %v", err)
+		}
+		cfg.FaultHook = hook
+		log.Printf("vqed: fault injection armed (VQED_FAULTS=%s)", spec)
 	}
 	if *costModel != "" {
 		model, err := costmodel.Load(*costModel)

@@ -6,6 +6,7 @@
 //
 //	vqeload run   -self -mode closed -concurrency 4 -duration 30s -mix smoke -report load_report.json
 //	vqeload run   -addr http://127.0.0.1:8931 -mode open -arrival poisson -rate 20 -duration 60s -mix serving
+//	vqeload chaos -addr http://127.0.0.1:8931 -duration 30s -expect-restarts 3 -out chaos_report.json
 //	vqeload probe -out costmodel.json
 //	vqeload plan  -model costmodel.json -rate 50 -p99 500ms -mix serving -validate
 //	vqeload report -in load_report.json -md
@@ -15,6 +16,10 @@
 // many workers for this rate and p99 target" from the calibrated cost
 // model via an M/G/c approximation; -validate replays the mix against a
 // real in-process fleet at the planned size and reports prediction error.
+// `chaos` drives closed-loop load while something else (scripts/
+// vqed_chaos.sh) SIGKILLs and restarts the daemon, then gates on zero
+// lost jobs, zero duplicates, and bit-equal energies versus local
+// control runs of the same specs.
 package main
 
 import (
@@ -46,6 +51,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		err = cmdRun(ctx, os.Args[2:])
+	case "chaos":
+		err = cmdChaos(ctx, os.Args[2:])
 	case "probe":
 		err = cmdProbe(ctx, os.Args[2:])
 	case "plan":
@@ -70,6 +77,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: vqeload <subcommand> [flags]
 
   run     generate load against a vqed and write a latency/SLO report
+  chaos   drive load through daemon kills and gate on zero job loss
   probe   calibrate the per-spec cost model from short measurement runs
   plan    answer worker-count questions from the cost model (M/G/c)
   report  render an existing load_report.json as a table or markdown
@@ -168,6 +176,49 @@ func cmdRun(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "vqeload: report written to %s\n", *reportPath)
 	}
 	return rep.Gate(*failP99, *minSLO)
+}
+
+func cmdChaos(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("vqeload chaos", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon base URL (the thing being killed and restarted)")
+	mixName := fs.String("mix", runspec.MixSmoke, "spec mix: keep it small-molecule so control runs are bit-deterministic")
+	duration := fs.Duration("duration", 30*time.Second, "load generation window")
+	concurrency := fs.Int("concurrency", 3, "closed-loop worker count")
+	seed := fs.Int64("seed", 1, "workload seed")
+	settle := fs.Duration("settle-timeout", 3*time.Minute, "grace period after the window for surviving jobs to reach a terminal state")
+	expectRestarts := fs.Int("expect-restarts", 0, "fail unless the health prober witnessed at least this many daemon restarts")
+	verify := fs.Bool("verify", true, "recompute each completed spec in-process and require bit-equal energies")
+	out := fs.String("out", "chaos_report.json", "write the JSON chaos report here (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("chaos needs -addr (it kills a real daemon; there is no -self)")
+	}
+	mix, err := runspec.MixByName(*mixName)
+	if err != nil {
+		return err
+	}
+	rep, err := load.RunChaos(ctx, load.ChaosConfig{
+		BaseURL:       *addr,
+		Mix:           mix,
+		Duration:      *duration,
+		Concurrency:   *concurrency,
+		Seed:          *seed,
+		SettleTimeout: *settle,
+		Verify:        *verify,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Table())
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "vqeload: chaos report written to %s\n", *out)
+	}
+	return rep.Gate(*expectRestarts)
 }
 
 func cmdProbe(ctx context.Context, args []string) error {

@@ -1,0 +1,105 @@
+package load
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/runspec"
+	"repro/internal/server"
+)
+
+// TestChaosDrillSurvivesRestarts runs the full drill in-process: load
+// against a daemon with injected worker panics and stalls, restarted
+// twice mid-run on the same spool and address. The gate must hold — no
+// lost jobs, no duplicates, all energies bit-equal to local control runs.
+// (The shell harness repeats this with real SIGKILLs; this test keeps the
+// logic race-checked and CI-cheap.)
+func TestChaosDrillSurvivesRestarts(t *testing.T) {
+	spool := t.TempDir()
+	hook, err := server.FaultHookFromEnv("seed=5,panic=0.08,stall=0.04,stall_ms=400,max=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.Config{
+		MaxConcurrent: 2,
+		SimWorkers:    2,
+		SpoolDir:      spool,
+		RetryBudget:   2,
+		StallTimeout:  time.Second,
+		FaultHook:     hook,
+	}
+	base, stop, err := StartLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := strings.TrimPrefix(base, "http://")
+
+	mix, err := runspec.MixByName(runspec.MixSmoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		rep *ChaosReport
+		err error
+	}
+	drill := make(chan outcome, 1)
+	go func() {
+		rep, err := RunChaos(context.Background(), ChaosConfig{
+			BaseURL:        base,
+			Mix:            mix,
+			Duration:       4 * time.Second,
+			Concurrency:    3,
+			Seed:           9,
+			PollInterval:   10 * time.Millisecond,
+			SubmitRetryGap: 50 * time.Millisecond,
+			SettleTimeout:  60 * time.Second,
+			Verify:         true,
+		})
+		drill <- outcome{rep, err}
+	}()
+
+	// Two restart cycles while the drill is generating load. The stop is
+	// graceful (in-process code cannot SIGKILL itself); the shell harness
+	// covers the hard-kill variant. The gap keeps the daemon down long
+	// enough for the drill's health prober to witness the outage.
+	for cycle := 0; cycle < 2; cycle++ {
+		time.Sleep(900 * time.Millisecond)
+		if err := stop(); err != nil {
+			t.Logf("restart cycle %d: stop: %v", cycle, err)
+		}
+		time.Sleep(300 * time.Millisecond)
+		var restartErr error
+		for try := 0; try < 20; try++ {
+			_, stop, restartErr = StartLocalAt(addr, cfg)
+			if restartErr == nil {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if restartErr != nil {
+			t.Fatalf("restart cycle %d: %v", cycle, restartErr)
+		}
+	}
+	defer func() { _ = stop() }()
+
+	res := <-drill
+	if res.err != nil {
+		t.Fatalf("chaos drill: %v", res.err)
+	}
+	rep := res.rep
+	t.Logf("\n%s", rep.Table())
+	if rep.Done == 0 {
+		t.Fatalf("no jobs completed across restarts: %+v", rep)
+	}
+	if rep.RestartsObserved < 2 {
+		t.Errorf("prober observed %d restarts, expected ≥ 2", rep.RestartsObserved)
+	}
+	if err := rep.Gate(2); err != nil {
+		t.Errorf("chaos gate failed: %v", err)
+	}
+	if rep.ControlChecked == 0 {
+		t.Error("verification ran no control checks")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,6 +15,10 @@ import (
 	"repro/internal/runspec"
 	"repro/internal/telemetry"
 )
+
+// ErrJobNotFound marks a 404 on a job-by-id lookup: the daemon does not
+// know the job, as opposed to being temporarily unreachable.
+var ErrJobNotFound = errors.New("load: job not found")
 
 // Client is a thin vqed HTTP client used by the harness: submit a spec,
 // poll a job to a terminal state, snapshot the daemon's metrics. It
@@ -40,14 +45,27 @@ func NewClient(baseURL string) *Client {
 // Unknown fields are ignored so the daemon can grow its view; the fields
 // named here are schema-pinned by the server's golden-shape test.
 type JobView struct {
-	ID        string     `json:"id"`
-	SpecHash  string     `json:"spec_hash"`
-	Status    string     `json:"status"`
-	CacheHit  bool       `json:"cache_hit"`
-	Error     string     `json:"error"`
+	ID       string `json:"id"`
+	SpecHash string `json:"spec_hash"`
+	Status   string `json:"status"`
+	CacheHit bool   `json:"cache_hit"`
+	Error    string `json:"error"`
+	// Attempt counts scheduler retries consumed (panic/stall recovery).
+	Attempt   int        `json:"attempt"`
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started"`
 	Finished  *time.Time `json:"finished"`
+	// Result is present on detail views of settled jobs; only the fields
+	// the chaos verifier compares are decoded.
+	Result *JobResult `json:"result"`
+}
+
+// JobResult is the slice of the daemon's result document the harness
+// consumes (bit-equality checks compare Energy exactly).
+type JobResult struct {
+	Energy    float64 `json:"energy"`
+	SpecHash  string  `json:"spec_hash"`
+	Converged bool    `json:"converged"`
 }
 
 // terminal mirrors server.Status.Terminal without importing the package
@@ -120,6 +138,13 @@ func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
 		return nil, err
 	}
 	defer drain(resp)
+	if resp.StatusCode == http.StatusNotFound {
+		// The chaos harness keys on this: a 404 after a daemon restart
+		// means the journal LOST the job, which is precisely the failure
+		// the drill exists to catch (vs. connection errors, which just
+		// mean the daemon is mid-restart).
+		return nil, fmt.Errorf("%w: job %s", ErrJobNotFound, id)
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return nil, fmt.Errorf("load: job %s: HTTP %d: %s", id, resp.StatusCode, strings.TrimSpace(string(msg)))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -94,6 +95,9 @@ func (c *Config) applyDefaults() error {
 type Runner struct {
 	cfg    Config
 	client *Client
+	// subSeq issues submission ids: one per logical job, shared across its
+	// resubmission attempts so the report counts it once.
+	subSeq atomic.Int64
 
 	mu       sync.Mutex
 	outcomes []Outcome
@@ -139,21 +143,30 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 				rng := rand.New(rand.NewSource(r.cfg.Seed + int64(worker)))
 				for time.Now().Before(end) && runCtx.Err() == nil {
 					entry := r.cfg.Mix.Sample(rng)
-					o, recorded := r.doJob(runCtx, start, entry)
-					if !recorded || o.Status != "rejected" {
-						continue
+					// One submission id per logical job: a Retry-After
+					// resubmission re-posts the SAME spec under the same id,
+					// so the report counts the job once by its final fate.
+					id := r.subSeq.Add(1)
+					for {
+						o, recorded := r.doJob(runCtx, start, entry, id)
+						if !recorded || o.Status != "rejected" {
+							break
+						}
+						// Honor the daemon's Retry-After quote instead of
+						// hammering an already-full queue; the wait runs
+						// through sleepUntil so shutdown still cancels it.
+						backoff := time.Duration(o.RetryAfterS * float64(time.Second))
+						if backoff <= 0 {
+							backoff = 50 * time.Millisecond
+						}
+						if backoff > maxRejectBackoff {
+							backoff = maxRejectBackoff
+						}
+						sleepUntil(runCtx, time.Now().Add(backoff))
+						if !time.Now().Before(end) || runCtx.Err() != nil {
+							break
+						}
 					}
-					// Honor the daemon's Retry-After quote instead of
-					// hammering an already-full queue; the wait runs
-					// through sleepUntil so shutdown still cancels it.
-					backoff := time.Duration(o.RetryAfterS * float64(time.Second))
-					if backoff <= 0 {
-						backoff = 50 * time.Millisecond
-					}
-					if backoff > maxRejectBackoff {
-						backoff = maxRejectBackoff
-					}
-					sleepUntil(runCtx, time.Now().Add(backoff))
 				}
 			}(i)
 		}
@@ -172,19 +185,20 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 				break
 			}
 			entry := r.cfg.Mix.Sample(rng)
+			id := r.subSeq.Add(1)
 			select {
 			case sem <- struct{}{}:
 				wg.Add(1)
-				go func(entry runspec.MixEntry) {
+				go func(entry runspec.MixEntry, id int64) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					r.doJob(runCtx, start, entry)
-				}(entry)
+					r.doJob(runCtx, start, entry, id)
+				}(entry, id)
 			default:
 				// Client-side shed: the generator refuses to buffer more
 				// in-flight work; count it like an admission rejection.
-				r.record(Outcome{Class: entry.Name, Status: "rejected",
-					OffsetMs: msSince(start, time.Now())})
+				r.record(Outcome{Class: entry.Name, SubmissionID: id,
+					Status: "rejected", OffsetMs: msSince(start, time.Now())})
 			}
 		}
 		wg.Wait()
@@ -230,9 +244,9 @@ const maxRejectBackoff = 2 * time.Second
 // doJob submits one spec, waits for it to settle, and records the
 // outcome. It returns the outcome and whether one was recorded
 // (recorded=false means the run is shutting down, not a daemon result).
-func (r *Runner) doJob(ctx context.Context, start time.Time, entry runspec.MixEntry) (Outcome, bool) {
+func (r *Runner) doJob(ctx context.Context, start time.Time, entry runspec.MixEntry, id int64) (Outcome, bool) {
 	submitted := time.Now()
-	o := Outcome{Class: entry.Name, OffsetMs: msSince(start, submitted)}
+	o := Outcome{Class: entry.Name, SubmissionID: id, OffsetMs: msSince(start, submitted)}
 	spec := entry.Spec // copy; the runner never mutates mix templates
 	sub, err := r.client.Submit(ctx, &spec)
 	if err != nil {

@@ -18,11 +18,18 @@ import (
 // stand up "a fleet of c workers", replay the mix against it, and tear it
 // down, all inside one process.
 func StartLocal(cfg server.Config) (string, func() error, error) {
+	return StartLocalAt("127.0.0.1:0", cfg)
+}
+
+// StartLocalAt is StartLocal on a caller-chosen address — the chaos drill
+// uses it to "restart the daemon" on the same base URL its clients are
+// already pointed at.
+func StartLocalAt(addr string, cfg server.Config) (string, func() error, error) {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return "", nil, err
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		//vqelint:ignore ctxflow teardown on a failed boot; no caller context exists to thread
 		_ = srv.Shutdown(context.Background())

@@ -17,6 +17,11 @@ import (
 type Outcome struct {
 	// Class is the mix entry name the spec was drawn from.
 	Class string `json:"class"`
+	// SubmissionID identifies the logical submission: when a rejected
+	// (Retry-After) job is resubmitted, every attempt carries the same id,
+	// so the report can count the job once instead of inflating the
+	// attempt totals. 0 (records from older reports) means unique.
+	SubmissionID int64 `json:"submission_id,omitempty"`
 	// OffsetMs is the submission time relative to run start.
 	OffsetMs float64 `json:"offset_ms"`
 	// Status is the terminal job status, or "rejected" (503 admission),
@@ -134,6 +139,10 @@ type Report struct {
 	Failed    int `json:"failed"`
 	Rejected  int `json:"rejected"`
 	TimedOut  int `json:"timed_out"`
+	// Resubmissions counts rejected attempts that were retried under the
+	// same submission id; they are excluded from Attempted (each logical
+	// job counts once, by its final outcome).
+	Resubmissions int `json:"resubmissions,omitempty"`
 
 	// ThroughputPerSec counts settled (done) jobs per second of run time.
 	ThroughputPerSec float64 `json:"throughput_per_sec"`
@@ -156,6 +165,30 @@ type Report struct {
 	Outcomes []Outcome `json:"outcomes,omitempty"`
 }
 
+// dedupeOutcomes collapses outcomes sharing a nonzero submission id to
+// the final one (a resubmission after Retry-After supersedes its
+// rejections), returning the deduped list and the collapsed count.
+// Id-less outcomes pass through untouched.
+func dedupeOutcomes(outcomes []Outcome) ([]Outcome, int) {
+	seen := map[int64]int{}
+	out := make([]Outcome, 0, len(outcomes))
+	collapsed := 0
+	for _, o := range outcomes {
+		if o.SubmissionID == 0 {
+			out = append(out, o)
+			continue
+		}
+		if i, ok := seen[o.SubmissionID]; ok {
+			out[i] = o
+			collapsed++
+			continue
+		}
+		seen[o.SubmissionID] = len(out)
+		out = append(out, o)
+	}
+	return out, collapsed
+}
+
 // buildReport aggregates outcomes into the report digest.
 func buildReport(outcomes []Outcome, duration time.Duration, sloTarget time.Duration) *Report {
 	rep := &Report{
@@ -163,6 +196,8 @@ func buildReport(outcomes []Outcome, duration time.Duration, sloTarget time.Dura
 		DurationS: duration.Seconds(),
 		SLO:       SLOReport{TargetMs: float64(sloTarget) / float64(time.Millisecond)},
 	}
+	outcomes, collapsed := dedupeOutcomes(outcomes)
+	rep.Resubmissions = collapsed
 	var e2e, queueWait, run []float64
 	perClass := map[string]*ClassStats{}
 	classE2E := map[string][]float64{}

@@ -62,6 +62,35 @@ func TestBuildReportAggregation(t *testing.T) {
 	}
 }
 
+// TestBuildReportDedupesResubmissions: a Retry-After resubmission shares
+// its predecessor's submission id and must count as ONE attempted job
+// with its final outcome — not as a rejection plus a separate completion.
+func TestBuildReportDedupesResubmissions(t *testing.T) {
+	outcomes := []Outcome{
+		{Class: "a", SubmissionID: 1, Status: "rejected", RetryAfterS: 1},
+		{Class: "a", SubmissionID: 1, Status: "rejected", RetryAfterS: 1},
+		{Class: "a", SubmissionID: 1, Status: "done", E2EMs: 30, SLOOK: true},
+		{Class: "a", SubmissionID: 2, Status: "done", E2EMs: 10, SLOOK: true},
+		{Class: "b", Status: "rejected"}, // id-less legacy record: unique
+	}
+	rep := buildReport(outcomes, 10*time.Second, time.Second)
+	if rep.Attempted != 3 {
+		t.Errorf("attempted = %d, want 3 (resubmissions collapsed)", rep.Attempted)
+	}
+	if rep.Completed != 2 || rep.Rejected != 1 {
+		t.Errorf("completed/rejected = %d/%d, want 2/1", rep.Completed, rep.Rejected)
+	}
+	if rep.Resubmissions != 2 {
+		t.Errorf("resubmissions = %d, want 2", rep.Resubmissions)
+	}
+	if math.Abs(rep.Rate503-1.0/3) > 1e-9 {
+		t.Errorf("503 rate = %g, want 1/3 (final outcomes only)", rep.Rate503)
+	}
+	if math.Abs(rep.SLO.Attainment-2.0/3) > 1e-9 {
+		t.Errorf("SLO attainment = %g, want 2/3", rep.SLO.Attainment)
+	}
+}
+
 func TestReportGate(t *testing.T) {
 	rep := buildReport([]Outcome{
 		{Class: "a", Status: "done", E2EMs: 50, SLOOK: true},

@@ -58,9 +58,12 @@ func SaveCheckpoint(path, kind string, iteration int, payload any) error {
 		return fmt.Errorf("resilience: marshal checkpoint envelope: %w", err)
 	}
 	dir := filepath.Dir(path)
+	// All I/O failures below wrap ErrCheckpointWrite so a caller can tell
+	// "the spool is broken" apart from a bad payload and degrade durability
+	// instead of failing the run.
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("resilience: checkpoint temp file: %w", err)
+		return fmt.Errorf("%w: temp file: %v", ErrCheckpointWrite, err)
 	}
 	tmpName := tmp.Name()
 	// Any failure past this point must not leave the temp file behind.
@@ -70,17 +73,17 @@ func SaveCheckpoint(path, kind string, iteration int, payload any) error {
 		return err
 	}
 	if _, err := tmp.Write(buf); err != nil {
-		return cleanup(fmt.Errorf("resilience: write checkpoint: %w", err))
+		return cleanup(fmt.Errorf("%w: write: %v", ErrCheckpointWrite, err))
 	}
 	if err := tmp.Sync(); err != nil {
-		return cleanup(fmt.Errorf("resilience: sync checkpoint: %w", err))
+		return cleanup(fmt.Errorf("%w: sync: %v", ErrCheckpointWrite, err))
 	}
 	if err := tmp.Close(); err != nil {
-		return cleanup(fmt.Errorf("resilience: close checkpoint: %w", err))
+		return cleanup(fmt.Errorf("%w: close: %v", ErrCheckpointWrite, err))
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("resilience: commit checkpoint: %w", err)
+		return fmt.Errorf("%w: commit: %v", ErrCheckpointWrite, err)
 	}
 	mCheckpointWrites.Inc()
 	mCheckpointBytes.Add(int64(len(buf)))

@@ -32,6 +32,11 @@ var (
 	// ErrCheckpointInvalid reports an unreadable, mis-versioned, or
 	// CRC-failing checkpoint file.
 	ErrCheckpointInvalid = errors.New("resilience: invalid checkpoint")
+	// ErrCheckpointWrite reports an I/O failure persisting a checkpoint
+	// (disk full, unwritable spool dir). Callers that can run without
+	// durability — the vqed daemon — match it to shed checkpointing
+	// gracefully instead of failing the workload.
+	ErrCheckpointWrite = errors.New("resilience: checkpoint write failed")
 )
 
 // Package-wide instruments: recovery activity must be visible in

@@ -3,6 +3,7 @@ package resilience
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"time"
 )
 
@@ -20,6 +21,10 @@ type RetryPolicy struct {
 	MaxDelay time.Duration
 	// Multiplier grows the delay between attempts (default 2).
 	Multiplier float64
+	// Jitter spreads each delay uniformly within ±Jitter fraction of its
+	// nominal value (0 = deterministic; values are clamped to [0, 1)).
+	// Desynchronizes retry storms when many workers back off together.
+	Jitter float64
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -35,7 +40,43 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.Multiplier < 1 {
 		p.Multiplier = 2
 	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter >= 1 {
+		p.Jitter = 0.999
+	}
 	return p
+}
+
+// Delay returns the backoff before the given 1-based attempt: zero for
+// the first attempt, then BaseDelay grown by Multiplier per subsequent
+// attempt and saturated at MaxDelay, with optional ±Jitter spread. Safe
+// for concurrent use (the jitter source is the global math/rand, which
+// is goroutine-safe).
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt <= 1 {
+		return 0
+	}
+	d := float64(p.BaseDelay)
+	for i := 2; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*rand.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
 }
 
 // Do runs op until it succeeds, the attempt budget is exhausted, or ctx
@@ -45,7 +86,6 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // retried across a deadline).
 func (p RetryPolicy) Do(ctx context.Context, op func(attempt int) error) error {
 	p = p.withDefaults()
-	delay := p.BaseDelay
 	var lastErr error
 	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -53,16 +93,12 @@ func (p RetryPolicy) Do(ctx context.Context, op func(attempt int) error) error {
 		}
 		if attempt > 1 {
 			mRetryAttempts.Inc()
-			t := time.NewTimer(delay)
+			t := time.NewTimer(p.Delay(attempt))
 			select {
 			case <-ctx.Done():
 				t.Stop()
 				return ctx.Err()
 			case <-t.C:
-			}
-			delay = time.Duration(float64(delay) * p.Multiplier)
-			if delay > p.MaxDelay {
-				delay = p.MaxDelay
 			}
 		}
 		if lastErr = op(attempt); lastErr == nil {

@@ -3,6 +3,7 @@ package resilience
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -75,6 +76,108 @@ func TestRetryHonorsContext(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Errorf("calls=%d, want 1 (canceled during first backoff)", calls)
+	}
+}
+
+// TestRetryZeroAttemptBudget: a zero or negative MaxAttempts resolves to
+// the documented default of 4 total attempts — a misconfigured policy
+// must never mean "retry forever" or "never try".
+func TestRetryZeroAttemptBudget(t *testing.T) {
+	for _, budget := range []int{0, -1, -100} {
+		fail := errors.New("persistent")
+		calls := 0
+		err := RetryPolicy{MaxAttempts: budget, BaseDelay: time.Microsecond}.Do(context.Background(), func(int) error {
+			calls++
+			return fail
+		})
+		if !errors.Is(err, ErrRetriesExhausted) {
+			t.Errorf("MaxAttempts=%d: want ErrRetriesExhausted, got %v", budget, err)
+		}
+		if calls != 4 {
+			t.Errorf("MaxAttempts=%d: calls=%d, want default 4", budget, calls)
+		}
+		if d := (RetryPolicy{MaxAttempts: budget}).Delay(1); d != 0 {
+			t.Errorf("MaxAttempts=%d: Delay(1)=%v, want 0", budget, d)
+		}
+	}
+}
+
+// TestRetryDelaySchedule pins the jitter-free delay curve: zero before
+// the first attempt, multiplicative growth, monotone non-decreasing, and
+// saturation at MaxDelay for every later attempt including ones far past
+// the point where the float accumulator would overflow naive growth.
+func TestRetryDelaySchedule(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{0, 0, time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond}
+	for attempt := 0; attempt < len(want); attempt++ {
+		if got := p.Delay(attempt); got != want[attempt] {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, want[attempt])
+		}
+	}
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 64; attempt++ {
+		d := p.Delay(attempt)
+		if d < prev {
+			t.Fatalf("Delay(%d) = %v < Delay(%d) = %v (not monotone)", attempt, d, attempt-1, prev)
+		}
+		if d > p.MaxDelay {
+			t.Fatalf("Delay(%d) = %v exceeds cap %v", attempt, d, p.MaxDelay)
+		}
+		prev = d
+	}
+	// Saturation must hold at attempt counts where naive multiplication
+	// would have overflowed float64 into +Inf.
+	if d := p.Delay(10_000); d != p.MaxDelay {
+		t.Errorf("Delay(10000) = %v, want cap %v", d, p.MaxDelay)
+	}
+}
+
+// TestRetryJitterBounds is the property test: for randomized policies,
+// every jittered delay stays within ±Jitter of the nominal value and
+// never exceeds the absolute bound (1+Jitter)·MaxDelay; out-of-range
+// Jitter values clamp instead of exploding. Runs in parallel goroutines
+// so the shared jitter source is exercised under -race.
+func TestRetryJitterBounds(t *testing.T) {
+	nominal := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 16 * time.Millisecond, Multiplier: 2}
+	const jitter = 0.25
+	p := nominal
+	p.Jitter = jitter
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for attempt := 2; attempt <= 12; attempt++ {
+				base := nominal.Delay(attempt)
+				lo := time.Duration(float64(base) * (1 - jitter))
+				hi := time.Duration(float64(base)*(1+jitter)) + time.Nanosecond
+				for trial := 0; trial < 200; trial++ {
+					d := p.Delay(attempt)
+					if d < lo || d > hi {
+						t.Errorf("Delay(%d) = %v outside [%v, %v]", attempt, d, lo, hi)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Clamping: Jitter ≥ 1 must still yield non-negative delays bounded by
+	// 2·MaxDelay, and negative Jitter means no jitter at all.
+	wild := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Jitter: 5}
+	for trial := 0; trial < 500; trial++ {
+		d := wild.Delay(3)
+		if d < 0 || d >= 2*time.Millisecond {
+			t.Fatalf("clamped jitter: Delay(3) = %v outside [0, 2ms)", d)
+		}
+	}
+	neg := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Jitter: -3}
+	for trial := 0; trial < 10; trial++ {
+		if d := neg.Delay(2); d != time.Millisecond {
+			t.Fatalf("negative jitter not ignored: Delay(2) = %v", d)
+		}
 	}
 }
 

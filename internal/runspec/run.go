@@ -223,6 +223,16 @@ func RunOnMolecule(ctx context.Context, m *chem.MolecularData, spec *RunSpec, op
 // run executes a defaulted spec on a built molecule.
 func run(ctx context.Context, m *chem.MolecularData, c *RunSpec, opts RunOptions) (*Result, error) {
 	started := time.Now()
+	// Setup-phase heartbeats: observable mapping and the FCI reference can
+	// take long enough on large systems that a silent gap would look like
+	// a hang to the daemon's no-progress watchdog. Emit liveness before
+	// the first optimizer iteration ever fires.
+	setupBeat := func(step int) {
+		if opts.OnProgress != nil {
+			opts.OnProgress(Progress{Phase: "setup", Iteration: step})
+		}
+	}
+	setupBeat(0)
 	if c.Backend.Calibration != "" {
 		// Install the kernel-choice model before any simulation work; a
 		// stale or missing profile is a configuration error, not a
@@ -257,6 +267,7 @@ func run(ctx context.Context, m *chem.MolecularData, c *RunSpec, opts RunOptions
 	if err != nil {
 		return nil, err
 	}
+	setupBeat(1)
 	n := m.NumSpinOrbitals()
 	ne := m.NumElectrons
 	if c.Downfold > 0 {
@@ -271,6 +282,7 @@ func run(ctx context.Context, m *chem.MolecularData, c *RunSpec, opts RunOptions
 	if err != nil {
 		return nil, err
 	}
+	setupBeat(2)
 	res := &Result{
 		SpecHash:    c.Hash(),
 		Algorithm:   c.Algorithm,

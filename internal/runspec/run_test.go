@@ -64,6 +64,24 @@ func TestRunH2Progress(t *testing.T) {
 	if len(trace) == 0 {
 		t.Fatal("no progress events delivered")
 	}
+	// Setup-phase heartbeats precede the optimizer trace: they carry no
+	// energy and restart the iteration count, so check them separately.
+	setup := 0
+	for setup < len(trace) && trace[setup].Phase == "setup" {
+		setup++
+	}
+	if setup == 0 {
+		t.Error("no setup-phase heartbeats before the optimizer trace")
+	}
+	for _, p := range trace[setup:] {
+		if p.Phase == "setup" {
+			t.Fatalf("setup heartbeat after optimizer progress: %+v", p)
+		}
+	}
+	trace = trace[setup:]
+	if len(trace) == 0 {
+		t.Fatal("no optimizer progress events delivered")
+	}
 	for i := 1; i < len(trace); i++ {
 		if trace[i].Iteration < trace[i-1].Iteration {
 			t.Fatalf("progress iterations not monotone at %d: %+v", i, trace[i])

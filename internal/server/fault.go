@@ -1,0 +1,143 @@
+package server
+
+// Test-only worker fault injection for the chaos harness: a FaultHook
+// installed via Config.FaultHook runs inside the engine's progress
+// observer, where it can panic (exercising per-job panic isolation) or
+// stall (exercising the no-progress watchdog). Production deployments
+// leave the hook nil; the vqed binary only installs one when the
+// VQED_FAULTS environment variable is set.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runspec"
+	"repro/internal/telemetry"
+)
+
+var (
+	mFaultPanics = telemetry.GetCounter("server.fault.injected_panics")
+	mFaultStalls = telemetry.GetCounter("server.fault.injected_stalls")
+)
+
+// FaultHook observes every engine progress sample of every job before it
+// is published. It may panic or block; the scheduler's isolation and
+// watchdog must contain either. ctx is the job's run context — a stalling
+// hook should select on it so a watchdog cancellation unblocks the slot.
+type FaultHook func(ctx context.Context, jobID string, p runspec.Progress)
+
+// faultInjector is the seeded implementation behind FaultHookFromEnv. It
+// fires at most one fault per job (so a bounded retry budget always
+// recovers) and at most Max faults per process.
+type faultInjector struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	panicProb float64
+	stallProb float64
+	stall     time.Duration
+	max       int
+	fired     int
+	perJob    map[string]bool
+}
+
+// FaultHookFromEnv parses a fault-drill spec of the form
+//
+//	seed=7,panic=0.05,stall=0.03,stall_ms=1500,max=6
+//
+// into a seeded FaultHook: each progress sample of a not-yet-faulted job
+// draws once; with probability panic the hook panics, else with
+// probability stall it blocks for stall_ms (or until the job context is
+// canceled). max bounds total injected faults (default 16). An empty
+// spec returns a nil hook.
+func FaultHookFromEnv(spec string) (FaultHook, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	inj := &faultInjector{
+		rng:    rand.New(rand.NewSource(1)),
+		stall:  time.Second,
+		max:    16,
+		perJob: map[string]bool{},
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("%w: server: fault spec field %q (want key=value)", core.ErrInvalidArgument, kv)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: server: fault seed %q: %v", core.ErrInvalidArgument, val, err)
+			}
+			inj.rng = rand.New(rand.NewSource(n))
+		case "panic":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("%w: server: fault panic prob %q", core.ErrInvalidArgument, val)
+			}
+			inj.panicProb = p
+		case "stall":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("%w: server: fault stall prob %q", core.ErrInvalidArgument, val)
+			}
+			inj.stallProb = p
+		case "stall_ms":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%w: server: fault stall_ms %q", core.ErrInvalidArgument, val)
+			}
+			inj.stall = time.Duration(n) * time.Millisecond
+		case "max":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%w: server: fault max %q", core.ErrInvalidArgument, val)
+			}
+			inj.max = n
+		default:
+			return nil, fmt.Errorf("%w: server: unknown fault spec key %q", core.ErrInvalidArgument, key)
+		}
+	}
+	return inj.hook, nil
+}
+
+// hook is the FaultHook. The RNG draw happens under the injector lock;
+// the fault itself (panic or stall) happens outside it so a stalled job
+// never blocks injection bookkeeping for other workers.
+func (f *faultInjector) hook(ctx context.Context, jobID string, p runspec.Progress) {
+	f.mu.Lock()
+	if f.fired >= f.max || f.perJob[jobID] {
+		f.mu.Unlock()
+		return
+	}
+	draw := f.rng.Float64()
+	doPanic := draw < f.panicProb
+	doStall := !doPanic && draw < f.panicProb+f.stallProb
+	if doPanic || doStall {
+		f.fired++
+		f.perJob[jobID] = true
+	}
+	f.mu.Unlock()
+
+	switch {
+	case doPanic:
+		mFaultPanics.Inc()
+		panic(fmt.Sprintf("server: injected fault panic (job %s, iteration %d)", jobID, p.Iteration))
+	case doStall:
+		mFaultStalls.Inc()
+		t := time.NewTimer(f.stall)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/runspec"
@@ -29,10 +30,17 @@ func (s Status) Terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusInterrupted
 }
 
+// EventRetrying is the non-lifecycle event type published when a job
+// failed retryably (panic, stall, transient fault) and is re-queued;
+// Error carries the reason. The job returns to "queued" immediately
+// after.
+const EventRetrying = "retrying"
+
 // Event is one SSE frame: a lifecycle transition or a per-iteration
 // progress sample.
 type Event struct {
-	// Type: queued | running | progress | done | failed | interrupted.
+	// Type: queued | running | progress | retrying | done | failed |
+	// interrupted.
 	Type string `json:"type"`
 	// Seq numbers events within a job, monotonically from 1.
 	Seq int `json:"seq"`
@@ -64,15 +72,31 @@ type Job struct {
 	cacheHit bool
 	// checkpoint is the spool path assigned to this job.
 	checkpoint string
-	submitted  time.Time
-	started    time.Time
-	finished   time.Time
+	// attempt counts completed execution attempts (0 before the first
+	// retry); the scheduler's retry budget is measured against it.
+	attempt int
+	// resume marks that the next execution should load the checkpoint
+	// (set after a retryable failure left a valid snapshot, or by journal
+	// recovery after a daemon restart).
+	resume    bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// lastBeat is the UnixNano of the most recent engine progress
+	// heartbeat — what the stuck-job watchdog compares against its
+	// no-progress deadline. Atomic so the watchdog never contends with
+	// the hot observer path.
+	lastBeat atomic.Int64
 
 	seq     int
 	history []Event
 	subs    map[chan Event]struct{}
 	done    chan struct{}
 }
+
+// beat records engine liveness for the watchdog.
+func (j *Job) beat() { j.lastBeat.Store(time.Now().UnixNano()) }
 
 func newJob(id string, spec *runspec.RunSpec) *Job {
 	return &Job{
@@ -155,6 +179,8 @@ type View struct {
 	// re-simulation.
 	CacheHit bool   `json:"cache_hit,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Attempt counts retries consumed so far (0 = first execution).
+	Attempt int `json:"attempt,omitempty"`
 	// CheckpointPath is set once the job has a spool snapshot to resume
 	// from (interrupted jobs).
 	CheckpointPath string          `json:"checkpoint_path,omitempty"`
@@ -175,6 +201,7 @@ func (j *Job) view(withResult bool) View {
 		Status:    j.status,
 		CacheHit:  j.cacheHit,
 		Error:     j.err,
+		Attempt:   j.attempt,
 		Submitted: j.submitted,
 	}
 	if j.status == StatusInterrupted {

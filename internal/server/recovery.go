@@ -1,0 +1,374 @@
+package server
+
+// Journal replay: how a restarted daemon rebuilds its job table. Every
+// accepted job reappears — terminal ones with their recorded results (so
+// clients polling across the restart still get answers), unfinished ones
+// re-enqueued, resuming from their latest resilience checkpoint when one
+// validates. The legacy SIGTERM spool manifest (written by earlier
+// releases, never read by them) is folded into the same path and then
+// deleted.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/runspec"
+	"repro/internal/server/journal"
+	"repro/internal/telemetry"
+)
+
+var (
+	mJobsRecovered  = telemetry.GetCounter("server.jobs.recovered")
+	mJobsReplayed   = telemetry.GetCounter("server.jobs.replayed_terminal")
+	mRecoverDropped = telemetry.GetCounter("server.recovery.dropped_records")
+)
+
+// replayedJob is the merged per-job outcome of a journal scan. Records
+// for one job may interleave with other jobs' and repeat across retries;
+// the merge keeps the strongest lifecycle fact per job (terminal beats
+// running beats accepted) plus the latest checkpoint/attempt.
+type replayedJob struct {
+	id         string
+	specRaw    json.RawMessage
+	specHash   string
+	op         journal.Op
+	checkpoint string
+	attempt    int
+	errMsg     string
+	resultRaw  json.RawMessage
+}
+
+// mergeRecords folds a replayed record stream into per-job outcomes,
+// preserving first-appearance order.
+func mergeRecords(recs []journal.Record) []*replayedJob {
+	byID := map[string]*replayedJob{}
+	var order []*replayedJob
+	for _, rec := range recs {
+		if rec.JobID == "" {
+			mRecoverDropped.Inc()
+			continue
+		}
+		e := byID[rec.JobID]
+		if e == nil {
+			e = &replayedJob{id: rec.JobID}
+			byID[rec.JobID] = e
+			order = append(order, e)
+		}
+		if rec.SpecHash != "" {
+			e.specHash = rec.SpecHash
+		}
+		switch rec.Op {
+		case journal.OpAccepted:
+			e.specRaw = rec.Spec
+			if e.op == "" {
+				e.op = journal.OpAccepted
+			}
+		case journal.OpRunning:
+			if !e.op.Terminal() {
+				e.op = journal.OpRunning
+				e.attempt = rec.Attempt
+			}
+		case journal.OpCheckpointed:
+			if !e.op.Terminal() {
+				e.op = journal.OpCheckpointed
+				e.checkpoint = rec.Checkpoint
+			}
+		case journal.OpRetrying:
+			if !e.op.Terminal() {
+				e.op = journal.OpRetrying
+				e.attempt = rec.Attempt
+				e.errMsg = rec.Error
+			}
+		case journal.OpDone, journal.OpFailed, journal.OpInterrupted:
+			e.op = rec.Op
+			e.resultRaw = rec.Result
+			e.errMsg = rec.Error
+			if rec.Checkpoint != "" {
+				e.checkpoint = rec.Checkpoint
+			}
+		default:
+			mRecoverDropped.Inc()
+		}
+	}
+	return order
+}
+
+// legacyManifest mirrors the shutdown manifest earlier daemon versions
+// wrote (and never read back). Recovery merges it once, then deletes the
+// file.
+type legacyManifest struct {
+	Jobs []struct {
+		ID             string           `json:"id"`
+		SpecHash       string           `json:"spec_hash"`
+		CheckpointPath string           `json:"checkpoint_path"`
+		Spec           *runspec.RunSpec `json:"spec"`
+	} `json:"jobs"`
+}
+
+// recover rebuilds the job table from replayed journal records plus any
+// legacy manifest, returning the jobs to re-enqueue. Called from New
+// before the worker fleet starts, so no locking is needed yet.
+func (s *Server) recoverJobs(recs []journal.Record) []*Job {
+	merged := mergeRecords(recs)
+	merged = append(merged, s.legacyManifestJobs()...)
+
+	var pending []*Job
+	for _, e := range merged {
+		if _, dup := s.jobs[e.id]; dup {
+			mRecoverDropped.Inc()
+			continue
+		}
+		job, ok := s.rebuildJob(e)
+		if !ok {
+			continue
+		}
+		s.jobs[e.id] = job
+		s.order = append(s.order, e.id)
+		if n := jobSeqOf(e.id); n > s.jobSeq {
+			s.jobSeq = n
+		}
+		st, _, _ := job.snapshot()
+		if st == StatusQueued {
+			pending = append(pending, job)
+			mJobsRecovered.Inc()
+		} else {
+			mJobsReplayed.Inc()
+		}
+	}
+	return pending
+}
+
+// rebuildJob turns one merged journal outcome into a live Job record.
+func (s *Server) rebuildJob(e *replayedJob) (*Job, bool) {
+	var spec *runspec.RunSpec
+	if len(e.specRaw) > 0 {
+		parsed, err := runspec.Parse(e.specRaw)
+		if err != nil {
+			s.logf("vqed: recovery: job %s spec unusable: %v", e.id, err)
+		} else {
+			spec = parsed
+		}
+	}
+	switch {
+	case spec == nil && e.op.Terminal():
+		// A compacted terminal record without a spec still answers client
+		// polls; the job just cannot be re-run (it does not need to be).
+		spec = &runspec.RunSpec{}
+	case spec == nil:
+		// A non-terminal job without a recoverable spec is genuinely lost;
+		// surface it as failed rather than silently dropping the ID.
+		s.logf("vqed: recovery: job %s has no recoverable spec, marking failed", e.id)
+		job := newJob(e.id, &runspec.RunSpec{})
+		job.SpecHash = e.specHash
+		job.status = StatusFailed
+		job.err = "server: journal holds no recoverable spec for this job"
+		job.finished = time.Now()
+		job.publish(Event{Type: string(StatusFailed), Error: job.err})
+		return job, true
+	}
+
+	job := newJob(e.id, spec)
+	if e.specHash != "" {
+		job.SpecHash = e.specHash
+	}
+	job.attempt = e.attempt
+
+	if e.op.Terminal() {
+		job.status = Status(e.op)
+		job.err = e.errMsg
+		job.checkpoint = e.checkpoint
+		now := time.Now()
+		job.started, job.finished = now, now
+		if len(e.resultRaw) > 0 {
+			var res runspec.Result
+			if err := json.Unmarshal(e.resultRaw, &res); err != nil {
+				s.logf("vqed: recovery: job %s result unusable: %v", e.id, err)
+			} else {
+				job.result = &res
+				if e.op == journal.OpDone && !s.cfg.DisableCache {
+					s.cacheStore(job.SpecHash, &res)
+				}
+			}
+		}
+		job.publish(Event{Type: string(job.status), Error: job.err})
+		return job, true
+	}
+
+	// Unfinished: back to the queue. Resume from the journaled checkpoint
+	// when it verifies (CRC + version); a torn or corrupt snapshot is
+	// deleted so the rerun cold-starts instead of failing on load.
+	if ckpt := e.checkpoint; ckpt != "" {
+		if _, err := resilience.CheckpointKind(ckpt); err == nil {
+			job.checkpoint = ckpt
+			job.resume = true
+		} else if !os.IsNotExist(err) {
+			s.logf("vqed: recovery: job %s checkpoint %s invalid, cold restart: %v", e.id, ckpt, err)
+			os.Remove(ckpt)
+		}
+	} else if ckpt := filepath.Join(s.cfg.SpoolDir, e.id+".ckpt"); fileExists(ckpt) {
+		// A crash between checkpoint write and journal append leaves a
+		// spool file the journal never heard about — still resumable.
+		if _, err := resilience.CheckpointKind(ckpt); err == nil {
+			job.checkpoint = ckpt
+			job.resume = true
+		}
+	}
+	job.publish(Event{Type: string(StatusQueued)})
+	return job, true
+}
+
+// legacyManifestJobs reads and deletes the old shutdown manifest,
+// converting its entries to replay form.
+func (s *Server) legacyManifestJobs() []*replayedJob {
+	path := filepath.Join(s.cfg.SpoolDir, "manifest.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var m legacyManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		s.logf("vqed: recovery: legacy manifest unreadable, ignoring: %v", err)
+		os.Remove(path)
+		return nil
+	}
+	var out []*replayedJob
+	for _, mj := range m.Jobs {
+		if mj.ID == "" || mj.Spec == nil {
+			continue
+		}
+		raw, err := json.Marshal(mj.Spec)
+		if err != nil {
+			continue
+		}
+		out = append(out, &replayedJob{
+			id:         mj.ID,
+			specRaw:    raw,
+			specHash:   mj.SpecHash,
+			op:         journal.OpCheckpointed,
+			checkpoint: mj.CheckpointPath,
+		})
+	}
+	os.Remove(path)
+	if len(out) > 0 {
+		s.logf("vqed: recovery: merged %d job(s) from legacy manifest", len(out))
+	}
+	return out
+}
+
+// jobSeqOf extracts the numeric suffix of a "job-%06d" ID (0 if foreign).
+func jobSeqOf(id string) int {
+	num, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+func fileExists(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.Mode().IsRegular()
+}
+
+// journalSpec marshals a job's spec for its accepted record.
+func journalSpec(spec *runspec.RunSpec) json.RawMessage {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
+// journalResult marshals a result for a terminal record.
+func journalResult(res *runspec.Result) json.RawMessage {
+	if res == nil {
+		return nil
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
+// compactThreshold is how many appended records trigger a background
+// journal compaction after a job settles.
+const compactThreshold = 512
+
+// liveSnapshot rebuilds the minimal record set that reproduces the
+// current job table: accepted (+spec) for every job, the latest
+// checkpoint/attempt facts for unfinished ones, and the terminal record
+// (with result) for settled ones.
+func (s *Server) liveSnapshot() []journal.Record {
+	// Snapshot the job list under s.mu, then read each job under its own
+	// lock only after s.mu is released (same lock-order discipline as the
+	// HTTP listing path).
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+
+	var recs []journal.Record
+	for _, j := range jobs {
+		j.mu.Lock()
+		st, ckpt, attempt, res, errMsg := j.status, j.checkpoint, j.attempt, j.result, j.err
+		resume := j.resume
+		j.mu.Unlock()
+		recs = append(recs, journal.Record{
+			Op: journal.OpAccepted, JobID: j.ID, SpecHash: j.SpecHash,
+			Spec: journalSpec(j.Spec),
+		})
+		switch st {
+		case StatusDone, StatusFailed, StatusInterrupted:
+			recs = append(recs, journal.Record{
+				Op: journal.Op(st), JobID: j.ID, SpecHash: j.SpecHash,
+				Result: journalResult(res), Error: errMsg, Checkpoint: ckpt,
+			})
+		default:
+			if attempt > 0 {
+				recs = append(recs, journal.Record{
+					Op: journal.OpRetrying, JobID: j.ID, Attempt: attempt, Error: errMsg,
+				})
+			}
+			if resume && ckpt != "" {
+				recs = append(recs, journal.Record{
+					Op: journal.OpCheckpointed, JobID: j.ID, Checkpoint: ckpt,
+				})
+			}
+		}
+	}
+	return recs
+}
+
+// compactIfNeeded rewrites the journal down to the live snapshot once
+// enough appends have accumulated. At most one compaction runs at a time;
+// contenders simply skip (the next settling job retries).
+func (s *Server) compactIfNeeded(force bool) {
+	s.mu.Lock()
+	jn := s.jn
+	s.mu.Unlock()
+	if jn == nil {
+		return
+	}
+	if !force && jn.Appended() < compactThreshold {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.compacting.Store(false)
+	if err := jn.Compact(s.liveSnapshot()); err != nil {
+		s.degrade(fmt.Sprintf("journal compaction failed: %v", err))
+	}
+}

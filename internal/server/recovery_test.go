@@ -1,0 +1,343 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/runspec"
+	"repro/internal/server/journal"
+)
+
+// writeJournal builds a journal file in dir from the given records, as if
+// a previous daemon process had crashed after appending them.
+func writeJournal(t *testing.T, dir string, recs []journal.Record) {
+	t.Helper()
+	jn, replayed, err := journal.Open(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(replayed))
+	}
+	for _, rec := range recs {
+		if err := jn.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryReplaysJournal: a daemon started on a spool whose journal
+// holds an accepted-but-unfinished job and a completed one restores both —
+// the unfinished job re-runs to completion, the completed one answers
+// polls with its recorded result without re-simulation.
+func TestRecoveryReplaysJournal(t *testing.T) {
+	spool := t.TempDir()
+	pendingSpec := &runspec.RunSpec{
+		Optimizer: runspec.OptimizerSpec{Method: "nelder-mead", MaxIter: 50},
+	}
+	doneResult := &runspec.Result{Energy: -1.25, Converged: true}
+	writeJournal(t, spool, []journal.Record{
+		{Op: journal.OpAccepted, JobID: "job-000003", SpecHash: pendingSpec.Hash(),
+			Spec: journalSpec(pendingSpec)},
+		{Op: journal.OpAccepted, JobID: "job-000007", SpecHash: "sha256:feed",
+			Spec: journalSpec(&runspec.RunSpec{})},
+		{Op: journal.OpRunning, JobID: "job-000003", Attempt: 0},
+		{Op: journal.OpDone, JobID: "job-000007", Result: journalResult(doneResult)},
+	})
+
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 1, SpoolDir: spool})
+
+	// The completed job answers immediately from its journaled result.
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-000007/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res runspec.Result
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("replayed result: status %d err %v", resp.StatusCode, err)
+	}
+	if res.Energy != -1.25 {
+		t.Errorf("replayed energy = %v, want -1.25", res.Energy)
+	}
+
+	// The unfinished job re-enqueued and runs to completion.
+	v := pollDone(t, ts, "job-000003", 60*time.Second)
+	if v.Status != StatusDone || v.Result == nil {
+		t.Fatalf("recovered job settled as %s (err=%q)", v.Status, v.Error)
+	}
+
+	// The ID sequence continues past the replayed maximum — no reuse.
+	job, err := srv.Submit(&runspec.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "job-000008" {
+		t.Errorf("post-recovery ID = %s, want job-000008", job.ID)
+	}
+}
+
+// TestRecoveryTornJournalTail: garbage appended after the last intact
+// record (a torn final write) is truncated away; the intact prefix
+// replays and the journal stays writable — no degradation.
+func TestRecoveryTornJournalTail(t *testing.T) {
+	spool := t.TempDir()
+	spec := &runspec.RunSpec{}
+	writeJournal(t, spool, []journal.Record{
+		{Op: journal.OpAccepted, JobID: "job-000001", SpecHash: spec.Hash(),
+			Spec: journalSpec(spec)},
+		{Op: journal.OpDone, JobID: "job-000001",
+			Result: journalResult(&runspec.Result{Energy: -2})},
+	})
+	path := filepath.Join(spool, journalFile)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("\x42\x00\x00\x00torn-half-written-frame")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, ts := newTestServer(t, Config{SpoolDir: spool})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status     string `json:"status"`
+		Journaling bool   `json:"journaling"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || !health.Journaling {
+		t.Errorf("healthz after torn tail = %+v, want ok/journaling", health)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v View
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if err != nil || v.Status != StatusDone {
+		t.Errorf("job after torn tail: status %v err %v", v.Status, err)
+	}
+}
+
+// TestPanicIsolationRetriesToDone: an injected worker panic on the job's
+// first progress sample is recovered, the job re-queues, and the retry
+// completes normally. Other concurrent jobs are untouched.
+func TestPanicIsolationRetriesToDone(t *testing.T) {
+	var once sync.Once
+	hook := func(ctx context.Context, jobID string, p runspec.Progress) {
+		once.Do(func() { panic("server: injected test panic") })
+	}
+	_, ts := newTestServer(t, Config{
+		MaxConcurrent: 2,
+		RetryBudget:   2,
+		FaultHook:     hook,
+	})
+	v := submitSpec(t, ts, `{"optimizer": {"method": "nelder-mead", "max_iter": 60}}`)
+	done := pollDone(t, ts, v.ID, 60*time.Second)
+	if done.Status != StatusDone || done.Result == nil {
+		t.Fatalf("panicked job settled as %s (err=%q), want done", done.Status, done.Error)
+	}
+	if done.Attempt == 0 {
+		t.Errorf("job completed with attempt=0; the panic retry was not recorded")
+	}
+}
+
+// TestWatchdogCancelsStalledJob: a hook that blocks the engine's progress
+// path past StallTimeout is cancelled by the watchdog and the retry (the
+// hook fires only once) completes the job.
+func TestWatchdogCancelsStalledJob(t *testing.T) {
+	var once sync.Once
+	hook := func(ctx context.Context, jobID string, p runspec.Progress) {
+		once.Do(func() {
+			// Block until the watchdog cancels the job context; an untimed
+			// stall is exactly what the watchdog exists to catch.
+			<-ctx.Done()
+		})
+	}
+	_, ts := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		RetryBudget:   2,
+		StallTimeout:  200 * time.Millisecond,
+		FaultHook:     hook,
+	})
+	v := submitSpec(t, ts, `{"optimizer": {"method": "nelder-mead", "max_iter": 60}}`)
+	done := pollDone(t, ts, v.ID, 60*time.Second)
+	if done.Status != StatusDone || done.Result == nil {
+		t.Fatalf("stalled job settled as %s (err=%q), want done after watchdog retry", done.Status, done.Error)
+	}
+	if done.Attempt == 0 {
+		t.Errorf("job completed with attempt=0; the stall retry was not recorded")
+	}
+}
+
+// TestRetryBudgetExhausted: a job whose every attempt panics settles
+// terminally once the budget is spent instead of looping forever.
+func TestRetryBudgetExhausted(t *testing.T) {
+	hook := func(ctx context.Context, jobID string, p runspec.Progress) {
+		panic("server: permanent injected panic")
+	}
+	_, ts := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		RetryBudget:   1,
+		FaultHook:     hook,
+	})
+	v := submitSpec(t, ts, `{"optimizer": {"method": "nelder-mead", "max_iter": 60}}`)
+	done := pollDone(t, ts, v.ID, 60*time.Second)
+	if done.Status != StatusFailed {
+		t.Fatalf("always-panicking job settled as %s, want failed", done.Status)
+	}
+	if done.Error == "" {
+		t.Errorf("terminal failure carries no reason")
+	}
+}
+
+// TestDegradedJournalStillServes: an unusable journal path (a directory
+// squatting on journal.wal) degrades durability but the daemon still
+// accepts and completes jobs; /healthz reports the reason.
+func TestDegradedJournalStillServes(t *testing.T) {
+	spool := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(spool, journalFile), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{SpoolDir: spool})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status     string `json:"status"`
+		Journaling bool   `json:"journaling"`
+		Reason     string `json:"degraded_reason"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || health.Journaling || health.Reason == "" {
+		t.Fatalf("healthz with broken journal = %+v, want degraded", health)
+	}
+
+	v := submitSpec(t, ts, `{"molecule": {"kind": "h2"}}`)
+	done := pollDone(t, ts, v.ID, 30*time.Second)
+	if done.Status != StatusDone {
+		t.Errorf("job on degraded daemon settled as %s", done.Status)
+	}
+}
+
+// TestResumedEnergyBitEqual: a job interrupted by shutdown and resumed on
+// a restarted daemon lands on the bit-identical energy of an
+// uninterrupted control run of the same spec — checkpoint capture and
+// replay preserve the exact optimizer trajectory.
+func TestResumedEnergyBitEqual(t *testing.T) {
+	spec := `{"optimizer": {"method": "nelder-mead", "max_iter": 300}, "resilience": {"checkpoint_every": 1}}`
+
+	// Control: the spec uninterrupted on a throwaway daemon.
+	_, controlTS := newTestServer(t, Config{MaxConcurrent: 1})
+	control := submitSpec(t, controlTS, spec)
+	controlDone := pollDone(t, controlTS, control.ID, 60*time.Second)
+	if controlDone.Status != StatusDone {
+		t.Fatalf("control job settled as %s", controlDone.Status)
+	}
+
+	// Interrupted: shut the daemon down mid-run, restart on the same
+	// spool, let recovery resume the job from its checkpoint.
+	spool := t.TempDir()
+	srv, err := New(Config{MaxConcurrent: 1, SpoolDir: spool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := srv.Submit(runspecMustParse(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitProgress(t, job, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st, _, _ := job.snapshot(); st != StatusInterrupted {
+		t.Fatalf("job at shutdown = %s, want interrupted", st)
+	}
+
+	srv2, err := New(Config{MaxConcurrent: 1, SpoolDir: spool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv2.Shutdown(ctx)
+	})
+	resumed := pollDone(t, ts2, job.ID, 120*time.Second)
+	if resumed.Status != StatusDone || resumed.Result == nil {
+		t.Fatalf("resumed job settled as %s (err=%q)", resumed.Status, resumed.Error)
+	}
+
+	want := math.Float64bits(controlDone.Result.Energy)
+	got := math.Float64bits(resumed.Result.Energy)
+	if want != got {
+		t.Errorf("resumed energy %v (bits %x) != control %v (bits %x)",
+			resumed.Result.Energy, got, controlDone.Result.Energy, want)
+	}
+}
+
+func runspecMustParse(t *testing.T, s string) *runspec.RunSpec {
+	t.Helper()
+	spec, err := runspec.Parse([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// waitProgress blocks until the job has emitted n optimizer progress
+// events (setup-phase heartbeats excluded — the point is to interrupt a
+// run that demonstrably has checkpointable optimizer state).
+func waitProgress(t *testing.T, job *Job, n int) {
+	t.Helper()
+	replay, live := job.subscribe()
+	defer job.unsubscribe(live)
+	count := 0
+	for _, e := range replay {
+		if e.Type == "progress" && e.Phase != "setup" {
+			count++
+		}
+	}
+	deadline := time.After(30 * time.Second)
+	for count < n {
+		select {
+		case e := <-live:
+			if e.Type == "progress" && e.Phase != "setup" {
+				count++
+			}
+		case <-deadline:
+			t.Fatal("no optimizer progress before interruption")
+		}
+	}
+}

@@ -2,19 +2,29 @@ package server
 
 // The bounded scheduler: a fixed worker fleet drains the job queue, every
 // worker running specs through the shared runspec engine on one common
-// state.Pool. Admission control is the queue capacity — a full queue
-// rejects at submit time (HTTP 503) instead of buffering unboundedly —
-// and the concurrency bound is the worker count, so a burst of heavy jobs
-// degrades to latency, never to memory exhaustion.
+// state.Pool. Admission control is an explicit backlog counter — a full
+// queue rejects at submit time (HTTP 503) instead of buffering
+// unboundedly — and the concurrency bound is the worker count, so a burst
+// of heavy jobs degrades to latency, never to memory exhaustion.
+//
+// Fault isolation happens per job: a panicking evaluation is recovered in
+// its worker, a wedged one is cancelled by the no-progress watchdog, and
+// both are re-queued on a bounded retry budget with RetryPolicy backoff
+// before settling terminally. Every transition is journaled first, so the
+// lifecycle survives a daemon crash at any point.
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/resilience"
 	"repro/internal/runspec"
+	"repro/internal/server/journal"
 	"repro/internal/telemetry"
 )
 
@@ -26,6 +36,9 @@ var (
 	mJobsFailed      = telemetry.GetCounter("server.jobs.failed")
 	mJobsInterrupted = telemetry.GetCounter("server.jobs.interrupted")
 	mJobsRejected    = telemetry.GetCounter("server.jobs.rejected")
+	mJobsRetried     = telemetry.GetCounter("server.jobs.retried")
+	mJobsPanicked    = telemetry.GetCounter("server.jobs.panics_recovered")
+	mWatchdogStalls  = telemetry.GetCounter("server.watchdog.stalls")
 	mCacheHits       = telemetry.GetCounter("server.cache.hits")
 	mQueueDepth      = telemetry.GetGauge("server.queue.depth")
 	mJobsRunning     = telemetry.GetGauge("server.jobs.running")
@@ -46,9 +59,18 @@ var ErrQueueFull = errors.New("server: job queue full")
 // ErrShuttingDown is returned by Submit after Shutdown has begun.
 var ErrShuttingDown = errors.New("server: shutting down")
 
-// Submit validates, deduplicates, and enqueues a spec, returning the job
-// record immediately. A spec whose canonical hash matches a completed
-// run is answered from the result cache without touching the queue.
+// errJobPanicked marks an engine panic recovered by the worker; it
+// classifies as retryable.
+var errJobPanicked = errors.New("server: worker recovered a panic")
+
+// errStalled is the cancellation cause the watchdog attaches when a job
+// exceeds the no-progress deadline.
+var errStalled = errors.New("server: no engine progress within stall timeout")
+
+// Submit validates, deduplicates, journals, and enqueues a spec,
+// returning the job record once its accepted record is durable. A spec
+// whose canonical hash matches a completed run is answered from the
+// result cache without touching the queue.
 func (s *Server) Submit(spec *runspec.RunSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -58,14 +80,27 @@ func (s *Server) Submit(spec *runspec.RunSpec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
-	s.jobSeq++
-	id := fmt.Sprintf("job-%06d", s.jobSeq)
-	job := newJob(id, spec)
-	s.jobs[id] = job
-	s.order = append(s.order, id)
+	probe := newJob("", spec)
 	var cached *runspec.Result
 	if !s.cfg.DisableCache {
-		cached = s.cache[job.SpecHash]
+		cached = s.cache[probe.SpecHash]
+	}
+	if cached == nil && s.queued >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		mJobsRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	s.jobSeq++
+	id := fmt.Sprintf("job-%06d", s.jobSeq)
+	job := probe
+	job.ID = id
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	if cached == nil {
+		// Reserve the backlog slot under the same lock as the admission
+		// check; the enqueue itself happens after the journal write, and
+		// the channel's slack guarantees it cannot block.
+		s.queued++
 	}
 	s.mu.Unlock()
 	mJobsSubmitted.Inc()
@@ -73,7 +108,8 @@ func (s *Server) Submit(spec *runspec.RunSpec) (*Job, error) {
 	if cached != nil {
 		// Duplicate of a completed spec: serve the cached result without
 		// re-simulation. The job still exists as a first-class record so
-		// clients can poll it uniformly.
+		// clients can poll it uniformly — and it is journaled, so it still
+		// answers after a restart.
 		mCacheHits.Inc()
 		job.publish(Event{Type: string(StatusQueued)})
 		job.mu.Lock()
@@ -84,25 +120,30 @@ func (s *Server) Submit(spec *runspec.RunSpec) (*Job, error) {
 		job.started, job.finished = now, now
 		e2e := now.Sub(job.submitted)
 		job.mu.Unlock()
+		s.journalAppend(journal.Record{Op: journal.OpAccepted, JobID: id,
+			SpecHash: job.SpecHash, Spec: journalSpec(spec)})
+		s.journalAppend(journal.Record{Op: journal.OpDone, JobID: id,
+			SpecHash: job.SpecHash, Result: journalResult(cached)})
 		mE2EMs.Observe(float64(e2e) / float64(time.Millisecond))
 		mJobsCompleted.Inc()
 		job.publish(Event{Type: string(StatusDone)})
 		return job, nil
 	}
 
+	// Durability before acknowledgement: the accepted record (with the
+	// full spec) must be on disk before the client hears 202, so a crash
+	// after this point can never lose the job.
+	s.journalAppend(journal.Record{Op: journal.OpAccepted, JobID: id,
+		SpecHash: job.SpecHash, Spec: journalSpec(spec)})
 	select {
 	case s.queue <- job:
-		mQueueDepth.Set(int64(len(s.queue)))
-		job.publish(Event{Type: string(StatusQueued)})
-		return job, nil
-	default:
-		s.mu.Lock()
-		delete(s.jobs, id)
-		s.order = s.order[:len(s.order)-1]
-		s.mu.Unlock()
-		mJobsRejected.Inc()
-		return nil, ErrQueueFull
+	case <-s.runCtx.Done():
+		// Shutdown raced the enqueue; the accepted record re-enqueues the
+		// job on the next start.
 	}
+	mQueueDepth.Set(int64(len(s.queue)))
+	job.publish(Event{Type: string(StatusQueued)})
+	return job, nil
 }
 
 // observeRunTime folds one measured job execution time into the EWMA
@@ -157,14 +198,63 @@ func (s *Server) worker() {
 			if !ok {
 				return
 			}
+			s.mu.Lock()
+			if s.queued > 0 {
+				s.queued--
+			}
+			s.mu.Unlock()
 			mQueueDepth.Set(int64(len(s.queue)))
 			s.runJob(job)
 		}
 	}
 }
 
-// runJob executes one job through the shared engine, streaming progress
-// into the job's event history and settling its terminal state.
+// watchdog cancels running jobs whose engine heartbeats have gone silent
+// for longer than StallTimeout; the job then classifies as a retryable
+// stall and re-queues (or degrades to best-so-far on budget exhaustion).
+func (s *Server) watchdog() {
+	defer s.wg.Done()
+	interval := s.cfg.StallTimeout / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.runCtx.Done():
+			return
+		case <-tick.C:
+			now := time.Now().UnixNano()
+			s.mu.Lock()
+			for id, e := range s.watch {
+				if now-e.job.lastBeat.Load() > int64(s.cfg.StallTimeout) {
+					mWatchdogStalls.Inc()
+					e.cancel(errStalled)
+					// Cancel exactly once; the worker unregisters on return.
+					delete(s.watch, id)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Server) watchAdd(job *Job, cancel context.CancelCauseFunc) {
+	s.mu.Lock()
+	s.watch[job.ID] = &watchEntry{job: job, cancel: cancel}
+	s.mu.Unlock()
+}
+
+func (s *Server) watchRemove(id string) {
+	s.mu.Lock()
+	delete(s.watch, id)
+	s.mu.Unlock()
+}
+
+// runJob executes one job — including its retry attempts — in the
+// current worker slot, streaming progress into the job's event history
+// and settling its terminal state.
 func (s *Server) runJob(job *Job) {
 	start := telemetry.Now()
 	mJobsRunning.Set(s.running.Add(1))
@@ -172,47 +262,222 @@ func (s *Server) runJob(job *Job) {
 		mJobsRunning.Set(s.running.Add(-1))
 		mJobRun.Since(start)
 	}()
+	for {
+		retry, delay := s.runAttempt(job)
+		if !retry {
+			return
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-s.runCtx.Done():
+			// Shutdown during backoff: the journal already holds the
+			// retrying record (non-terminal), so the next start re-runs it.
+			t.Stop()
+			return
+		}
+	}
+}
 
-	checkpoint := filepath.Join(s.cfg.SpoolDir, job.ID+".ckpt")
-	job.mu.Lock()
-	job.status = StatusRunning
-	job.started = time.Now()
-	job.checkpoint = checkpoint
-	job.mu.Unlock()
-	job.publish(Event{Type: string(StatusRunning)})
-
-	res, err := runspec.Run(s.runCtx, job.Spec, runspec.RunOptions{
+// execute runs one engine attempt with per-job panic isolation. The
+// engine's progress observer feeds the watchdog heartbeat, the chaos
+// fault hook, and the SSE stream, in that order.
+func (s *Server) execute(ctx context.Context, job *Job, checkpoint string, resume bool) (res *runspec.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			mJobsPanicked.Inc()
+			err = fmt.Errorf("%w: %v", errJobPanicked, r)
+		}
+	}()
+	spec := job.Spec
+	if resume && checkpoint != "" {
+		sp := *spec
+		sp.Resilience.CheckpointPath = checkpoint
+		sp.Resilience.Resume = true
+		spec = &sp
+	}
+	hook := s.cfg.FaultHook
+	return runspec.Run(ctx, spec, runspec.RunOptions{
 		Pool:           s.pool,
 		CheckpointPath: checkpoint,
 		OnProgress: func(p runspec.Progress) {
+			job.beat()
+			if hook != nil {
+				hook(ctx, job.ID, p)
+			}
 			job.publish(Event{Type: "progress", Phase: p.Phase,
 				Iteration: p.Iteration, Energy: p.Energy, Operator: p.Operator})
 		},
 	})
+}
 
+// runAttempt executes one attempt and classifies the outcome. It returns
+// retry=true (with a backoff delay) when the job should be re-run in
+// this worker slot.
+func (s *Server) runAttempt(job *Job) (retry bool, delay time.Duration) {
+	checkpoint := ""
+	if s.spoolOK.Load() {
+		checkpoint = filepath.Join(s.cfg.SpoolDir, job.ID+".ckpt")
+	}
+	job.mu.Lock()
+	job.status = StatusRunning
+	if job.started.IsZero() {
+		job.started = time.Now()
+	}
+	job.checkpoint = checkpoint
+	attempt := job.attempt
+	resume := job.resume
+	job.mu.Unlock()
+	job.beat()
+	s.journalAppend(journal.Record{Op: journal.OpRunning, JobID: job.ID,
+		SpecHash: job.SpecHash, Attempt: attempt, Checkpoint: checkpoint})
+	job.publish(Event{Type: string(StatusRunning)})
+
+	jobCtx, cancel := context.WithCancelCause(s.runCtx)
+	s.watchAdd(job, cancel)
+	res, err := s.execute(jobCtx, job, checkpoint, resume)
+	s.watchRemove(job.ID)
+	stalled := errors.Is(context.Cause(jobCtx), errStalled)
+	cancel(nil)
+
+	shutdown := s.runCtx.Err() != nil
+	switch {
+	case shutdown:
+		s.settleInterruptedByShutdown(job, res, err, checkpoint)
+		return false, 0
+
+	case stalled:
+		return s.maybeRetry(job, res, checkpoint,
+			fmt.Sprintf("stall: %v", errStalled))
+
+	case err != nil && errors.Is(err, errJobPanicked):
+		return s.maybeRetry(job, res, checkpoint, err.Error())
+
+	case err != nil && errors.Is(err, resilience.ErrCheckpointWrite):
+		// The spool is broken, not the job: shed checkpointing and retry
+		// the attempt without durability.
+		s.degradeSpool(fmt.Sprintf("checkpoint write failed: %v", err))
+		return s.maybeRetry(job, nil, "", err.Error())
+
+	case err != nil && retryableEngineErr(err):
+		return s.maybeRetry(job, res, checkpoint, err.Error())
+
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		// Spec-level walltime expired before the optimizer could capture a
+		// best-so-far point (e.g. QPE, or pre-loop).
+		s.settle(job, StatusInterrupted, nil, err.Error(), checkpoint)
+		return false, 0
+
+	case err != nil:
+		s.settle(job, StatusFailed, nil, err.Error(), checkpoint)
+		return false, 0
+
+	case res.Interrupted:
+		// Graceful walltime halt: best-so-far result plus a resumable
+		// checkpoint; terminal from the daemon's perspective.
+		s.settle(job, StatusInterrupted, res, "", checkpoint)
+		return false, 0
+
+	default:
+		s.settle(job, StatusDone, res, "", checkpoint)
+		return false, 0
+	}
+}
+
+// retryableEngineErr classifies transient engine failures worth a
+// re-queue: exhausted comm retries, detected corruption, dropped
+// transfers. Spec errors (invalid argument) are always terminal.
+func retryableEngineErr(err error) bool {
+	if errors.Is(err, core.ErrInvalidArgument) {
+		return false
+	}
+	return errors.Is(err, resilience.ErrRetriesExhausted) ||
+		errors.Is(err, resilience.ErrCorrupted) ||
+		errors.Is(err, resilience.ErrDropped)
+}
+
+// maybeRetry re-queues a retryably-failed job if budget remains, else
+// settles it: with a best-so-far result as interrupted (degraded
+// completion), without one as failed.
+func (s *Server) maybeRetry(job *Job, res *runspec.Result, checkpoint, reason string) (retry bool, delay time.Duration) {
+	job.mu.Lock()
+	job.attempt++
+	attempt := job.attempt
+	job.mu.Unlock()
+
+	if attempt > s.cfg.RetryBudget {
+		if res != nil {
+			// Degrade to best-so-far: the optimizer captured a usable
+			// partial answer before the job was cancelled.
+			s.settle(job, StatusInterrupted, res,
+				fmt.Sprintf("retry budget exhausted after %d attempt(s): %s", attempt, reason), checkpoint)
+		} else {
+			s.settle(job, StatusFailed, nil,
+				fmt.Sprintf("retry budget exhausted after %d attempt(s): %s", attempt, reason), checkpoint)
+		}
+		return false, 0
+	}
+
+	// Resume from the attempt's checkpoint when it verifies; a torn or
+	// mismatched snapshot cold-starts instead.
+	resume := false
+	if checkpoint != "" {
+		if _, err := resilience.CheckpointKind(checkpoint); err == nil {
+			resume = true
+		} else if !os.IsNotExist(err) {
+			os.Remove(checkpoint)
+		}
+	}
+	job.mu.Lock()
+	job.status = StatusQueued
+	job.resume = resume
+	job.mu.Unlock()
+
+	s.journalAppend(journal.Record{Op: journal.OpRetrying, JobID: job.ID,
+		Attempt: attempt, Error: reason, Checkpoint: checkpoint})
+	mJobsRetried.Inc()
+	s.logf("vqed: job %s attempt %d failed retryably (%s), re-queued", job.ID, attempt, reason)
+	job.publish(Event{Type: EventRetrying, Error: reason})
+	job.publish(Event{Type: string(StatusQueued)})
+	return true, s.cfg.RetryPolicy.Delay(attempt + 1)
+}
+
+// settleInterruptedByShutdown parks an in-flight job for the next start:
+// status interrupted (best-so-far result when the optimizer captured
+// one), and a journaled checkpointed record — non-terminal, so replay
+// re-enqueues and resumes it.
+func (s *Server) settleInterruptedByShutdown(job *Job, res *runspec.Result, err error, checkpoint string) {
 	job.mu.Lock()
 	job.finished = time.Now()
+	job.status = StatusInterrupted
+	if res != nil {
+		job.result = res
+	} else if err != nil {
+		job.err = err.Error()
+	}
+	job.mu.Unlock()
+	rec := journal.Record{Op: journal.OpCheckpointed, JobID: job.ID, SpecHash: job.SpecHash}
+	if checkpoint != "" && fileExists(checkpoint) {
+		rec.Checkpoint = checkpoint
+	}
+	s.journalAppend(rec)
+	mJobsInterrupted.Inc()
+	job.publish(Event{Type: string(StatusInterrupted)})
+}
+
+// settle records a terminal outcome: journal first, then metrics, cache,
+// and the terminal event.
+func (s *Server) settle(job *Job, status Status, res *runspec.Result, errMsg, checkpoint string) {
+	job.mu.Lock()
+	job.finished = time.Now()
+	job.status = status
+	job.err = errMsg
+	if res != nil {
+		job.result = res
+	}
 	queueWait := job.started.Sub(job.submitted)
 	runTime := job.finished.Sub(job.started)
 	e2e := job.finished.Sub(job.submitted)
-	switch {
-	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
-		// Cancellation surfaced as an error before the optimizer could
-		// capture a best-so-far point (e.g. QPE, or pre-loop).
-		job.status = StatusInterrupted
-		job.err = err.Error()
-	case err != nil:
-		job.status = StatusFailed
-		job.err = err.Error()
-	case res.Interrupted:
-		// Graceful halt: best-so-far result plus a resumable checkpoint.
-		job.status = StatusInterrupted
-		job.result = res
-	default:
-		job.status = StatusDone
-		job.result = res
-	}
-	terminal := job.status
 	job.mu.Unlock()
 
 	mQueueWaitMs.Observe(float64(queueWait) / float64(time.Millisecond))
@@ -220,26 +485,26 @@ func (s *Server) runJob(job *Job) {
 	mE2EMs.Observe(float64(e2e) / float64(time.Millisecond))
 	s.observeRunTime(runTime)
 
-	switch terminal {
+	rec := journal.Record{Op: journal.Op(status), JobID: job.ID, SpecHash: job.SpecHash,
+		Result: journalResult(res), Error: errMsg}
+	if checkpoint != "" && fileExists(checkpoint) {
+		rec.Checkpoint = checkpoint
+	}
+	s.journalAppend(rec)
+
+	switch status {
 	case StatusDone:
-		s.mu.Lock()
-		if _, ok := s.cache[job.SpecHash]; !ok && !s.cfg.DisableCache {
-			s.cache[job.SpecHash] = res
-			s.cacheOrder = append(s.cacheOrder, job.SpecHash)
-			if len(s.cacheOrder) > s.cfg.CacheCapacity {
-				evict := s.cacheOrder[0]
-				s.cacheOrder = s.cacheOrder[1:]
-				delete(s.cache, evict)
-			}
+		if !s.cfg.DisableCache {
+			s.cacheStore(job.SpecHash, res)
 		}
-		s.mu.Unlock()
 		mJobsCompleted.Inc()
 		job.publish(Event{Type: string(StatusDone)})
 	case StatusFailed:
 		mJobsFailed.Inc()
-		job.publish(Event{Type: string(StatusFailed), Error: job.view(false).Error})
+		job.publish(Event{Type: string(StatusFailed), Error: errMsg})
 	case StatusInterrupted:
 		mJobsInterrupted.Inc()
 		job.publish(Event{Type: string(StatusInterrupted)})
 	}
+	s.compactIfNeeded(false)
 }

@@ -2,8 +2,15 @@
 // submitted as canonical runspec.RunSpec documents over HTTP, executed on
 // a bounded worker scheduler that shares one simulation pool, with
 // per-iteration progress streamed over SSE, results cached by spec
-// content hash, and graceful shutdown that checkpoints in-flight jobs for
-// resumption.
+// content hash, and a durable job lifecycle: every accepted job is
+// journaled to a write-ahead log before it is acknowledged, so a crash —
+// SIGKILL included — loses nothing. On restart the journal replays:
+// finished jobs keep answering polls, unfinished ones re-enqueue and
+// resume from their latest resilience checkpoint. Workers isolate panics,
+// retry transient failures on a bounded budget, and a watchdog cancels
+// evaluations that stop producing progress heartbeats. When the journal
+// or checkpoint spool becomes unwritable the daemon sheds durability and
+// keeps serving (/healthz reports "degraded").
 //
 // Endpoints:
 //
@@ -14,7 +21,8 @@
 //	GET  /v1/jobs/{id}/events  SSE progress stream (replays history)
 //	GET  /v1/capabilities      accelerator registry catalog + limits
 //	GET  /v1/metrics           telemetry snapshot + scheduler counters
-//	GET  /healthz              liveness + queue depth
+//	GET  /healthz              liveness: ok | degraded | draining (always 200)
+//	GET  /readyz               readiness: 503 while draining
 package server
 
 import (
@@ -33,7 +41,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernel/tuning"
+	"repro/internal/resilience"
 	"repro/internal/runspec"
+	"repro/internal/server/journal"
 	"repro/internal/state"
 	"repro/internal/telemetry"
 	"repro/internal/xacc"
@@ -49,8 +59,8 @@ type Config struct {
 	// SimWorkers is the width of the shared simulation pool every job
 	// draws from (0 = GOMAXPROCS).
 	SimWorkers int
-	// SpoolDir holds per-job checkpoints and the shutdown manifest
-	// (default: a vqed-spool directory under the OS temp dir).
+	// SpoolDir holds per-job checkpoints and the job journal (default: a
+	// vqed-spool directory under the OS temp dir).
 	SpoolDir string
 	// CacheCapacity bounds the result cache entries (default 256).
 	CacheCapacity int
@@ -58,6 +68,27 @@ type Config struct {
 	// specs pay full service time — load validation uses this to measure
 	// cold-path latency the capacity planner can be scored against.
 	DisableCache bool
+	// DisableJournal turns the write-ahead job journal off (tests that
+	// want a throwaway daemon without recovery semantics).
+	DisableJournal bool
+	// RetryBudget is how many times a retryably-failed job (worker panic,
+	// watchdog stall, transient engine fault) is re-queued before it
+	// settles terminally (default 2; negative = 0).
+	RetryBudget int
+	// RetryPolicy paces the backoff between retry attempts (zero value =
+	// resilience defaults: 100µs base, 10ms cap, 2x growth).
+	RetryPolicy resilience.RetryPolicy
+	// StallTimeout is the no-progress deadline: a running job that emits
+	// no engine heartbeat for this long is cancelled by the watchdog and
+	// retried (0 disables the watchdog).
+	StallTimeout time.Duration
+	// FaultHook, when set, observes every engine progress sample and may
+	// panic or stall — the chaos harness's worker fault injection. Never
+	// set it in production.
+	FaultHook FaultHook
+	// Logf receives operational log lines (recovery, degradation,
+	// retries); nil discards them. The vqed CLI wires log.Printf.
+	Logf func(format string, args ...any)
 	// Registry resolves accelerator names (default xacc.DefaultRegistry).
 	Registry *xacc.Registry
 	// Estimator predicts a spec's runtime for admission-control wait
@@ -66,8 +97,11 @@ type Config struct {
 	Estimator func(*runspec.RunSpec) (time.Duration, bool)
 }
 
-// Server is the daemon core: scheduler, job store, result cache, and the
-// HTTP handler over them.
+// journalFile is the WAL's name under the spool dir.
+const journalFile = "journal.wal"
+
+// Server is the daemon core: scheduler, job store, result cache, journal,
+// and the HTTP handler over them.
 type Server struct {
 	cfg   Config
 	pool  *state.Pool
@@ -81,17 +115,42 @@ type Server struct {
 	// avgRunNs is the EWMA of recent job execution times backing
 	// EstimateWait when no cost model is configured.
 	avgRunNs atomic.Int64
+	// spoolOK is false once the checkpoint spool proved unwritable;
+	// subsequent jobs run without checkpointing (degraded durability).
+	spoolOK    atomic.Bool
+	compacting atomic.Bool
 
-	mu         sync.Mutex
-	draining   bool
-	jobSeq     int
-	jobs       map[string]*Job
-	order      []string
+	mu       sync.Mutex
+	draining bool
+	// jn is the write-ahead journal; nil when journaling is disabled or
+	// has been shed after a disk error.
+	jn *journal.Journal
+	// degradedReason is non-empty once any durability surface has been
+	// shed; /healthz reports it.
+	degradedReason string
+	// queued is the admission-control backlog: jobs accepted into the
+	// queue channel and not yet picked up. The channel itself is sized
+	// with slack for retries and recovery, so this counter — not the
+	// channel capacity — enforces QueueDepth.
+	queued int
+	jobSeq int
+	jobs   map[string]*Job
+	order  []string
+	// watch maps running job IDs to their cancel handles for the
+	// stuck-job watchdog.
+	watch      map[string]*watchEntry
 	cache      map[string]*runspec.Result
 	cacheOrder []string
 }
 
-// New builds a server and starts its worker fleet.
+type watchEntry struct {
+	job    *Job
+	cancel context.CancelCauseFunc
+}
+
+// New builds a server, replays the job journal, and starts the worker
+// fleet and watchdog. A broken spool or journal degrades durability but
+// never fails construction — the daemon serves regardless.
 func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 4
@@ -102,30 +161,66 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheCapacity <= 0 {
 		cfg.CacheCapacity = 256
 	}
+	if cfg.RetryBudget < 0 {
+		cfg.RetryBudget = 0
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = xacc.DefaultRegistry
 	}
 	if cfg.SpoolDir == "" {
 		cfg.SpoolDir = filepath.Join(os.TempDir(), "vqed-spool")
 	}
-	if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
-		return nil, fmt.Errorf("server: spool dir: %w", err)
-	}
 	//vqelint:ignore ctxflow daemon lifecycle root: New has no caller context; Shutdown cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:    cfg,
 		pool:   state.NewPool(cfg.SimWorkers),
-		queue:  make(chan *Job, cfg.QueueDepth),
 		runCtx: ctx,
 		cancel: cancel,
 		jobs:   map[string]*Job{},
+		watch:  map[string]*watchEntry{},
 		cache:  map[string]*runspec.Result{},
 	}
+	s.spoolOK.Store(true)
 	s.routes()
+
+	var recs []journal.Record
+	if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+		// Serve-but-warn: no spool means no checkpoints and no journal,
+		// not a dead daemon.
+		s.spoolOK.Store(false)
+		s.degrade(fmt.Sprintf("spool dir unusable: %v", err))
+	} else if !cfg.DisableJournal {
+		jn, replayed, err := journal.Open(filepath.Join(cfg.SpoolDir, journalFile))
+		if err != nil {
+			s.degrade(fmt.Sprintf("journal unusable: %v", err))
+		} else {
+			s.jn = jn
+			recs = replayed
+		}
+	}
+
+	// Rebuild the job table before sizing the queue: the channel needs
+	// room for QueueDepth admissions, one retry slot per worker, and every
+	// recovered job, so sends after admission never block.
+	pending := s.recoverJobs(recs)
+	s.queue = make(chan *Job, cfg.QueueDepth+cfg.MaxConcurrent+len(pending)+64)
+	for _, job := range pending {
+		s.queued++
+		s.queue <- job
+	}
+	if len(pending) > 0 || len(s.jobs) > 0 {
+		s.logf("vqed: journal replay: %d job(s) restored, %d re-enqueued", len(s.jobs), len(pending))
+	}
+	s.compactIfNeeded(len(recs) > 0)
+
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if cfg.StallTimeout > 0 {
+		s.wg.Add(1)
+		go s.watchdog()
 	}
 	return s, nil
 }
@@ -136,11 +231,82 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Pool exposes the shared simulation pool (tests assert sharing).
 func (s *Server) Pool() *state.Pool { return s.pool }
 
+// logf forwards to the configured logger.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// degrade sheds the journal (keeping the first failure as the reported
+// reason) and flips /healthz to "degraded". The daemon keeps serving.
+func (s *Server) degrade(reason string) {
+	s.mu.Lock()
+	if s.degradedReason == "" {
+		s.degradedReason = reason
+	}
+	jn := s.jn
+	s.jn = nil
+	s.mu.Unlock()
+	if jn != nil {
+		jn.Close()
+	}
+	s.logf("vqed: degraded durability: %s", reason)
+}
+
+// degradeSpool stops assigning checkpoint paths after a checkpoint write
+// failure; jobs keep running without durability.
+func (s *Server) degradeSpool(reason string) {
+	if s.spoolOK.CompareAndSwap(true, false) {
+		s.mu.Lock()
+		if s.degradedReason == "" {
+			s.degradedReason = reason
+		}
+		s.mu.Unlock()
+		s.logf("vqed: degraded durability: %s", reason)
+	}
+}
+
+// journalAppend durably records one lifecycle transition; a write failure
+// degrades journaling rather than failing the job.
+func (s *Server) journalAppend(rec journal.Record) {
+	s.mu.Lock()
+	jn := s.jn
+	s.mu.Unlock()
+	if jn == nil {
+		return
+	}
+	if err := jn.Append(rec); err != nil {
+		s.degrade(fmt.Sprintf("journal append failed: %v", err))
+	}
+}
+
+// cacheStore inserts a result under FIFO eviction (takes s.mu).
+func (s *Server) cacheStore(hash string, res *runspec.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheStoreLocked(hash, res)
+}
+
+func (s *Server) cacheStoreLocked(hash string, res *runspec.Result) {
+	if _, ok := s.cache[hash]; ok {
+		return
+	}
+	s.cache[hash] = res
+	s.cacheOrder = append(s.cacheOrder, hash)
+	if len(s.cacheOrder) > s.cfg.CacheCapacity {
+		evict := s.cacheOrder[0]
+		s.cacheOrder = s.cacheOrder[1:]
+		delete(s.cache, evict)
+	}
+}
+
 // Shutdown drains gracefully: new submissions are refused, in-flight
 // runs are cancelled — their optimizers halt at the next iteration
-// boundary and write final checkpoints into the spool — and a manifest of
-// resumable jobs is written before the worker fleet and pool stop. The
-// context bounds how long to wait for workers to settle.
+// boundary, write final checkpoints into the spool, and journal
+// "checkpointed" records so the next start resumes them — then the
+// journal and pool close. The context bounds how long to wait for
+// workers to settle.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
@@ -150,8 +316,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	s.mu.Unlock()
 
-	// Cancel in-flight runs; queued jobs are abandoned un-started (they
-	// have no partial state to lose).
+	// Cancel in-flight runs; queued jobs stay journaled as accepted and
+	// are re-enqueued on the next start.
 	s.cancel()
 	done := make(chan struct{})
 	go func() {
@@ -164,60 +330,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = fmt.Errorf("server: shutdown wait: %w", ctx.Err())
 	}
-	if mErr := s.writeManifest(); mErr != nil && err == nil {
-		err = mErr
+	s.mu.Lock()
+	jn := s.jn
+	s.jn = nil
+	s.mu.Unlock()
+	if jn != nil {
+		if cErr := jn.Close(); cErr != nil && err == nil {
+			err = cErr
+		}
 	}
 	s.pool.Close()
 	return err
-}
-
-// Manifest is the shutdown record: every job that holds a resumable
-// checkpoint, with the spec needed to resubmit it.
-type Manifest struct {
-	Jobs []ManifestJob `json:"jobs"`
-}
-
-// ManifestJob is one resumable entry.
-type ManifestJob struct {
-	ID             string           `json:"id"`
-	SpecHash       string           `json:"spec_hash"`
-	CheckpointPath string           `json:"checkpoint_path"`
-	Spec           *runspec.RunSpec `json:"spec"`
-}
-
-// writeManifest records interrupted jobs under the spool dir.
-func (s *Server) writeManifest() error {
-	// Snapshot the job list under s.mu, then inspect each job under its
-	// own lock only after s.mu is released: taking j.mu inside s.mu
-	// would establish a lock order that runJob (which takes them in the
-	// other sequence) could invert.
-	var m Manifest
-	s.mu.Lock()
-	jobs := make([]*Job, 0, len(s.order))
-	for _, id := range s.order {
-		jobs = append(jobs, s.jobs[id])
-	}
-	s.mu.Unlock()
-	for _, j := range jobs {
-		j.mu.Lock()
-		if j.status == StatusInterrupted && j.checkpoint != "" {
-			if _, err := os.Stat(j.checkpoint); err == nil {
-				m.Jobs = append(m.Jobs, ManifestJob{
-					ID: j.ID, SpecHash: j.SpecHash,
-					CheckpointPath: j.checkpoint, Spec: j.Spec,
-				})
-			}
-		}
-		j.mu.Unlock()
-	}
-	if len(m.Jobs) == 0 {
-		return nil
-	}
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(filepath.Join(s.cfg.SpoolDir, "manifest.json"), data, 0o644)
 }
 
 func (s *Server) routes() {
@@ -230,6 +353,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 }
 
 // maxSpecBytes bounds a submitted spec document.
@@ -397,21 +521,49 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = telemetry.Capture().WriteJSON(w)
 }
 
+// handleHealth is liveness: always 200 while the process serves. The
+// status field distinguishes full durability ("ok") from shed durability
+// ("degraded") and drain-in-progress ("draining").
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
+	degraded := s.degradedReason
+	journaling := s.jn != nil
 	total := len(s.jobs)
 	s.mu.Unlock()
 	status := "ok"
+	if degraded != "" {
+		status = "degraded"
+	}
 	if draining {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  status,
-		"jobs":    total,
-		"queued":  len(s.queue),
-		"running": s.running.Load(),
-	})
+	body := map[string]any{
+		"status":     status,
+		"jobs":       total,
+		"queued":     len(s.queue),
+		"running":    s.running.Load(),
+		"journaling": journaling,
+	}
+	if degraded != "" {
+		body["degraded_reason"] = degraded
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReady is readiness, split from liveness: a draining daemon is
+// alive (healthz 200) but must stop receiving traffic (readyz 503). A
+// degraded daemon still serves — durability loss is a warning, not an
+// outage.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
