@@ -11,7 +11,7 @@ GOVULNCHECK_VERSION = v1.1.4
 # Coverage floor for the telemetry package (CI enforces the same number).
 TELEMETRY_COVER_MIN = 60
 
-.PHONY: all build test vet vqelint lint-baseline lint vuln race bench bench-smoke chaos chaos-tests vqed-chaos vqed-smoke load-smoke cover figures check ci
+.PHONY: all build test vet vqelint lint-baseline lint vuln race bench bench-smoke chaos chaos-tests vqed-chaos vqed-smoke load-smoke sweep-smoke cover figures check ci
 
 all: check
 
@@ -113,6 +113,17 @@ load-smoke:
 	$(GO) build -o bin/vqeload ./cmd/vqeload
 	VQED_BIN=bin/vqed VQELOAD_BIN=bin/vqeload sh scripts/vqeload_smoke.sh
 
+# sweep-smoke is the sweep-family durability gate: submit a dense H2 bond
+# scan to /v1/sweeps, watch it with `vqeload sweep -assert-order` (done
+# points must always form a prefix of the value-ascending execution
+# order), SIGKILL the daemon mid-curve, restart it on the same spool, and
+# require the family to resume with zero lost or duplicated points.
+# Writes the final curve to sweep_curve.json.
+sweep-smoke:
+	$(GO) build -o bin/vqed ./cmd/vqed
+	$(GO) build -o bin/vqeload ./cmd/vqeload
+	VQED_BIN=bin/vqed VQELOAD_BIN=bin/vqeload sh scripts/vqed_sweep_smoke.sh
+
 bench:
 	$(GO) test -bench BenchmarkBatchedExpectation -benchtime 1x -run ^$$ .
 
@@ -142,5 +153,5 @@ check: build vet test race bench figures
 
 # ci mirrors the GitHub Actions workflow jobs (test, lint, vqelint, vuln,
 # coverage, bench-smoke, chaos-smoke, chaos-recovery, vqed-smoke,
-# load-smoke) so `make ci` locally means green CI.
-ci: build lint vuln test race cover bench-smoke chaos vqed-smoke load-smoke
+# load-smoke, sweep-smoke) so `make ci` locally means green CI.
+ci: build lint vuln test race cover bench-smoke chaos vqed-smoke load-smoke sweep-smoke

@@ -12,6 +12,9 @@
 //	vqe -molecule water -checkpoint w.ckpt -walltime 00:30  # budgeted run
 //	vqe -molecule water -checkpoint w.ckpt -resume          # continue it
 //	vqe -spec job.json                    # run a spec document directly
+//	vqe -scan 0.4:2.0:0.05                # warm-started H2 dissociation scan
+//	vqe -sweep family.json                # run a SweepSpec job family
+//	vqe -sweep family.json -sweep-cold    # cold baseline for the comparison
 package main
 
 import (
@@ -37,11 +40,13 @@ import (
 func main() {
 	sf := specflags.Add(flag.CommandLine, specflags.All)
 	var (
-		taper    = flag.Bool("taper", false, "report Z2-symmetry qubit tapering of the observable")
-		hamFile  = flag.String("hamiltonian", "", "run VQE on an operator file (hardware-efficient ansatz) instead of a built-in molecule")
-		layers   = flag.Int("layers", 2, "operator-file mode: HEA entangling layers")
-		scan     = flag.String("scan", "", "H2 dissociation scan \"start:stop:step\" in Å (warm-started VQE)")
-		specFile = flag.String("spec", "", "run a RunSpec JSON document instead of assembling one from flags")
+		taper     = flag.Bool("taper", false, "report Z2-symmetry qubit tapering of the observable")
+		hamFile   = flag.String("hamiltonian", "", "run VQE on an operator file (hardware-efficient ansatz) instead of a built-in molecule")
+		layers    = flag.Int("layers", 2, "operator-file mode: HEA entangling layers")
+		scan      = flag.String("scan", "", "H2 dissociation scan \"start:stop:step\" in Å (warm-started VQE)")
+		specFile  = flag.String("spec", "", "run a RunSpec JSON document instead of assembling one from flags")
+		sweepFile = flag.String("sweep", "", "run a SweepSpec JSON document (parameter-sweep job family)")
+		sweepCold = flag.Bool("sweep-cold", false, "disable warm-starting in -scan/-sweep (the cold baseline for the iteration-savings comparison)")
 	)
 	obsFlags := runreport.AddFlags(flag.CommandLine)
 	calibFlags := calib.AddFlags(flag.CommandLine)
@@ -62,7 +67,20 @@ func main() {
 		return
 	}
 	if *scan != "" {
-		runScan(*scan)
+		runScan(*scan, *sweepCold)
+		finishReport()
+		return
+	}
+	if *sweepFile != "" {
+		data, err := os.ReadFile(*sweepFile)
+		if err != nil {
+			fail(err)
+		}
+		ss, err := runspec.ParseSweep(data)
+		if err != nil {
+			fail(err)
+		}
+		runSweep(ss, *sweepCold, ss.Axis.Param)
 		finishReport()
 		return
 	}
@@ -215,47 +233,52 @@ func runOnOperatorFile(path string, layers, workers int) {
 }
 
 // runScan sweeps the H2 bond length, printing one row per geometry with
-// warm-started VQE (paper §6.2 incremental optimization). Warm-starting
-// threads state between geometries, so this also stays outside the
-// one-spec-one-run engine.
-func runScan(spec string) {
+// warm-started VQE (paper §6.2 incremental optimization). It is sugar
+// for a distance-axis SweepSpec executed by the shared family runner —
+// the same expansion, ordering, and warm-start chain the vqed scheduler
+// uses.
+func runScan(spec string, cold bool) {
 	var start, stop, step float64
 	if _, err := fmt.Sscanf(spec, "%f:%f:%f", &start, &stop, &step); err != nil || step <= 0 || stop < start {
 		fail(fmt.Errorf("bad -scan %q (want start:stop:step)", spec))
 	}
-	fmt.Println("R_angstrom\tE_HF\tE_VQE\tE_FCI\tdelta\tevals")
-	var warm []float64
-	for r := start; r <= stop+1e-9; r += step {
-		m, err := chem.H2AtDistance(r)
-		if err != nil {
-			fail(err)
-		}
-		h := chem.QubitHamiltonian(m)
-		rep.SetQubits(4)
-		rep.SetTerms(h.NumTerms())
-		u, err := ansatz.NewUCCSD(4, 2)
-		if err != nil {
-			fail(err)
-		}
-		drv, err := vqe.New(h, u, vqe.Options{Mode: vqe.Direct})
-		if err != nil {
-			fail(err)
-		}
-		x0 := make([]float64, u.NumParameters())
-		copy(x0, warm)
-		res, err := drv.MinimizeLBFGS(x0, opt.LBFGSOptions{})
-		if err != nil {
-			fail(err)
-		}
-		warm = res.Params
-		fci, err := chem.FCI(m)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("%.4f\t%+.6f\t%+.6f\t%+.6f\t%.2e\t%d\n",
-			r, chem.HartreeFockEnergy(m), res.Energy, fci.Energy,
-			math.Abs(res.Energy-fci.Energy), res.Optimizer.Evaluations)
+	ss := &runspec.SweepSpec{
+		Base: runspec.RunSpec{Algorithm: runspec.AlgorithmVQE, Molecule: runspec.MoleculeSpec{Kind: "h2"}},
+		Axis: runspec.SweepAxis{Param: runspec.AxisDistance, Start: start, Stop: stop, Step: step},
 	}
+	runSweep(ss, cold, "R_angstrom")
+}
+
+// runSweep executes a family via the shared runner, one row per point in
+// execution (axis-value) order plus a totals line.
+func runSweep(ss *runspec.SweepSpec, cold bool, valueHeader string) {
+	fmt.Printf("%s\tE_HF\tE_VQE\tE_FCI\tdelta\tevals\n", valueHeader)
+	res, err := runspec.RunSweep(context.Background(), ss, runspec.SweepRunOptions{
+		ColdStart: cold,
+		OnPoint: func(po runspec.SweepPointOutcome) {
+			if po.Error != "" {
+				fmt.Printf("%.4f\tFAILED: %s\n", po.Value, po.Error)
+				return
+			}
+			r := po.Result
+			rep.SetQubits(r.NumQubits)
+			rep.SetTerms(r.NumTerms)
+			fmt.Printf("%.4f\t%+.6f\t%+.6f\t%+.6f\t%.2e\t%d\n",
+				po.Value, r.HartreeFock, r.Energy, r.Exact,
+				r.ErrorVsExact, r.EnergyEvaluations)
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	warmed := 0
+	for _, po := range res.Points {
+		if po.WarmStarted {
+			warmed++
+		}
+	}
+	fmt.Printf("sweep:\t%d point(s), %d warm-started, %d failed, %d energy evaluations total (family %s)\n",
+		len(res.Points), warmed, res.Failed, res.EnergyEvaluations, res.FamilyHash)
 }
 
 func fail(err error) {

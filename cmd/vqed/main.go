@@ -61,6 +61,7 @@ func main() {
 	retries := flag.Int("retries", 2, "retry budget for panicked/stalled jobs before they fail")
 	stall := flag.Duration("stall-timeout", 2*time.Minute, "no-progress deadline before the watchdog kills a running job (0 disables)")
 	costModel := flag.String("costmodel", "", "cost-model profile for Retry-After quoting (from `vqeload probe`)")
+	sweepPoints := flag.Int("sweep-points", 256, "maximum points one sweep family may expand to")
 	calibFlags := calib.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -72,14 +73,15 @@ func main() {
 	}
 
 	cfg := server.Config{
-		MaxConcurrent: *jobs,
-		QueueDepth:    *queue,
-		SimWorkers:    *workers,
-		SpoolDir:      *spool,
-		CacheCapacity: *cache,
-		RetryBudget:   *retries,
-		StallTimeout:  *stall,
-		Logf:          log.Printf,
+		MaxConcurrent:  *jobs,
+		QueueDepth:     *queue,
+		SimWorkers:     *workers,
+		SpoolDir:       *spool,
+		CacheCapacity:  *cache,
+		RetryBudget:    *retries,
+		StallTimeout:   *stall,
+		MaxSweepPoints: *sweepPoints,
+		Logf:           log.Printf,
 	}
 	if spec := os.Getenv("VQED_FAULTS"); spec != "" {
 		hook, err := server.FaultHookFromEnv(spec)

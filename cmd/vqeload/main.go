@@ -53,6 +53,8 @@ func main() {
 		err = cmdRun(ctx, os.Args[2:])
 	case "chaos":
 		err = cmdChaos(ctx, os.Args[2:])
+	case "sweep":
+		err = cmdSweep(ctx, os.Args[2:])
 	case "probe":
 		err = cmdProbe(ctx, os.Args[2:])
 	case "plan":
@@ -78,6 +80,7 @@ func usage() {
 
   run     generate load against a vqed and write a latency/SLO report
   chaos   drive load through daemon kills and gate on zero job loss
+  sweep   submit or observe a sweep family and gate on its invariants
   probe   calibrate the per-spec cost model from short measurement runs
   plan    answer worker-count questions from the cost model (M/G/c)
   report  render an existing load_report.json as a table or markdown

@@ -1,10 +1,12 @@
 // Adapt-VQE on the 12-qubit downfolded-water model: the reproduction of
-// the paper's Figure 5 experiment. The ansatz grows one operator per
-// iteration (selected by energy gradient) until the energy is within
-// 1 milli-hartree of the exact ground state.
+// the paper's Figure 5 experiment, described as a RunSpec document — the
+// same shape the vqe CLI and the vqed daemon accept. The ansatz grows
+// one operator per iteration (selected by energy gradient) until the
+// energy is within 1 milli-hartree of the exact ground state.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,20 +14,23 @@ import (
 )
 
 func main() {
-	mol := vqesim.WaterLike()
-	fmt.Printf("molecule: %s (%d qubits, %d electrons)\n",
-		mol.Name, mol.NumSpinOrbitals(), mol.NumElectrons)
-
-	res, exact, err := vqesim.GroundStateAdaptVQE(mol, vqesim.AdaptConfig{MaxIterations: 25})
+	spec := &vqesim.RunSpec{
+		Algorithm: "adapt",
+		Molecule:  vqesim.MoleculeSpec{Kind: "water"},
+	}
+	spec.Adapt.MaxIterations = 25
+	res, err := vqesim.Run(context.Background(), spec, vqesim.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("molecule: %s (%d qubits, %d Pauli terms)\n",
+		res.Molecule, res.NumQubits, res.NumTerms)
 
-	fmt.Printf("exact (FCI) energy: %.8f\n\n", exact)
+	fmt.Printf("exact (FCI) energy: %.8f\n\n", res.Exact)
 	fmt.Println("iter  operator             energy        ΔE (mHa)  depth  gates")
 	for _, it := range res.History {
 		fmt.Printf("%4d  %-18s %12.8f %9.3f %6d %6d\n",
-			it.Iteration, it.Operator, it.Energy, 1000*it.ErrorVsRef,
+			it.Iteration, it.Operator, it.Energy, 1000*it.ErrorVsExact,
 			it.CircuitDepth, it.GateCount)
 	}
 	if res.Converged {

@@ -1,65 +1,59 @@
-// Dissociation curve of H2 computed with warm-started VQE: the potential-
+// Dissociation curve of H2 computed as a sweep family: the potential-
 // energy-surface workload the downfolding literature targets (paper §2)
-// plus the "incremental optimization" idea from §6.2 — the optimal
-// parameters of each geometry seed the next, cutting optimizer work.
+// plus the "incremental optimization" idea from §6.2. The SweepSpec
+// below is exactly the document you would POST to a vqed daemon's
+// /v1/sweeps endpoint; RunSweep executes the same expansion in-process —
+// points in ascending bond-length order, each warm-started from its
+// nearest finished neighbor, Hamiltonian construction shared.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math"
 
-	"repro/internal/ansatz"
-	"repro/internal/chem"
-	"repro/internal/opt"
-	"repro/internal/vqe"
+	vqesim "repro"
 )
 
 func main() {
-	distances := []float64{0.4, 0.5, 0.6, 0.7414, 0.9, 1.1, 1.4, 1.8, 2.4, 3.2}
+	ss := &vqesim.SweepSpec{
+		Base: vqesim.RunSpec{
+			Algorithm: "vqe",
+			Molecule:  vqesim.MoleculeSpec{Kind: "h2"},
+		},
+		Axis: vqesim.SweepAxis{
+			Param:  vqesim.AxisDistance,
+			Values: []float64{0.4, 0.5, 0.6, 0.7414, 0.9, 1.1, 1.4, 1.8, 2.4, 3.2},
+		},
+	}
 
 	fmt.Println("H2/STO-3G dissociation curve (energies in hartree):")
 	fmt.Println("R (Å)    E(HF)       E(VQE)      E(FCI)      |VQE−FCI|   evals")
-	var warm []float64
-	coldEvals, warmEvals := 0, 0
-	for i, r := range distances {
-		m, err := chem.H2AtDistance(r)
-		if err != nil {
-			log.Fatal(err)
-		}
-		h := chem.QubitHamiltonian(m)
-		u, err := ansatz.NewUCCSD(4, 2)
-		if err != nil {
-			log.Fatal(err)
-		}
-		drv, err := vqe.New(h, u, vqe.Options{Mode: vqe.Direct})
-		if err != nil {
-			log.Fatal(err)
-		}
-		x0 := make([]float64, u.NumParameters())
-		if warm != nil {
-			copy(x0, warm) // §6.2: warm start from the previous geometry
-		}
-		res, err := drv.MinimizeLBFGS(x0, opt.LBFGSOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		warm = res.Params
-
-		fci, err := chem.FCI(m)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%.4f  %+.6f  %+.6f  %+.6f  %9.2e  %5d\n",
-			r, chem.HartreeFockEnergy(m), res.Energy, fci.Energy,
-			math.Abs(res.Energy-fci.Energy), res.Optimizer.Evaluations)
-		if i == 0 {
-			coldEvals = res.Optimizer.Evaluations
-		} else {
-			warmEvals += res.Optimizer.Evaluations
-		}
+	coldEvals, warmEvals, warmPoints := 0, 0, 0
+	res, err := vqesim.RunSweep(context.Background(), ss, vqesim.SweepRunOptions{
+		OnPoint: func(po vqesim.SweepPointOutcome) {
+			if po.Error != "" {
+				log.Fatalf("R=%.4f: %s", po.Value, po.Error)
+			}
+			r := po.Result
+			fmt.Printf("%.4f  %+.6f  %+.6f  %+.6f  %9.2e  %5d\n",
+				po.Value, r.HartreeFock, r.Energy, r.Exact,
+				r.ErrorVsExact, r.EnergyEvaluations)
+			if po.WarmStarted {
+				warmEvals += r.EnergyEvaluations
+				warmPoints++
+			} else {
+				coldEvals += r.EnergyEvaluations
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\nwarm-started geometries averaged %.1f evaluations vs %d cold\n",
-		float64(warmEvals)/float64(len(distances)-1), coldEvals)
+
+	fmt.Printf("\nfamily %s: %d points, %d energy evaluations total\n",
+		res.FamilyHash, len(res.Points), res.EnergyEvaluations)
+	fmt.Printf("warm-started geometries averaged %.1f evaluations vs %d cold\n",
+		float64(warmEvals)/float64(warmPoints), coldEvals)
 	fmt.Println("note how RHF fails at dissociation while VQE tracks FCI everywhere")
 }

@@ -1,9 +1,12 @@
 // Quickstart: compute the ground-state energy of H2 with VQE in a few
-// lines using the public facade, and compare against the exact (FCI)
-// reference — the minimal version of the paper's end-to-end workflow.
+// lines using the canonical spec API, and compare against the exact
+// (FCI) reference — the minimal version of the paper's end-to-end
+// workflow. The zero-valued RunSpec selects the defaults: UCCSD VQE on
+// H2/STO-3G, L-BFGS, direct expectation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,21 +14,19 @@ import (
 )
 
 func main() {
-	mol := vqesim.H2()
-	fmt.Printf("molecule: %s\n", mol.Name)
-	fmt.Printf("Hartree–Fock energy: %.6f Ha\n", vqesim.HartreeFockEnergy(mol))
-
-	res, err := vqesim.GroundStateVQE(mol, vqesim.VQEConfig{})
+	res, err := vqesim.Run(context.Background(), &vqesim.RunSpec{}, vqesim.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("molecule: %s (spec %s)\n", res.Molecule, res.SpecHash)
+	fmt.Printf("Hartree–Fock energy: %.6f Ha\n", res.HartreeFock)
 	fmt.Printf("VQE energy:          %.6f Ha\n", res.Energy)
 	fmt.Printf("FCI energy:          %.6f Ha\n", res.Exact)
-	fmt.Printf("error vs FCI:        %.2e Ha\n", res.ErrorVsFCI)
+	fmt.Printf("error vs FCI:        %.2e Ha\n", res.ErrorVsExact)
 	fmt.Printf("energy evaluations:  %d (gates applied: %d)\n",
-		res.Stats.EnergyEvaluations, res.Stats.GatesApplied)
+		res.EnergyEvaluations, res.GatesApplied)
 
-	if res.ErrorVsFCI < vqesim.ChemicalAccuracy {
+	if res.ErrorVsExact < vqesim.ChemicalAccuracy {
 		fmt.Println("→ chemical accuracy reached ✓")
 	}
 }

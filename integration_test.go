@@ -180,24 +180,27 @@ func TestIntegrationEncodingAgnosticEnergy(t *testing.T) {
 }
 
 func TestIntegrationDissociationCurveVQE(t *testing.T) {
-	// Three points of the H2 curve through the facade: VQE == FCI
-	// everywhere, with the expected ordering.
-	var energies []float64
-	for _, r := range []float64{0.5, 0.7414, 1.5} {
-		m, err := H2AtDistance(r)
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := GroundStateVQE(m, VQEConfig{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.ErrorVsFCI > 1e-6 {
-			t.Errorf("R=%v: VQE error %v", r, res.ErrorVsFCI)
-		}
-		energies = append(energies, res.Energy)
+	// Three points of the H2 curve as one sweep family through the
+	// facade: VQE == FCI everywhere, with the expected ordering.
+	ss := &SweepSpec{
+		Base: RunSpec{Algorithm: "vqe", Molecule: MoleculeSpec{Kind: "h2"}},
+		Axis: SweepAxis{Param: AxisDistance, Values: []float64{0.5, 0.7414, 1.5}},
 	}
-	if !(energies[1] < energies[0] && energies[1] < energies[2]) {
+	res, err := RunSweep(context.Background(), ss, SweepRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d of %d sweep points failed", res.Failed, len(res.Points))
+	}
+	energies := map[float64]float64{}
+	for _, po := range res.Points {
+		if po.Result.ErrorVsExact > 1e-6 {
+			t.Errorf("R=%v: VQE error %v", po.Value, po.Result.ErrorVsExact)
+		}
+		energies[po.Value] = po.Result.Energy
+	}
+	if !(energies[0.7414] < energies[0.5] && energies[0.7414] < energies[1.5]) {
 		t.Errorf("equilibrium not the minimum: %v", energies)
 	}
 }

@@ -54,6 +54,17 @@ type RunOptions struct {
 	// OnProgress, when set, receives one Progress per iteration. Called
 	// from the run's goroutine; keep it fast.
 	OnProgress func(Progress)
+	// InitialParams seeds the variational parameter vector (sweep warm
+	// starting). It is used only when its length matches the ansatz and
+	// the run is not resuming from a checkpoint; qpe and adapt ignore it.
+	// Warm starting changes the optimizer trajectory, not the minimum a
+	// converged run reports.
+	InitialParams []float64
+	// Shared caches molecule/observable/FCI construction across the
+	// points of a sweep family. Only meaningful on the Run entry point
+	// (RunOnMolecule bypasses spec-derived construction); nil builds
+	// everything per run.
+	Shared *BuildCache
 }
 
 // AdaptStep is the JSON-facing mirror of one Adapt-VQE outer iteration.
@@ -193,7 +204,7 @@ func Run(ctx context.Context, spec *RunSpec, opts RunOptions) (*Result, error) {
 	}
 	c := *spec
 	c.ApplyDefaults()
-	m, err := BuildMolecule(c.Molecule)
+	m, err := opts.Shared.molecule(c.Molecule)
 	if err != nil {
 		return nil, err
 	}
@@ -212,6 +223,9 @@ func RunOnMolecule(ctx context.Context, m *chem.MolecularData, spec *RunSpec, op
 	}
 	c := *spec
 	c.ApplyDefaults()
+	// The cache keys on the spec's molecule section, which this entry
+	// point ignores — sharing here would alias unrelated molecules.
+	opts.Shared = nil
 	res, err := run(ctx, m, &c, opts)
 	if err != nil {
 		return nil, err
@@ -263,22 +277,13 @@ func run(ctx context.Context, m *chem.MolecularData, c *RunSpec, opts RunOptions
 		ro.CheckpointPath = opts.CheckpointPath
 	}
 
-	h, err := BuildObservable(m, c.Encoding)
+	h, n, err := opts.Shared.observable(c.Molecule, m, c.Encoding, c.Downfold)
 	if err != nil {
 		return nil, err
 	}
 	setupBeat(1)
-	n := m.NumSpinOrbitals()
 	ne := m.NumElectrons
-	if c.Downfold > 0 {
-		dres, err := chem.Downfold(m, chem.DownfoldOptions{ActiveOrbitals: c.Downfold, Order: 2})
-		if err != nil {
-			return nil, err
-		}
-		h = dres.Qubit
-		n = 2 * c.Downfold
-	}
-	fci, err := chem.FCIofOp(chem.FermionicHamiltonian(m), m.NumSpinOrbitals(), ne)
+	fciEnergy, err := opts.Shared.fciEnergy(c.Molecule, m)
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +295,7 @@ func run(ctx context.Context, m *chem.MolecularData, c *RunSpec, opts RunOptions
 		NumQubits:   n,
 		NumTerms:    h.NumTerms(),
 		HartreeFock: chem.HartreeFockEnergy(m),
-		Exact:       fci.Energy,
+		Exact:       fciEnergy,
 	}
 	if ro.CheckpointPath != "" {
 		res.CheckpointPath = ro.CheckpointPath
@@ -300,7 +305,7 @@ func run(ctx context.Context, m *chem.MolecularData, c *RunSpec, opts RunOptions
 	case AlgorithmQPE:
 		err = runQPE(ctx, c, h, n, ne, res)
 	case AlgorithmAdapt:
-		err = runAdapt(ctx, c, h, n, ne, fci.Energy, ro, opts, res)
+		err = runAdapt(ctx, c, h, n, ne, fciEnergy, ro, opts, res)
 	default:
 		err = runVQE(ctx, c, h, n, ne, ro, opts, res)
 	}
@@ -422,6 +427,11 @@ func runDriverVQE(ctx context.Context, c *RunSpec, h *pauli.Op, a ansatz.Ansatz,
 		return err
 	}
 	x0 := make([]float64, a.NumParameters())
+	if len(opts.InitialParams) == len(x0) && !(ro.Resume && ro.CheckpointPath != "") {
+		// Warm start: seed from a neighboring sweep point's converged θ.
+		// A checkpoint resume carries its own optimizer state and wins.
+		copy(x0, opts.InitialParams)
+	}
 	var out vqe.Result
 	switch c.Optimizer.Method {
 	case "nelder-mead":
@@ -486,7 +496,11 @@ func runAcceleratorVQE(ctx context.Context, c *RunSpec, h *pauli.Op, n int, a an
 			return nil
 		}
 	}
-	out, err := alg.ExecuteContext(ctx, nil)
+	var x0 []float64
+	if len(opts.InitialParams) == a.NumParameters() {
+		x0 = opts.InitialParams
+	}
+	out, err := alg.ExecuteContext(ctx, x0)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,399 @@
+package runspec
+
+// SweepSpec: a parameter sweep as a first-class job family. One base
+// RunSpec plus an axis (bond length, Hubbard couplings, ansatz depth,
+// active space) expands deterministically into N ordinary point specs —
+// each content-addressed with the usual rs1 hash, so point results are
+// interchangeable with single-spec submissions — while the family itself
+// is content-addressed under the sw1 prefix. The family hash covers the
+// axis in submission order (a reordered sweep is a different family);
+// point hashes do not (a point is the same run wherever it sits in the
+// sweep).
+//
+// Families exist because the paper's real workloads are curves, not
+// points: a dissociation scan is tens of geometries whose optima vary
+// smoothly, so executing them in axis order and warm-starting each
+// point's initial θ from its nearest finished neighbor saves most of the
+// optimizer iterations (§6.2 incremental optimization). RunSweep is the
+// in-process family runner; the vqed scheduler wraps the same expansion
+// with journaling, caching, and SSE.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// Axis parameter names accepted by SweepAxis.Param.
+const (
+	// AxisDistance sweeps the H2 bond length in Å (base molecule h2 or
+	// h2-distance).
+	AxisDistance = "distance"
+	// AxisHopping / AxisRepulsion sweep the Hubbard couplings.
+	AxisHopping   = "hopping"
+	AxisRepulsion = "repulsion"
+	// AxisLayers sweeps the HEA entangling-layer count (integer values).
+	AxisLayers = "layers"
+	// AxisDownfold sweeps the active-space size (integer orbital counts).
+	AxisDownfold = "downfold"
+)
+
+// MaxSweepPoints is the schema-level ceiling on family size; the daemon
+// enforces its own (lower) admission cap on top.
+const MaxSweepPoints = 4096
+
+// SweepAxis names the swept parameter and its values: either an explicit
+// list (order preserved — it is the execution-independent identity of the
+// family) or an inclusive start/stop/step range.
+type SweepAxis struct {
+	// Param: distance | hopping | repulsion | layers | downfold.
+	Param string `json:"param"`
+	// Values is the explicit point list; mutually exclusive with the
+	// range fields.
+	Values []float64 `json:"values,omitempty"`
+	// Start/Stop/Step describe an inclusive range (Step > 0).
+	Start float64 `json:"start,omitempty"`
+	Stop  float64 `json:"stop,omitempty"`
+	Step  float64 `json:"step,omitempty"`
+}
+
+// SweepSpec is one job family: a base RunSpec and the axis expanded over
+// it.
+type SweepSpec struct {
+	Base RunSpec   `json:"base"`
+	Axis SweepAxis `json:"axis"`
+}
+
+// SweepPoint is one expanded member of a family.
+type SweepPoint struct {
+	// Index is the position in expansion (submission) order.
+	Index int
+	// Value is the axis value this point pins.
+	Value float64
+	// Spec is the fully-defaulted point spec.
+	Spec *RunSpec
+	// Hash is the point's ordinary rs1 content hash — the same key a
+	// single-spec submission of this point would carry.
+	Hash string
+}
+
+// values resolves the axis to its explicit point list.
+func (a SweepAxis) values() ([]float64, error) {
+	if len(a.Values) > 0 {
+		if a.Start != 0 || a.Stop != 0 || a.Step != 0 {
+			return nil, fmt.Errorf("%w: runspec: sweep axis has both values and a range", core.ErrInvalidArgument)
+		}
+		if len(a.Values) > MaxSweepPoints {
+			return nil, fmt.Errorf("%w: runspec: sweep axis has %d values (max %d)", core.ErrInvalidArgument, len(a.Values), MaxSweepPoints)
+		}
+		return a.Values, nil
+	}
+	if a.Step <= 0 {
+		return nil, fmt.Errorf("%w: runspec: sweep axis needs values or start/stop/step with step > 0", core.ErrInvalidArgument)
+	}
+	if a.Stop < a.Start {
+		return nil, fmt.Errorf("%w: runspec: sweep axis stop %g < start %g", core.ErrInvalidArgument, a.Stop, a.Start)
+	}
+	// Inclusive expansion with an epsilon so 0.5:1.3:0.1 lands on 1.3
+	// despite float accumulation (same convention as cmd/vqe -scan).
+	n := int(math.Floor((a.Stop-a.Start)/a.Step+1e-9)) + 1
+	if n > MaxSweepPoints {
+		return nil, fmt.Errorf("%w: runspec: sweep range expands to %d points (max %d)", core.ErrInvalidArgument, n, MaxSweepPoints)
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = a.Start + float64(i)*a.Step
+	}
+	return vals, nil
+}
+
+// apply pins one axis value onto a copy of the base spec.
+func (a SweepAxis) apply(base RunSpec, v float64) (*RunSpec, error) {
+	spec := base
+	spec.ApplyDefaults()
+	switch strings.ToLower(strings.TrimSpace(a.Param)) {
+	case AxisDistance:
+		if spec.Molecule.Kind != "h2" && spec.Molecule.Kind != "h2-distance" {
+			return nil, fmt.Errorf("%w: runspec: distance axis needs molecule kind h2 or h2-distance (got %q)", core.ErrInvalidArgument, spec.Molecule.Kind)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("%w: runspec: distance axis value %g must be > 0", core.ErrInvalidArgument, v)
+		}
+		spec.Molecule = MoleculeSpec{Kind: "h2-distance", Distance: v}
+	case AxisHopping, AxisRepulsion:
+		if spec.Molecule.Kind != "hubbard" {
+			return nil, fmt.Errorf("%w: runspec: %s axis needs molecule kind hubbard (got %q)", core.ErrInvalidArgument, a.Param, spec.Molecule.Kind)
+		}
+		if strings.EqualFold(a.Param, AxisHopping) {
+			spec.Molecule.Hopping = v
+		} else {
+			spec.Molecule.Repulsion = v
+		}
+	case AxisLayers:
+		n, err := axisInt(a.Param, v)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Ansatz.Kind != "hea" {
+			return nil, fmt.Errorf("%w: runspec: layers axis needs ansatz kind hea (got %q)", core.ErrInvalidArgument, spec.Ansatz.Kind)
+		}
+		spec.Ansatz.Layers = n
+	case AxisDownfold:
+		n, err := axisInt(a.Param, v)
+		if err != nil {
+			return nil, err
+		}
+		spec.Downfold = n
+	default:
+		return nil, fmt.Errorf("%w: runspec: unknown sweep axis param %q", core.ErrInvalidArgument, a.Param)
+	}
+	return &spec, nil
+}
+
+// axisInt validates an integer-valued axis point.
+func axisInt(param string, v float64) (int, error) {
+	if v < 1 || math.Abs(v-math.Round(v)) > 1e-9 {
+		return 0, fmt.Errorf("%w: runspec: %s axis value %g must be a positive integer", core.ErrInvalidArgument, param, v)
+	}
+	return int(math.Round(v)), nil
+}
+
+// Points expands the family into its member specs, in submission order.
+// Every point is validated; duplicate axis values are rejected (they
+// would alias the same rs1 hash inside one family).
+func (s *SweepSpec) Points() ([]SweepPoint, error) {
+	vals, err := s.Axis.values()
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("%w: runspec: sweep axis expands to zero points", core.ErrInvalidArgument)
+	}
+	points := make([]SweepPoint, len(vals))
+	seen := make(map[string]float64, len(vals))
+	for i, v := range vals {
+		spec, err := s.Axis.apply(s.Base, v)
+		if err != nil {
+			return nil, err
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep point %d (value %g): %w", i, v, err)
+		}
+		h := spec.Hash()
+		if prev, dup := seen[h]; dup {
+			return nil, fmt.Errorf("%w: runspec: sweep values %g and %g expand to the same point", core.ErrInvalidArgument, prev, v)
+		}
+		seen[h] = v
+		points[i] = SweepPoint{Index: i, Value: v, Spec: spec, Hash: h}
+	}
+	return points, nil
+}
+
+// Validate checks the family: the base spec, the axis, and every expanded
+// point.
+func (s *SweepSpec) Validate() error {
+	if err := s.Base.Validate(); err != nil {
+		return fmt.Errorf("sweep base: %w", err)
+	}
+	_, err := s.Points()
+	return err
+}
+
+// SweepHashPrefix versions the family canonical form (bump alongside any
+// change to sweep expansion semantics).
+const SweepHashPrefix = "sw1"
+
+// canonicalSweep is the hashed form: the canonical base plus the resolved
+// value list in submission order. A range and an explicit list expanding
+// to the same values are the same family; the same values reordered are
+// not (execution order is part of family identity), while the member
+// point hashes are order-independent by construction.
+type canonicalSweep struct {
+	Base   RunSpec   `json:"base"`
+	Param  string    `json:"param"`
+	Values []float64 `json:"values"`
+}
+
+// Hash returns the family content hash: SweepHashPrefix plus the hex
+// SHA-256 of the canonical family JSON.
+func (s SweepSpec) Hash() string {
+	vals, err := s.Axis.values()
+	if err != nil {
+		// An unexpandable axis has no canonical identity; hash the raw
+		// axis so the value is still deterministic for error paths.
+		vals = s.Axis.Values
+	}
+	c := canonicalSweep{
+		Base:   s.Base.Canonical(),
+		Param:  strings.ToLower(strings.TrimSpace(s.Axis.Param)),
+		Values: vals,
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Errorf("%w: runspec: marshal canonical sweep: %v", core.ErrInvalidArgument, err))
+	}
+	sum := sha256.Sum256(b)
+	return SweepHashPrefix + ":" + hex.EncodeToString(sum[:])
+}
+
+// ParseSweep decodes a JSON sweep document strictly (unknown fields are
+// errors) and validates it.
+func ParseSweep(data []byte) (*SweepSpec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	spec := new(SweepSpec)
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("%w: runspec: sweep: %v", core.ErrInvalidArgument, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: runspec: trailing data after sweep spec", core.ErrInvalidArgument)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// ExecutionOrder returns point indices sorted ascending by axis value —
+// the neighbor-ordered dispatch sequence both RunSweep and the daemon's
+// family executor walk, so each point's warm-start source is already
+// finished when the point runs.
+func ExecutionOrder(points []SweepPoint) []int {
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return points[order[a]].Value < points[order[b]].Value
+	})
+	return order
+}
+
+// NearestParams picks the converged parameter vector of the finished
+// point nearest to value on the axis (ties to the lower value), or nil
+// when none qualifies. want is the parameter count the target ansatz
+// expects; sources of a different arity are skipped (a depth sweep grows
+// the vector between points).
+func NearestParams(value float64, want int, finished []SweepPoint, results map[int]*Result) []float64 {
+	var bestParams []float64
+	bestDist, bestValue := math.Inf(1), math.Inf(1)
+	for _, p := range finished {
+		res := results[p.Index]
+		if res == nil || len(res.Params) == 0 {
+			continue
+		}
+		if want > 0 && len(res.Params) != want {
+			continue
+		}
+		d := math.Abs(p.Value - value)
+		//vqelint:ignore floatcompare exact tie-break between identical distances; a tolerance would make "ties to the lower value" nondeterministic
+		if d < bestDist || (d == bestDist && p.Value < bestValue) {
+			bestDist, bestValue, bestParams = d, p.Value, res.Params
+		}
+	}
+	return bestParams
+}
+
+// SweepRunOptions configures the in-process family runner.
+type SweepRunOptions struct {
+	// Pool shares one simulation pool across the points.
+	Pool *state.Pool
+	// ColdStart disables warm-starting (the measurement baseline for the
+	// warm-vs-cold iteration comparison).
+	ColdStart bool
+	// OnPoint receives each point outcome as it settles, in execution
+	// (axis-value) order.
+	OnPoint func(SweepPointOutcome)
+	// OnProgress receives the running point's engine progress.
+	OnProgress func(point int, p Progress)
+}
+
+// SweepPointOutcome is one settled point of a family run.
+type SweepPointOutcome struct {
+	Index       int     `json:"index"`
+	Value       float64 `json:"value"`
+	SpecHash    string  `json:"spec_hash"`
+	WarmStarted bool    `json:"warm_started,omitempty"`
+	Result      *Result `json:"result,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// SweepResult is the aggregate outcome of RunSweep, points in submission
+// order.
+type SweepResult struct {
+	FamilyHash string              `json:"family_hash"`
+	Param      string              `json:"param"`
+	Points     []SweepPointOutcome `json:"points"`
+	// EnergyEvaluations totals the optimizer work across all points — the
+	// number the warm-vs-cold experiment compares.
+	EnergyEvaluations int   `json:"energy_evaluations"`
+	Failed            int   `json:"failed,omitempty"`
+	WallNs            int64 `json:"wall_ns"`
+}
+
+// RunSweep executes a family in-process: points in ascending axis order,
+// each warm-started from its nearest finished neighbor, with molecule /
+// observable / FCI construction shared across points. A failing point
+// records its error and the sweep continues; only context cancellation
+// aborts the family.
+func RunSweep(ctx context.Context, ss *SweepSpec, opts SweepRunOptions) (*SweepResult, error) {
+	started := time.Now()
+	points, err := ss.Points()
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{
+		FamilyHash: ss.Hash(),
+		Param:      strings.ToLower(strings.TrimSpace(ss.Axis.Param)),
+		Points:     make([]SweepPointOutcome, len(points)),
+	}
+	shared := NewBuildCache()
+	results := make(map[int]*Result, len(points))
+	var finished []SweepPoint
+	for _, idx := range ExecutionOrder(points) {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		p := points[idx]
+		po := SweepPointOutcome{Index: p.Index, Value: p.Value, SpecHash: p.Hash}
+		ro := RunOptions{Pool: opts.Pool, Shared: shared}
+		if !opts.ColdStart {
+			if warm := NearestParams(p.Value, 0, finished, results); warm != nil {
+				ro.InitialParams = warm
+				po.WarmStarted = true
+			}
+		}
+		if opts.OnProgress != nil {
+			i := p.Index
+			ro.OnProgress = func(pr Progress) { opts.OnProgress(i, pr) }
+		}
+		res, err := Run(ctx, p.Spec, ro)
+		if err != nil {
+			if ctx.Err() != nil {
+				return out, err
+			}
+			po.Error = err.Error()
+			out.Failed++
+		} else {
+			po.Result = res
+			out.EnergyEvaluations += res.EnergyEvaluations
+			results[p.Index] = res
+			finished = append(finished, p)
+		}
+		out.Points[p.Index] = po
+		if opts.OnPoint != nil {
+			opts.OnPoint(po)
+		}
+	}
+	out.WallNs = time.Since(started).Nanoseconds()
+	return out, nil
+}

@@ -1,0 +1,313 @@
+package runspec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func h2Sweep(axis SweepAxis) *SweepSpec {
+	return &SweepSpec{
+		Base: RunSpec{Algorithm: AlgorithmVQE, Molecule: MoleculeSpec{Kind: "h2"}},
+		Axis: axis,
+	}
+}
+
+func TestSweepPointHashesMatchSingleSubmissions(t *testing.T) {
+	// A family member's hash is the ordinary rs1 hash of the pinned
+	// spec: point results and single-spec submissions share cache keys.
+	ss := h2Sweep(SweepAxis{Param: AxisDistance, Values: []float64{0.5, 0.7414}})
+	points, err := ss.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		solo := RunSpec{
+			Algorithm: AlgorithmVQE,
+			Molecule:  MoleculeSpec{Kind: "h2-distance", Distance: p.Value},
+		}
+		solo.ApplyDefaults()
+		if got := solo.Hash(); got != p.Hash {
+			t.Errorf("point %g: family hash %s != single-spec hash %s", p.Value, p.Hash, got)
+		}
+		if !strings.HasPrefix(p.Hash, HashPrefix+":") {
+			t.Errorf("point hash %s lacks %s prefix", p.Hash, HashPrefix)
+		}
+	}
+}
+
+func TestSweepReorderKeepsPointHashesChangesFamilyHash(t *testing.T) {
+	a := h2Sweep(SweepAxis{Param: AxisDistance, Values: []float64{0.5, 0.7414, 1.5}})
+	b := h2Sweep(SweepAxis{Param: AxisDistance, Values: []float64{1.5, 0.5, 0.7414}})
+
+	pa, err := a.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashesByValue := func(pts []SweepPoint) map[float64]string {
+		m := map[float64]string{}
+		for _, p := range pts {
+			m[p.Value] = p.Hash
+		}
+		return m
+	}
+	ha, hb := hashesByValue(pa), hashesByValue(pb)
+	for v, h := range ha {
+		if hb[v] != h {
+			t.Errorf("point %g: hash changed with axis order: %s vs %s", v, h, hb[v])
+		}
+	}
+	if a.Hash() == b.Hash() {
+		t.Errorf("reordered axis kept family hash %s — submission order is family identity", a.Hash())
+	}
+	if !strings.HasPrefix(a.Hash(), SweepHashPrefix+":") {
+		t.Errorf("family hash %s lacks %s prefix", a.Hash(), SweepHashPrefix)
+	}
+}
+
+func TestSweepRangeAndExplicitListSameFamily(t *testing.T) {
+	// 0.5:0.7:0.1 and [0.5, 0.6, 0.7] resolve to the same values, hence
+	// the same family.
+	rng := h2Sweep(SweepAxis{Param: AxisDistance, Start: 0.5, Stop: 0.7, Step: 0.1})
+	lst := h2Sweep(SweepAxis{Param: AxisDistance, Values: []float64{0.5, 0.5 + 0.1, 0.5 + 2*0.1}})
+	if rng.Hash() != lst.Hash() {
+		t.Errorf("range family %s != list family %s", rng.Hash(), lst.Hash())
+	}
+	pts, err := rng.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("range expanded to %d points, want 3", len(pts))
+	}
+}
+
+func TestSweepExpansionDeterministic(t *testing.T) {
+	ss := h2Sweep(SweepAxis{Param: AxisDistance, Start: 0.4, Stop: 2.0, Step: 0.05})
+	first, err := ss.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 33 {
+		t.Fatalf("expanded to %d points, want 33", len(first))
+	}
+	again, err := ss.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i].Hash != again[i].Hash || first[i].Value != again[i].Value {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, first[i], again[i])
+		}
+	}
+}
+
+func TestSweepAxisErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		ss   *SweepSpec
+		want string
+	}{
+		{"both values and range",
+			h2Sweep(SweepAxis{Param: AxisDistance, Values: []float64{0.5}, Step: 0.1}),
+			"both values and a range"},
+		{"no values no range",
+			h2Sweep(SweepAxis{Param: AxisDistance}),
+			"needs values or start/stop/step"},
+		{"stop before start",
+			h2Sweep(SweepAxis{Param: AxisDistance, Start: 2.0, Stop: 0.4, Step: 0.1}),
+			"stop 0.4 < start 2"},
+		{"duplicate values",
+			h2Sweep(SweepAxis{Param: AxisDistance, Values: []float64{0.5, 0.5}}),
+			"expand to the same point"},
+		{"unknown param",
+			h2Sweep(SweepAxis{Param: "temperature", Values: []float64{1}}),
+			"unknown sweep axis param"},
+		{"negative distance",
+			h2Sweep(SweepAxis{Param: AxisDistance, Values: []float64{-0.5}}),
+			"must be > 0"},
+		{"distance on wrong molecule",
+			&SweepSpec{
+				Base: RunSpec{Algorithm: AlgorithmVQE, Molecule: MoleculeSpec{Kind: "water"}},
+				Axis: SweepAxis{Param: AxisDistance, Values: []float64{0.5}},
+			},
+			"needs molecule kind h2"},
+		{"hopping on wrong molecule",
+			h2Sweep(SweepAxis{Param: AxisHopping, Values: []float64{1}}),
+			"needs molecule kind hubbard"},
+		{"fractional layers",
+			h2Sweep(SweepAxis{Param: AxisLayers, Values: []float64{1.5}}),
+			"must be a positive integer"},
+		{"range too large",
+			h2Sweep(SweepAxis{Param: AxisDistance, Start: 0, Stop: 1e6, Step: 0.1}),
+			"max 4096"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.ss.Points()
+			if err == nil {
+				t.Fatal("Points() accepted an invalid axis")
+			}
+			if !errors.Is(err, core.ErrInvalidArgument) {
+				t.Errorf("error %v is not ErrInvalidArgument", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSweepStrict(t *testing.T) {
+	good := `{"base":{"algorithm":"vqe","molecule":{"kind":"h2"}},"axis":{"param":"distance","values":[0.5,0.7414]}}`
+	ss, err := ParseSweep([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Axis.Param != AxisDistance || len(ss.Axis.Values) != 2 {
+		t.Errorf("parsed %+v", ss.Axis)
+	}
+	for _, bad := range []string{
+		`{"base":{},"axis":{"param":"distance","values":[0.5]},"extra":1}`,
+		`{"base":{},"axis":{"param":"distance","values":[0.5],"bogus":true}}`,
+		good + `{"trailing":1}`,
+		`{"base":{"algorithm":"vqe","molecule":{"kind":"h2"}},"axis":{"param":"distance"}}`,
+	} {
+		if _, err := ParseSweep([]byte(bad)); err == nil {
+			t.Errorf("ParseSweep accepted %s", bad)
+		}
+	}
+}
+
+func TestExecutionOrderAscending(t *testing.T) {
+	ss := h2Sweep(SweepAxis{Param: AxisDistance, Values: []float64{1.5, 0.5, 0.7414, 2.4}})
+	points, err := ss.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := ExecutionOrder(points)
+	want := []int{1, 2, 0, 3} // 0.5, 0.7414, 1.5, 2.4
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestNearestParams(t *testing.T) {
+	finished := []SweepPoint{
+		{Index: 0, Value: 0.5},
+		{Index: 1, Value: 1.0},
+		{Index: 2, Value: 2.0},
+	}
+	results := map[int]*Result{
+		0: {Params: []float64{0.05, 0.05}},
+		1: {Params: []float64{0.10, 0.10}},
+		2: {Params: []float64{0.20, 0.20, 0.20}}, // different arity
+	}
+	if got := NearestParams(0.9, 0, finished, results); got[0] != 0.10 {
+		t.Errorf("nearest to 0.9 picked %v, want the 1.0 point", got)
+	}
+	// Tie between 0.5 and 1.0 at value 0.75 resolves to the lower value.
+	if got := NearestParams(0.75, 0, finished, results); got[0] != 0.05 {
+		t.Errorf("tie at 0.75 picked %v, want the 0.5 point", got)
+	}
+	// Arity filter: a 2-parameter target skips the 3-parameter source.
+	if got := NearestParams(2.1, 2, finished, results); got[0] != 0.10 {
+		t.Errorf("arity-filtered pick %v, want the 1.0 point", got)
+	}
+	if got := NearestParams(1.0, 4, finished, results); got != nil {
+		t.Errorf("no arity match should return nil, got %v", got)
+	}
+	if got := NearestParams(1.0, 0, nil, nil); got != nil {
+		t.Errorf("no finished points should return nil, got %v", got)
+	}
+}
+
+func TestRunSweepWarmBeatsCold(t *testing.T) {
+	ss := h2Sweep(SweepAxis{Param: AxisDistance, Start: 0.5, Stop: 1.3, Step: 0.1})
+	run := func(cold bool) *SweepResult {
+		t.Helper()
+		res, err := RunSweep(context.Background(), ss, SweepRunOptions{ColdStart: cold})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed != 0 {
+			t.Fatalf("cold=%v: %d points failed", cold, res.Failed)
+		}
+		return res
+	}
+	warm, cold := run(false), run(true)
+	if len(warm.Points) != len(cold.Points) || len(warm.Points) != 9 {
+		t.Fatalf("point counts %d/%d, want 9", len(warm.Points), len(cold.Points))
+	}
+	// The first executed point has no neighbor; every later one warm-starts.
+	warmed := 0
+	for _, po := range warm.Points {
+		if po.WarmStarted {
+			warmed++
+		}
+		if po.Result == nil || po.Result.ErrorVsExact > 1e-6 {
+			t.Errorf("point %g: result %+v", po.Value, po.Result)
+		}
+	}
+	if warmed != len(warm.Points)-1 {
+		t.Errorf("%d of %d points warm-started, want all but the first", warmed, len(warm.Points))
+	}
+	for _, po := range cold.Points {
+		if po.WarmStarted {
+			t.Errorf("cold run warm-started point %g", po.Value)
+		}
+	}
+	if warm.EnergyEvaluations >= cold.EnergyEvaluations {
+		t.Errorf("warm start did not save work: %d warm vs %d cold evaluations",
+			warm.EnergyEvaluations, cold.EnergyEvaluations)
+	}
+	t.Logf("energy evaluations: warm %d, cold %d (ratio %.2f)",
+		warm.EnergyEvaluations, cold.EnergyEvaluations,
+		float64(warm.EnergyEvaluations)/float64(cold.EnergyEvaluations))
+}
+
+func TestRunSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ss := h2Sweep(SweepAxis{Param: AxisDistance, Values: []float64{0.5, 0.7414}})
+	if _, err := RunSweep(ctx, ss, SweepRunOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled sweep returned %v", err)
+	}
+}
+
+func TestRunSweepContinuesPastFailingPoint(t *testing.T) {
+	// A downfold axis where one active-space size exceeds the molecule's
+	// orbital count: that point fails at build time, the rest of the
+	// family must still run.
+	ss := &SweepSpec{
+		Base: RunSpec{
+			Algorithm: AlgorithmVQE,
+			Molecule:  MoleculeSpec{Kind: "synthetic", Orbitals: 3, Electrons: 2, Seed: 6},
+		},
+		Axis: SweepAxis{Param: AxisDownfold, Values: []float64{2, 5}},
+	}
+	res, err := RunSweep(context.Background(), ss, SweepRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 {
+		t.Fatalf("failed=%d, want exactly the oversized active space to fail", res.Failed)
+	}
+	for _, po := range res.Points {
+		if po.Value == 2 && po.Error != "" {
+			t.Errorf("valid point failed: %s", po.Error)
+		}
+		if po.Value == 5 && po.Error == "" {
+			t.Errorf("downfold=5 on a 3-orbital molecule did not fail")
+		}
+	}
+}

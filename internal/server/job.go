@@ -23,11 +23,14 @@ const (
 	// StatusInterrupted: halted by shutdown or walltime with best-so-far
 	// results; a checkpoint on disk resumes the exact trajectory.
 	StatusInterrupted Status = "interrupted"
+	// StatusCancelled: a sweep family (or one of its not-yet-run points)
+	// was cancelled by the client. Jobs never reach this state.
+	StatusCancelled Status = "cancelled"
 )
 
 // Terminal reports whether the status is final.
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusInterrupted
+	return s == StatusDone || s == StatusFailed || s == StatusInterrupted || s == StatusCancelled
 }
 
 // EventRetrying is the non-lifecycle event type published when a job
@@ -36,19 +39,32 @@ func (s Status) Terminal() bool {
 // after.
 const EventRetrying = "retrying"
 
-// Event is one SSE frame: a lifecycle transition or a per-iteration
-// progress sample.
+// EventPointDone / EventPointFailed are the sweep point-completion
+// frames: one per settled family member, carrying Point/Value (and
+// Energy on success).
+const (
+	EventPointDone   = "point_done"
+	EventPointFailed = "point_failed"
+)
+
+// Event is one SSE frame: a lifecycle transition, a per-iteration
+// progress sample, or a sweep point completion.
 type Event struct {
 	// Type: queued | running | progress | retrying | done | failed |
-	// interrupted.
+	// interrupted | cancelled | point_done | point_failed.
 	Type string `json:"type"`
-	// Seq numbers events within a job, monotonically from 1.
+	// Seq numbers events within a job or sweep, monotonically from 1.
 	Seq int `json:"seq"`
 	// Progress fields (Type == "progress").
 	Phase     string  `json:"phase,omitempty"`
 	Iteration int     `json:"iteration,omitempty"`
 	Energy    float64 `json:"energy,omitempty"`
 	Operator  string  `json:"operator,omitempty"`
+	// Point / Value identify the sweep member a frame belongs to
+	// (point_done, point_failed, and sweep progress frames). Point is
+	// the 1-based submission-order index.
+	Point int     `json:"point,omitempty"`
+	Value float64 `json:"value,omitempty"`
 	// Error is set on failed events.
 	Error string `json:"error,omitempty"`
 }
@@ -89,10 +105,9 @@ type Job struct {
 	// the hot observer path.
 	lastBeat atomic.Int64
 
-	seq     int
-	history []Event
-	subs    map[chan Event]struct{}
-	done    chan struct{}
+	// hub carries the event history and SSE fan-out; its lock is
+	// independent of j.mu (see eventHub).
+	hub eventHub
 }
 
 // beat records engine liveness for the watchdog.
@@ -105,70 +120,14 @@ func newJob(id string, spec *runspec.RunSpec) *Job {
 		SpecHash:  spec.Hash(),
 		status:    StatusQueued,
 		submitted: time.Now(),
-		subs:      map[chan Event]struct{}{},
-		done:      make(chan struct{}),
+		hub:       newEventHub(),
 	}
 }
 
-// publish appends an event to the history and fans it out to live
-// subscribers. Slow subscribers lose events rather than stalling the
-// simulation (SSE replay from the history covers reconnects).
-//
-// The fan-out happens after j.mu is released: the critical section
-// covers only the sequence/history update plus a snapshot of the
-// subscriber set, so SSE consumers never gate the simulation's lock.
-// The hand-off stays exact because subscribe copies the history under
-// the same lock: a subscriber added after the snapshot already has e in
-// its replay, and one removed before the send just receives into a
-// buffered channel nobody drains.
-func (j *Job) publish(e Event) {
-	j.mu.Lock()
-	j.seq++
-	e.Seq = j.seq
-	if len(j.history) >= maxEventHistory {
-		// Drop the oldest progress event; lifecycle events stay.
-		for i, old := range j.history {
-			if old.Type == "progress" {
-				j.history = append(j.history[:i], j.history[i+1:]...)
-				break
-			}
-		}
-	}
-	j.history = append(j.history, e)
-	subs := make([]chan Event, 0, len(j.subs))
-	for ch := range j.subs {
-		subs = append(subs, ch)
-	}
-	terminal := Status(e.Type).Terminal()
-	j.mu.Unlock()
-	for _, ch := range subs {
-		select {
-		case ch <- e:
-		default:
-		}
-	}
-	if terminal {
-		close(j.done)
-	}
-}
-
-// subscribe returns the event history so far plus a live channel; the
-// caller must unsubscribe.
-func (j *Job) subscribe() ([]Event, chan Event) {
-	ch := make(chan Event, 64)
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	replay := make([]Event, len(j.history))
-	copy(replay, j.history)
-	j.subs[ch] = struct{}{}
-	return replay, ch
-}
-
-func (j *Job) unsubscribe(ch chan Event) {
-	j.mu.Lock()
-	delete(j.subs, ch)
-	j.mu.Unlock()
-}
+// publish / subscribe / unsubscribe delegate to the event hub.
+func (j *Job) publish(e Event)                  { j.hub.publish(e) }
+func (j *Job) subscribe() ([]Event, chan Event) { return j.hub.subscribe() }
+func (j *Job) unsubscribe(ch chan Event)        { j.hub.unsubscribe(ch) }
 
 // View is the JSON representation of a job served by the jobs endpoints.
 type View struct {

@@ -66,7 +66,7 @@ func TestPublishFanoutExactlyOnce(t *testing.T) {
 	}
 	wg.Wait()
 	j.publish(Event{Type: "done"})
-	<-j.done // closed by the terminal publish, after its fan-out
+	<-j.hub.done // closed by the terminal publish, after its fan-out
 
 	check := func(name string, replay []Event, ch chan Event) {
 		t.Helper()

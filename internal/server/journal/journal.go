@@ -58,11 +58,46 @@ const (
 	// OpInterrupted: terminal best-so-far halt (walltime or degraded
 	// stall) with the partial result.
 	OpInterrupted Op = "interrupted"
+
+	// Sweep family lifecycle. JobID carries the sweep ID; point-level
+	// records additionally set Point (1-based submission index) and use
+	// SpecHash for the point's rs1 hash, while family-level records use
+	// it for the sw1 family hash.
+
+	// OpSweepAccepted: the family passed admission; the record carries
+	// the full SweepSpec document.
+	OpSweepAccepted Op = "sweep_accepted"
+	// OpSweepPointDone: one point finished; the record carries its result.
+	OpSweepPointDone Op = "sweep_point_done"
+	// OpSweepPointFailed: one point settled terminally without a result.
+	OpSweepPointFailed Op = "sweep_point_failed"
+	// OpSweepCheckpoint: a point was interrupted (drain) with a resumable
+	// checkpoint at Checkpoint; non-terminal — replay resumes the family.
+	OpSweepCheckpoint Op = "sweep_checkpoint"
+	// OpSweepDone / OpSweepFailed / OpSweepCancelled: family terminal.
+	OpSweepDone      Op = "sweep_done"
+	OpSweepFailed    Op = "sweep_failed"
+	OpSweepCancelled Op = "sweep_cancelled"
 )
 
-// Terminal reports whether the op ends a job's lifecycle.
+// Terminal reports whether the op ends a single job's lifecycle.
 func (o Op) Terminal() bool {
 	return o == OpDone || o == OpFailed || o == OpInterrupted
+}
+
+// Sweep reports whether the op belongs to a sweep family's lifecycle.
+func (o Op) Sweep() bool {
+	switch o {
+	case OpSweepAccepted, OpSweepPointDone, OpSweepPointFailed,
+		OpSweepCheckpoint, OpSweepDone, OpSweepFailed, OpSweepCancelled:
+		return true
+	}
+	return false
+}
+
+// SweepTerminal reports whether the op ends a sweep family's lifecycle.
+func (o Op) SweepTerminal() bool {
+	return o == OpSweepDone || o == OpSweepFailed || o == OpSweepCancelled
 }
 
 // Record is one journal entry. Spec and Result stay raw JSON so the
@@ -78,6 +113,9 @@ type Record struct {
 	Checkpoint string `json:"checkpoint,omitempty"`
 	// Attempt is the 0-based execution attempt (OpRunning, OpRetrying).
 	Attempt int `json:"attempt,omitempty"`
+	// Point is the 1-based submission-order index of a sweep member
+	// (sweep point records only; 0 means the record is family-level).
+	Point int `json:"point,omitempty"`
 	// Error carries the failure text (OpFailed, OpRetrying).
 	Error string `json:"error,omitempty"`
 	// Result is the serialized runspec.Result (OpDone, OpInterrupted).

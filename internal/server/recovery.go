@@ -24,10 +24,24 @@ import (
 )
 
 var (
-	mJobsRecovered  = telemetry.GetCounter("server.jobs.recovered")
-	mJobsReplayed   = telemetry.GetCounter("server.jobs.replayed_terminal")
-	mRecoverDropped = telemetry.GetCounter("server.recovery.dropped_records")
+	mJobsRecovered   = telemetry.GetCounter("server.jobs.recovered")
+	mJobsReplayed    = telemetry.GetCounter("server.jobs.replayed_terminal")
+	mSweepsRecovered = telemetry.GetCounter("server.sweeps.recovered")
+	mRecoverDropped  = telemetry.GetCounter("server.recovery.dropped_records")
 )
+
+// partitionRecords splits a replayed record stream into the job and
+// sweep lifecycles (each replays independently).
+func partitionRecords(recs []journal.Record) (jobs, sweeps []journal.Record) {
+	for _, rec := range recs {
+		if rec.Op.Sweep() {
+			sweeps = append(sweeps, rec)
+		} else {
+			jobs = append(jobs, rec)
+		}
+	}
+	return jobs, sweeps
+}
 
 // replayedJob is the merged per-job outcome of a journal scan. Records
 // for one job may interleave with other jobs' and repeat across retries;
@@ -223,6 +237,244 @@ func (s *Server) rebuildJob(e *replayedJob) (*Job, bool) {
 	return job, true
 }
 
+// replayedSweep is the merged per-family outcome of a journal scan:
+// the family document, its terminal fact (if any), and the per-point
+// facts keyed by 1-based submission index.
+type replayedSweep struct {
+	id          string
+	familyHash  string
+	specRaw     json.RawMessage
+	op          journal.Op
+	errMsg      string
+	pointDone   map[int]json.RawMessage
+	pointFailed map[int]string
+	pointCkpt   map[int]string
+}
+
+// mergeSweepRecords folds a sweep record stream into per-family
+// outcomes, preserving first-appearance order.
+func mergeSweepRecords(recs []journal.Record) []*replayedSweep {
+	byID := map[string]*replayedSweep{}
+	var order []*replayedSweep
+	for _, rec := range recs {
+		if rec.JobID == "" {
+			mRecoverDropped.Inc()
+			continue
+		}
+		e := byID[rec.JobID]
+		if e == nil {
+			e = &replayedSweep{
+				id:          rec.JobID,
+				pointDone:   map[int]json.RawMessage{},
+				pointFailed: map[int]string{},
+				pointCkpt:   map[int]string{},
+			}
+			byID[rec.JobID] = e
+			order = append(order, e)
+		}
+		switch rec.Op {
+		case journal.OpSweepAccepted:
+			e.specRaw = rec.Spec
+			e.familyHash = rec.SpecHash
+			if e.op == "" {
+				e.op = journal.OpSweepAccepted
+			}
+		case journal.OpSweepPointDone:
+			if rec.Point > 0 {
+				e.pointDone[rec.Point] = rec.Result
+				delete(e.pointFailed, rec.Point)
+			}
+		case journal.OpSweepPointFailed:
+			if rec.Point > 0 && e.pointDone[rec.Point] == nil {
+				e.pointFailed[rec.Point] = rec.Error
+			}
+		case journal.OpSweepCheckpoint:
+			if rec.Point > 0 {
+				e.pointCkpt[rec.Point] = rec.Checkpoint
+			}
+		case journal.OpSweepDone, journal.OpSweepFailed, journal.OpSweepCancelled:
+			e.op = rec.Op
+			e.errMsg = rec.Error
+		default:
+			mRecoverDropped.Inc()
+		}
+	}
+	return order
+}
+
+// recoverSweeps rebuilds the family table from replayed sweep records,
+// returning the families to re-enqueue. Called from New before the
+// worker fleet starts, so no locking is needed yet.
+func (s *Server) recoverSweeps(recs []journal.Record) []*Sweep {
+	merged := mergeSweepRecords(recs)
+	var pending []*Sweep
+	for _, e := range merged {
+		if _, dup := s.sweeps[e.id]; dup {
+			mRecoverDropped.Inc()
+			continue
+		}
+		sw, ok := s.rebuildSweep(e)
+		if !ok {
+			continue
+		}
+		s.sweeps[e.id] = sw
+		s.sweepOrder = append(s.sweepOrder, e.id)
+		if n := sweepSeqOf(e.id); n > s.sweepSeq {
+			s.sweepSeq = n
+		}
+		if !sw.status.Terminal() {
+			pending = append(pending, sw)
+			mSweepsRecovered.Inc()
+		} else {
+			mJobsReplayed.Inc()
+		}
+	}
+	return pending
+}
+
+// sweepStatusOf maps a terminal sweep op to the family status.
+func sweepStatusOf(op journal.Op) Status {
+	switch op {
+	case journal.OpSweepDone:
+		return StatusDone
+	case journal.OpSweepFailed:
+		return StatusFailed
+	case journal.OpSweepCancelled:
+		return StatusCancelled
+	}
+	return StatusQueued
+}
+
+// rebuildSweep turns one merged journal outcome into a live Sweep. The
+// family document re-expands to the same points (expansion is
+// deterministic), settled points replay their recorded outcomes — done
+// results also re-seed the spec-hash cache — and an unfinished family
+// re-enqueues with only its open points left to run.
+func (s *Server) rebuildSweep(e *replayedSweep) (*Sweep, bool) {
+	var ss *runspec.SweepSpec
+	var points []runspec.SweepPoint
+	if len(e.specRaw) > 0 {
+		parsed, err := runspec.ParseSweep(e.specRaw)
+		if err != nil {
+			s.logf("vqed: recovery: sweep %s spec unusable: %v", e.id, err)
+		} else if pts, err := parsed.Points(); err != nil {
+			s.logf("vqed: recovery: sweep %s expansion failed: %v", e.id, err)
+		} else {
+			ss, points = parsed, pts
+		}
+	}
+	if ss == nil {
+		// Without a re-expandable document the family cannot re-run; a
+		// terminal one still answers polls, a live one surfaces as failed.
+		sw := &Sweep{
+			ID:         e.id,
+			Spec:       &runspec.SweepSpec{},
+			FamilyHash: e.familyHash,
+			status:     sweepStatusOf(e.op),
+			errMsg:     e.errMsg,
+			submitted:  time.Now(),
+			finished:   time.Now(),
+			hub:        newEventHub(),
+		}
+		if !e.op.SweepTerminal() {
+			sw.status = StatusFailed
+			sw.errMsg = "server: journal holds no recoverable spec for this sweep"
+			s.logf("vqed: recovery: sweep %s has no recoverable spec, marking failed", e.id)
+		}
+		sw.publish(Event{Type: string(sw.status), Error: sw.errMsg})
+		return sw, true
+	}
+
+	sw := newSweep(e.id, ss, points)
+	if e.familyHash != "" {
+		sw.FamilyHash = e.familyHash
+	}
+	for pt, raw := range e.pointDone {
+		if pt < 1 || pt > len(sw.points) {
+			mRecoverDropped.Inc()
+			continue
+		}
+		p := sw.points[pt-1]
+		var res runspec.Result
+		if err := json.Unmarshal(raw, &res); err != nil {
+			s.logf("vqed: recovery: sweep %s point %d result unusable: %v", e.id, pt, err)
+			continue
+		}
+		p.status = StatusDone
+		p.result = &res
+		if !s.cfg.DisableCache {
+			s.cacheStore(p.pt.Hash, &res)
+		}
+	}
+	for pt, msg := range e.pointFailed {
+		if pt < 1 || pt > len(sw.points) {
+			mRecoverDropped.Inc()
+			continue
+		}
+		p := sw.points[pt-1]
+		if !p.status.Terminal() {
+			p.status = StatusFailed
+			p.err = msg
+		}
+	}
+	for pt, ckpt := range e.pointCkpt {
+		if pt < 1 || pt > len(sw.points) || ckpt == "" {
+			continue
+		}
+		p := sw.points[pt-1]
+		if p.status.Terminal() {
+			continue
+		}
+		if _, err := resilience.CheckpointKind(ckpt); err == nil {
+			p.checkpoint = ckpt
+			p.resume = true
+		} else if !os.IsNotExist(err) {
+			s.logf("vqed: recovery: sweep %s point %d checkpoint %s invalid, cold restart: %v", e.id, pt, ckpt, err)
+			os.Remove(ckpt)
+		}
+	}
+
+	if e.op.SweepTerminal() {
+		sw.status = sweepStatusOf(e.op)
+		sw.errMsg = e.errMsg
+		now := time.Now()
+		sw.started, sw.finished = now, now
+		if sw.status == StatusCancelled {
+			for _, p := range sw.points {
+				if !p.status.Terminal() {
+					p.status = StatusCancelled
+				}
+			}
+		}
+		sw.publish(Event{Type: string(sw.status), Error: sw.errMsg})
+		return sw, true
+	}
+	sw.publish(Event{Type: string(StatusQueued)})
+	return sw, true
+}
+
+// sweepSeqOf extracts the numeric suffix of a "sweep-%06d" ID.
+func sweepSeqOf(id string) int {
+	num, ok := strings.CutPrefix(id, "sweep-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// journalSweepSpec marshals a family document for its accepted record.
+func journalSweepSpec(ss *runspec.SweepSpec) json.RawMessage {
+	raw, err := json.Marshal(ss)
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
 // legacyManifestJobs reads and deletes the old shutdown manifest,
 // converting its entries to replay form.
 func (s *Server) legacyManifestJobs() []*replayedJob {
@@ -317,6 +569,10 @@ func (s *Server) liveSnapshot() []journal.Record {
 	for _, id := range s.order {
 		jobs = append(jobs, s.jobs[id])
 	}
+	sweeps := make([]*Sweep, 0, len(s.sweepOrder))
+	for _, id := range s.sweepOrder {
+		sweeps = append(sweeps, s.sweeps[id])
+	}
 	s.mu.Unlock()
 
 	var recs []journal.Record
@@ -347,6 +603,51 @@ func (s *Server) liveSnapshot() []journal.Record {
 				})
 			}
 		}
+	}
+	for _, sw := range sweeps {
+		sw.mu.Lock()
+		recs = append(recs, journal.Record{
+			Op: journal.OpSweepAccepted, JobID: sw.ID, SpecHash: sw.FamilyHash,
+			Spec: journalSweepSpec(sw.Spec),
+		})
+		for _, p := range sw.points {
+			switch p.status {
+			case StatusDone:
+				recs = append(recs, journal.Record{
+					Op: journal.OpSweepPointDone, JobID: sw.ID,
+					Point: p.pt.Index + 1, SpecHash: p.pt.Hash,
+					Result: journalResult(p.result),
+				})
+			case StatusFailed:
+				recs = append(recs, journal.Record{
+					Op: journal.OpSweepPointFailed, JobID: sw.ID,
+					Point: p.pt.Index + 1, SpecHash: p.pt.Hash, Error: p.err,
+				})
+			default:
+				if p.resume && p.checkpoint != "" {
+					recs = append(recs, journal.Record{
+						Op: journal.OpSweepCheckpoint, JobID: sw.ID,
+						Point: p.pt.Index + 1, SpecHash: p.pt.Hash,
+						Checkpoint: p.checkpoint,
+					})
+				}
+			}
+		}
+		if sw.status.Terminal() && sw.status != StatusInterrupted {
+			var op journal.Op
+			switch sw.status {
+			case StatusDone:
+				op = journal.OpSweepDone
+			case StatusFailed:
+				op = journal.OpSweepFailed
+			case StatusCancelled:
+				op = journal.OpSweepCancelled
+			}
+			recs = append(recs, journal.Record{
+				Op: op, JobID: sw.ID, SpecHash: sw.FamilyHash, Error: sw.errMsg,
+			})
+		}
+		sw.mu.Unlock()
 	}
 	return recs
 }

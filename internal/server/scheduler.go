@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -136,7 +137,7 @@ func (s *Server) Submit(spec *runspec.RunSpec) (*Job, error) {
 	s.journalAppend(journal.Record{Op: journal.OpAccepted, JobID: id,
 		SpecHash: job.SpecHash, Spec: journalSpec(spec)})
 	select {
-	case s.queue <- job:
+	case s.queue <- queueItem{job: job}:
 	case <-s.runCtx.Done():
 		// Shutdown raced the enqueue; the accepted record re-enqueues the
 		// job on the next start.
@@ -187,14 +188,17 @@ func (s *Server) EstimateWait(spec *runspec.RunSpec) time.Duration {
 	return time.Duration(waves) * svc
 }
 
-// worker is one scheduler slot: it drains the queue until shutdown.
+// worker is one scheduler slot: it drains the queue until shutdown. A
+// queue item is either a single job or an entire sweep family; a family
+// occupies its worker for the whole curve so points share one build
+// cache and warm-start chain.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.runCtx.Done():
 			return
-		case job, ok := <-s.queue:
+		case item, ok := <-s.queue:
 			if !ok {
 				return
 			}
@@ -204,7 +208,11 @@ func (s *Server) worker() {
 			}
 			s.mu.Unlock()
 			mQueueDepth.Set(int64(len(s.queue)))
-			s.runJob(job)
+			if item.sweep != nil {
+				s.runSweep(item.sweep)
+			} else if item.job != nil {
+				s.runJob(item.job)
+			}
 		}
 	}
 }
@@ -228,7 +236,7 @@ func (s *Server) watchdog() {
 			now := time.Now().UnixNano()
 			s.mu.Lock()
 			for id, e := range s.watch {
-				if now-e.job.lastBeat.Load() > int64(s.cfg.StallTimeout) {
+				if now-e.beat.Load() > int64(s.cfg.StallTimeout) {
 					mWatchdogStalls.Inc()
 					e.cancel(errStalled)
 					// Cancel exactly once; the worker unregisters on return.
@@ -240,9 +248,9 @@ func (s *Server) watchdog() {
 	}
 }
 
-func (s *Server) watchAdd(job *Job, cancel context.CancelCauseFunc) {
+func (s *Server) watchAdd(id string, beat *atomic.Int64, cancel context.CancelCauseFunc) {
 	s.mu.Lock()
-	s.watch[job.ID] = &watchEntry{job: job, cancel: cancel}
+	s.watch[id] = &watchEntry{beat: beat, cancel: cancel}
 	s.mu.Unlock()
 }
 
@@ -334,7 +342,7 @@ func (s *Server) runAttempt(job *Job) (retry bool, delay time.Duration) {
 	job.publish(Event{Type: string(StatusRunning)})
 
 	jobCtx, cancel := context.WithCancelCause(s.runCtx)
-	s.watchAdd(job, cancel)
+	s.watchAdd(job.ID, &job.lastBeat, cancel)
 	res, err := s.execute(jobCtx, job, checkpoint, resume)
 	s.watchRemove(job.ID)
 	stalled := errors.Is(context.Cause(jobCtx), errStalled)

@@ -14,15 +14,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs              submit a RunSpec, returns the job record
-//	GET  /v1/jobs              list jobs
-//	GET  /v1/jobs/{id}         job detail (result embedded when finished)
-//	GET  /v1/jobs/{id}/result  just the result (202 while running)
-//	GET  /v1/jobs/{id}/events  SSE progress stream (replays history)
-//	GET  /v1/capabilities      accelerator registry catalog + limits
-//	GET  /v1/metrics           telemetry snapshot + scheduler counters
-//	GET  /healthz              liveness: ok | degraded | draining (always 200)
-//	GET  /readyz               readiness: 503 while draining
+//	POST   /v1/jobs              submit a RunSpec, returns the job record
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job detail (result embedded when finished)
+//	GET    /v1/jobs/{id}/result  just the result (202 while running)
+//	GET    /v1/jobs/{id}/events  SSE progress stream (replays history)
+//	POST   /v1/sweeps            submit a SweepSpec job family
+//	GET    /v1/sweeps            list sweep families
+//	GET    /v1/sweeps/{id}       family detail: per-point states + curve
+//	GET    /v1/sweeps/{id}/events SSE stream with point-completion frames
+//	DELETE /v1/sweeps/{id}       cancel a family (idempotent)
+//	GET    /v1/capabilities      accelerator registry catalog + limits
+//	GET    /v1/metrics           telemetry snapshot + scheduler counters
+//	GET    /healthz              liveness: ok | degraded | draining (always 200)
+//	GET    /readyz               readiness: 503 while draining
+//
+// Every non-2xx /v1 response carries the uniform error envelope
+// {"error": {"code", "message", "retry_after_ms"}} (see errors.go).
 package server
 
 import (
@@ -34,12 +42,10 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/kernel/tuning"
 	"repro/internal/resilience"
 	"repro/internal/runspec"
@@ -95,6 +101,9 @@ type Config struct {
 	// quoting (nil falls back to a measured EWMA of recent jobs). The
 	// vqed CLI wires internal/load/costmodel here.
 	Estimator func(*runspec.RunSpec) (time.Duration, bool)
+	// MaxSweepPoints caps how many points one sweep family may expand to
+	// (default 256; the schema-level ceiling is runspec.MaxSweepPoints).
+	MaxSweepPoints int
 }
 
 // journalFile is the WAL's name under the spool dir.
@@ -103,10 +112,12 @@ const journalFile = "journal.wal"
 // Server is the daemon core: scheduler, job store, result cache, journal,
 // and the HTTP handler over them.
 type Server struct {
-	cfg   Config
-	pool  *state.Pool
-	mux   *http.ServeMux
-	queue chan *Job
+	cfg  Config
+	pool *state.Pool
+	mux  *http.ServeMux
+	// queue carries both single jobs and sweep families; a family
+	// occupies one worker slot and executes its points sequentially.
+	queue chan queueItem
 
 	runCtx  context.Context
 	cancel  context.CancelFunc
@@ -136,15 +147,27 @@ type Server struct {
 	jobSeq int
 	jobs   map[string]*Job
 	order  []string
-	// watch maps running job IDs to their cancel handles for the
-	// stuck-job watchdog.
+	// sweeps is the family table, keyed by sweep ID.
+	sweepSeq   int
+	sweeps     map[string]*Sweep
+	sweepOrder []string
+	// watch maps running job/sweep IDs to their heartbeat and cancel
+	// handles for the stuck-job watchdog.
 	watch      map[string]*watchEntry
 	cache      map[string]*runspec.Result
 	cacheOrder []string
 }
 
+// queueItem is one scheduler admission: exactly one of job or sweep.
+type queueItem struct {
+	job   *Job
+	sweep *Sweep
+}
+
+// watchEntry is one watchdog registration: the heartbeat to compare
+// against the no-progress deadline and the cancel that fires on stall.
 type watchEntry struct {
-	job    *Job
+	beat   *atomic.Int64
 	cancel context.CancelCauseFunc
 }
 
@@ -164,6 +187,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryBudget < 0 {
 		cfg.RetryBudget = 0
 	}
+	if cfg.MaxSweepPoints <= 0 {
+		cfg.MaxSweepPoints = 256
+	}
+	if cfg.MaxSweepPoints > runspec.MaxSweepPoints {
+		cfg.MaxSweepPoints = runspec.MaxSweepPoints
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = xacc.DefaultRegistry
 	}
@@ -178,6 +207,7 @@ func New(cfg Config) (*Server, error) {
 		runCtx: ctx,
 		cancel: cancel,
 		jobs:   map[string]*Job{},
+		sweeps: map[string]*Sweep{},
 		watch:  map[string]*watchEntry{},
 		cache:  map[string]*runspec.Result{},
 	}
@@ -200,17 +230,25 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
-	// Rebuild the job table before sizing the queue: the channel needs
-	// room for QueueDepth admissions, one retry slot per worker, and every
-	// recovered job, so sends after admission never block.
-	pending := s.recoverJobs(recs)
-	s.queue = make(chan *Job, cfg.QueueDepth+cfg.MaxConcurrent+len(pending)+64)
+	// Rebuild the job and sweep tables before sizing the queue: the
+	// channel needs room for QueueDepth admissions, one retry slot per
+	// worker, and every recovered entry, so sends after admission never
+	// block.
+	jobRecs, sweepRecs := partitionRecords(recs)
+	pending := s.recoverJobs(jobRecs)
+	pendingSweeps := s.recoverSweeps(sweepRecs)
+	s.queue = make(chan queueItem, cfg.QueueDepth+cfg.MaxConcurrent+len(pending)+len(pendingSweeps)+64)
 	for _, job := range pending {
 		s.queued++
-		s.queue <- job
+		s.queue <- queueItem{job: job}
 	}
-	if len(pending) > 0 || len(s.jobs) > 0 {
-		s.logf("vqed: journal replay: %d job(s) restored, %d re-enqueued", len(s.jobs), len(pending))
+	for _, sw := range pendingSweeps {
+		s.queued++
+		s.queue <- queueItem{sweep: sw}
+	}
+	if len(pending) > 0 || len(s.jobs) > 0 || len(s.sweeps) > 0 {
+		s.logf("vqed: journal replay: %d job(s) and %d sweep(s) restored, %d+%d re-enqueued",
+			len(s.jobs), len(s.sweeps), len(pending), len(pendingSweeps))
 	}
 	s.compactIfNeeded(len(recs) > 0)
 
@@ -350,6 +388,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	s.mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -379,21 +422,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull):
 		// Quote a wait proportional to actual load: backlog ÷ fleet,
 		// priced by the cost model (or the measured job-time EWMA).
-		wait := s.EstimateWait(spec)
-		retryAfter := int64((wait + time.Second - 1) / time.Second)
-		if retryAfter < 1 {
-			retryAfter = 1
-		}
-		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter, 10))
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"kind":              "queue_full",
-			"error":             err.Error(),
-			"estimated_wait_ms": wait.Milliseconds(),
-			"retry_after_s":     retryAfter,
-		})
+		writeAPIError(w, http.StatusServiceUnavailable, codeQueueFull, err.Error(), s.EstimateWait(spec))
 		return
 	case errors.Is(err, ErrShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeAPIError(w, http.StatusServiceUnavailable, codeShuttingDown, err.Error(), 0)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -456,59 +488,24 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // handleEvents is the SSE stream: the job's event history replays first,
 // then live events until the job settles or the client disconnects.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	j := s.job(w, r)
-	if j == nil {
-		return
-	}
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-
-	replay, live := j.subscribe()
-	defer j.unsubscribe(live)
-	writeEvent := func(e Event) bool {
-		data, err := json.Marshal(e)
-		if err != nil {
-			return false
-		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
-			return false
-		}
-		fl.Flush()
-		return !Status(e.Type).Terminal()
-	}
-	for _, e := range replay {
-		if !writeEvent(e) {
-			return
-		}
-	}
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case e := <-live:
-			if !writeEvent(e) {
-				return
-			}
-		}
+	if j := s.job(w, r); j != nil {
+		streamEvents(w, r, j)
 	}
 }
 
 func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"accelerators":   s.cfg.Registry.List(),
-		"algorithms":     []string{runspec.AlgorithmVQE, runspec.AlgorithmAdapt, runspec.AlgorithmQPE},
-		"spec_hash":      runspec.HashPrefix,
-		"max_concurrent": s.cfg.MaxConcurrent,
-		"queue_depth":    s.cfg.QueueDepth,
-		"sim_workers":    s.pool.Workers(),
-		"kernel_tuning":  tuning.Snapshot(),
+		"accelerators": s.cfg.Registry.List(),
+		"algorithms":   []string{runspec.AlgorithmVQE, runspec.AlgorithmAdapt, runspec.AlgorithmQPE},
+		"spec_hash":    runspec.HashPrefix,
+		"sweep_hash":   runspec.SweepHashPrefix,
+		"sweep_axes": []string{runspec.AxisDistance, runspec.AxisHopping,
+			runspec.AxisRepulsion, runspec.AxisLayers, runspec.AxisDownfold},
+		"max_sweep_points": s.cfg.MaxSweepPoints,
+		"max_concurrent":   s.cfg.MaxConcurrent,
+		"queue_depth":      s.cfg.QueueDepth,
+		"sim_workers":      s.pool.Workers(),
+		"kernel_tuning":    tuning.Snapshot(),
 	})
 }
 
@@ -530,6 +527,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	degraded := s.degradedReason
 	journaling := s.jn != nil
 	total := len(s.jobs)
+	sweeps := len(s.sweeps)
 	s.mu.Unlock()
 	status := "ok"
 	if degraded != "" {
@@ -541,6 +539,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
 		"status":     status,
 		"jobs":       total,
+		"sweeps":     sweeps,
 		"queued":     len(s.queue),
 		"running":    s.running.Load(),
 		"journaling": journaling,
@@ -572,14 +571,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	// Client errors carry the engine sentinel text; keep the wire shape
-	// uniform so thin clients need one error path.
-	kind := "error"
-	if errors.Is(err, core.ErrInvalidArgument) {
-		kind = "invalid_argument"
-	}
-	writeJSON(w, status, map[string]string{"kind": kind, "error": err.Error()})
 }

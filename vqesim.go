@@ -58,6 +58,26 @@ type (
 	RunOptions = runspec.RunOptions
 	// Progress is one per-iteration notification (the energy trace).
 	Progress = runspec.Progress
+	// SweepSpec describes a parameter-sweep job family: one base RunSpec
+	// plus an axis expanded into content-addressed point specs.
+	SweepSpec = runspec.SweepSpec
+	// SweepAxis names the swept parameter and its values or range.
+	SweepAxis = runspec.SweepAxis
+	// SweepRunOptions configures the in-process family runner.
+	SweepRunOptions = runspec.SweepRunOptions
+	// SweepPointOutcome is one settled point of a family run.
+	SweepPointOutcome = runspec.SweepPointOutcome
+	// SweepResult is the aggregate outcome of RunSweep.
+	SweepResult = runspec.SweepResult
+)
+
+// Sweep axis parameter names accepted by SweepAxis.Param.
+const (
+	AxisDistance  = runspec.AxisDistance
+	AxisHopping   = runspec.AxisHopping
+	AxisRepulsion = runspec.AxisRepulsion
+	AxisLayers    = runspec.AxisLayers
+	AxisDownfold  = runspec.AxisDownfold
 )
 
 // Run executes a spec end to end: molecule construction, qubit mapping,
@@ -72,6 +92,15 @@ func Run(ctx context.Context, spec *RunSpec, opts RunOptions) (*RunResult, error
 // already-built molecule (the spec's own molecule section is ignored).
 func RunOnMolecule(ctx context.Context, m *Molecule, spec *RunSpec, opts RunOptions) (*RunResult, error) {
 	return runspec.RunOnMolecule(ctx, m, spec, opts)
+}
+
+// RunSweep executes a parameter-sweep family in-process: points in
+// ascending axis order, each warm-started from its nearest finished
+// neighbor, with Hamiltonian construction shared across points (paper
+// §6.2 incremental optimization). The vqed daemon accepts the same
+// SweepSpec document at POST /v1/sweeps.
+func RunSweep(ctx context.Context, ss *SweepSpec, opts SweepRunOptions) (*SweepResult, error) {
+	return runspec.RunSweep(ctx, ss, opts)
 }
 
 // Re-exported core types. These aliases make the public API usable without
@@ -238,8 +267,10 @@ type AdaptResult = vqe.AdaptResult
 // GroundStateAdaptVQE runs Adapt-VQE (paper §5.3 / Figure 5), stopping at
 // chemical accuracy against the FCI reference. It remains a direct call
 // (not a spec adapter) because it returns the grown AdaptAnsatz, which
-// the serializable RunResult cannot carry; prefer Run with
-// Algorithm = "adapt" unless you need the ansatz object itself.
+// the serializable RunResult cannot carry.
+//
+// Deprecated: build a RunSpec with Algorithm = "adapt" and call Run
+// unless you need the ansatz object itself.
 func GroundStateAdaptVQE(m *Molecule, cfg AdaptConfig) (*AdaptResult, float64, error) {
 	h := Hamiltonian(m)
 	n := m.NumSpinOrbitals()
